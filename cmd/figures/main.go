@@ -1,0 +1,72 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation and prints them as text, with the paper's qualitative
+// expectation under each one. This is the program whose output
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	go run ./cmd/figures            # everything
+//	go run ./cmd/figures -only fig6 # one experiment
+//	go run ./cmd/figures -iters 20  # more round trips per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
+	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1)")
+	flag.Parse()
+
+	cfg := figures.Config{Iters: *iters, Warmup: 2}
+	type job struct {
+		id  string
+		fig func() (*figures.Figure, error)
+	}
+	jobs := []job{
+		{"fig1b", cfg.Fig1b},
+		{"fig3b", cfg.Fig3b},
+		{"fig4a", cfg.Fig4a},
+		{"fig4b", cfg.Fig4b},
+		{"fig5a", cfg.Fig5a},
+		{"fig5b", cfg.Fig5b},
+		{"fig6", cfg.Fig6},
+		{"fig7a", cfg.Fig7a},
+		{"fig7b", cfg.Fig7b},
+		{"fig8a", cfg.Fig8a},
+		{"fig8b", cfg.Fig8b},
+	}
+	sel := strings.ToLower(*only)
+	ran := false
+	for _, j := range jobs {
+		if sel != "" && sel != j.id {
+			continue
+		}
+		ran = true
+		f, err := j.fig()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(f.Render(f.Latency()))
+	}
+	if sel == "" || sel == "table1" {
+		ran = true
+		t, err := cfg.Table1()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

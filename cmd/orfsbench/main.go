@@ -1,0 +1,43 @@
+// Command orfsbench measures remote file access throughput — the
+// workload behind Figures 3(b), 4(b) and 7 — for a chosen transport
+// and access type.
+//
+// Usage:
+//
+//	go run ./cmd/orfsbench -transport mx -access buffered
+//	go run ./cmd/orfsbench -transport gm -access direct -max 65536
+//	go run ./cmd/orfsbench -transport gm-nocache -access direct
+//	go run ./cmd/orfsbench -transport mx -access orfa
+//	go run ./cmd/orfsbench -transport mx -access buffered -combine 8
+//	go run ./cmd/orfsbench -transport gm-nophys -access buffered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/netpipe"
+)
+
+func main() {
+	transport := flag.String("transport", "mx", "gm | gm-nocache | gm-nophys | mx")
+	access := flag.String("access", "buffered", "buffered | direct | orfa")
+	maxSize := flag.Int("max", 1<<20, "largest request size")
+	combine := flag.Int("combine", 1, "buffered-read combining factor in pages (the §3.3 Linux-2.6 prediction)")
+	flag.Parse()
+
+	cfg := figures.DefaultConfig()
+	pts, err := figures.RunFileBenchOpt(*transport, *access, *combine, netpipe.Sizes(*maxSize), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# transport=%s access=%s (sequential read throughput at the application)\n",
+		*transport, *access)
+	fmt.Printf("%12s %14s\n", "request(B)", "bw(MB/s)")
+	for _, pt := range pts {
+		fmt.Printf("%12d %14.1f\n", pt.Size, pt.MBps)
+	}
+}

@@ -1,0 +1,120 @@
+// Zero-copy sockets example: the same unmodified client/server
+// application running over SOCKETS-MX, SOCKETS-GM and the TCP/GigE
+// baseline — the §5.3 comparison. The application only sees the socket
+// API; the stacks differ underneath exactly as the paper describes
+// (thin MX layer vs bounce-buffered GM with a dispatch thread vs the
+// full TCP/IP stack).
+//
+// Run with: go run ./examples/zerocopy-sockets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	knapi "repro"
+	"repro/internal/sockets"
+)
+
+const (
+	port     = knapi.SockPort(7)
+	msgSize  = 64 * 1024
+	messages = 16
+)
+
+// runEcho runs the identical application over one stack family and
+// returns (transfer time, effective MB/s).
+func runEcho(family string) (knapi.Time, float64) {
+	s := knapi.NewSim(knapi.PCIXE)
+	cn := s.AddNode("client")
+	sn := s.AddNode("server")
+
+	var cs, ss knapi.Stack
+	var err error
+	switch family {
+	case "sockets-mx":
+		if cs, err = knapi.NewSocketsMX(knapi.AttachMX(cn), 1); err != nil {
+			log.Fatal(err)
+		}
+		if ss, err = knapi.NewSocketsMX(knapi.AttachMX(sn), 1); err != nil {
+			log.Fatal(err)
+		}
+	case "sockets-gm":
+		if cs, err = knapi.NewSocketsGM(knapi.AttachGM(cn), 1); err != nil {
+			log.Fatal(err)
+		}
+		if ss, err = knapi.NewSocketsGM(knapi.AttachGM(sn), 1); err != nil {
+			log.Fatal(err)
+		}
+	case "tcp":
+		cs, ss = knapi.NewSocketsTCP(cn), knapi.NewSocketsTCP(sn)
+	}
+
+	var elapsed knapi.Time
+	// Server: echo every message.
+	s.Spawn("server", func(p *knapi.Proc) {
+		l, err := ss.Listen(port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		as := sn.NewUserSpace("server-app")
+		buf, _ := as.Mmap(msgSize, "buf")
+		for i := 0; i < messages; i++ {
+			if _, err := sockets.RecvAll(p, conn, as, buf, msgSize); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := conn.Send(p, as, buf, msgSize); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	// Client: send, receive, verify.
+	s.Spawn("client", func(p *knapi.Proc) {
+		p.Sleep(10_000) // 10µs: let the listener come up
+		conn, err := cs.Dial(p, int(sn.ID), port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		as := cn.NewUserSpace("client-app")
+		buf, _ := as.Mmap(msgSize, "buf")
+		payload := make([]byte, msgSize)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		t0 := p.Now()
+		for i := 0; i < messages; i++ {
+			as.WriteBytes(buf, payload)
+			if _, err := conn.Send(p, as, buf, msgSize); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := sockets.RecvAll(p, conn, as, buf, msgSize); err != nil {
+				log.Fatal(err)
+			}
+			got, _ := as.ReadBytes(buf, msgSize)
+			for j := range got {
+				if got[j] != payload[j] {
+					log.Fatalf("%s: byte %d corrupted", family, j)
+				}
+			}
+		}
+		elapsed = p.Now() - t0
+		conn.Close(p)
+	})
+	s.Run()
+	total := float64(2 * messages * msgSize)
+	return elapsed, total / elapsed.Seconds() / 1e6
+}
+
+func main() {
+	fmt.Printf("echoing %d × %d KB over each socket stack (PCI-XE / GigE):\n\n", messages, msgSize/1024)
+	for _, family := range []string{"sockets-mx", "sockets-gm", "tcp"} {
+		elapsed, mbps := runEcho(family)
+		fmt.Printf("  %-12s %10v   %8.1f MB/s\n", family, elapsed, mbps)
+	}
+	fmt.Println("\npaper (§5.3): SOCKETS-MX ≈5µs latency and near-link bandwidth;")
+	fmt.Println("SOCKETS-GM ≈15µs and <70% of the link; TCP/GigE far behind both.")
+}

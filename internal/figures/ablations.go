@@ -1,0 +1,69 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/netpipe"
+)
+
+// This file holds the ablation experiments DESIGN.md calls out: they
+// quantify individual design decisions of the paper beyond its own
+// figures.
+
+// AblationCombining measures buffered ORFS/MX throughput as the
+// buffered-read combining factor grows: the paper's §3.3 prediction
+// that Linux 2.6-style request combining (enabled by vectorial
+// primitives) lifts the buffered-access ceiling toward direct access.
+func (c Config) AblationCombining() (*Figure, error) {
+	sizes := []int{65536}
+	var series []netpipe.Series
+	for _, combine := range []int{1, 2, 4, 8, 16, 32} {
+		pts, err := c.fileAccessOpt(faOpts{tr: fsMX, combine: combine}, sizes)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, netpipe.Series{
+			Label:  fmt.Sprintf("combine=%d pages", combine),
+			Points: pts,
+		})
+	}
+	direct, err := c.fileAccess(fsMX, false, true, sizes)
+	if err != nil {
+		return nil, err
+	}
+	series = append(series, netpipe.Series{Label: "direct (reference)", Points: direct})
+	return &Figure{
+		ID:     "ablation-combining",
+		Title:  "Request combining lifts buffered access toward direct (paper §3.3 prediction)",
+		XLabel: "request size (bytes)", YLabel: "throughput (MB/s)",
+		Series: series,
+		Expected: "page-at-a-time (combine=1) is the paper's measured ceiling; " +
+			"combining recovers most of the gap to direct access",
+	}, nil
+}
+
+// AblationPhysicalAPI measures buffered ORFS/GM with and without the
+// paper's §3.3 physical-address primitives: the stock-GM configuration
+// must bounce page-cache data through a registered staging buffer.
+func (c Config) AblationPhysicalAPI() (*Figure, error) {
+	sizes := []int{4096, 16384, 65536, 262144}
+	withPhys, err := c.fileAccess(fsGM, false, false, sizes)
+	if err != nil {
+		return nil, err
+	}
+	without, err := c.fileAccessOpt(faOpts{tr: fsGM, combine: 1, noPhys: true}, sizes)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "ablation-physapi",
+		Title:  "What the GM physical-address extension buys (buffered ORFS/GM)",
+		XLabel: "request size (bytes)", YLabel: "throughput (MB/s)",
+		Series: []netpipe.Series{
+			{Label: "with physical API (paper's patch)", Points: withPhys},
+			{Label: "stock GM (registered staging + copy)", Points: without},
+		},
+		Expected: "the paper built the physical API because stock GM forces an extra " +
+			"registered-bounce copy per page; the patched path is visibly faster",
+	}, nil
+}

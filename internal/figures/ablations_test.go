@@ -1,0 +1,55 @@
+package figures
+
+import "testing"
+
+func TestAblationCombining(t *testing.T) {
+	t.Parallel()
+	f, err := quick().AblationCombining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.Series[0].Points[0].MBps // combine=1
+	high := f.Series[3].Points[0].MBps // combine=8 (32KB: the eager sweet spot)
+	direct := f.Series[len(f.Series)-1].Points[0].MBps
+	if high < base*1.5 {
+		t.Errorf("combining x8 gained only %.1f→%.1f MB/s, want ≥1.5×", base, high)
+	}
+	if high > direct*1.05 {
+		t.Errorf("combined buffered (%.1f) should not beat direct (%.1f)", high, direct)
+	}
+	// Monotone non-decreasing while requests stay in the eager regime
+	// (combine ≤ 8 → ≤ 32KB). Beyond that, requests cross into the
+	// rendezvous regime and may dip — a real effect of the MX message
+	// classes, deliberately not asserted away.
+	prev := 0.0
+	for _, s := range f.Series[:4] {
+		v := s.Points[0].MBps
+		if v < prev*0.97 {
+			t.Errorf("combining regressed: %s at %.1f after %.1f", s.Label, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAblationPhysicalAPI(t *testing.T) {
+	t.Parallel()
+	f, err := quick().AblationPhysicalAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Series[0].Points {
+		with := f.Series[0].Points[i]
+		without := f.Series[1].Points[i]
+		if with.MBps <= without.MBps {
+			t.Errorf("size %d: physical API (%.1f) not faster than stock GM (%.1f)",
+				with.Size, with.MBps, without.MBps)
+		}
+	}
+	// The gap at the plateau should be substantial (an extra copy per
+	// page plus registered-recv lookups).
+	with := f.Series[0].Points[len(f.Series[0].Points)-1].MBps
+	without := f.Series[1].Points[len(f.Series[1].Points)-1].MBps
+	if g := (with - without) / without; g < 0.05 {
+		t.Errorf("physical API gain only %.1f%% at plateau", g*100)
+	}
+}

@@ -1,0 +1,259 @@
+// Package gmkrc implements GMKRC, the paper's GM Kernel Registration
+// Cache (§3.2): a pin-down cache [TOHI98] for GM memory registrations,
+// kept coherent with address-space changes through the VMA SPY
+// notification infrastructure (package vm).
+//
+// Why it exists (§2.2.2): registration costs ~3 µs/page and
+// deregistration ~200 µs, so naive register/deregister per transfer is
+// ruinous. The cache keeps regions registered after use and evicts
+// lazily (LRU) only when a page budget — standing in for the NIC
+// translation table capacity — is exceeded. The cache must observe
+// munmap/fork/exit, because a stale NIC translation would let the NIC
+// DMA to a page that has been returned to the allocator; VMA SPY
+// provides exactly that visibility from kernel context.
+//
+// GMKRC also owns the address-space disambiguation: entries are keyed
+// by ASID, modelling the 64-bit-pointer firmware trick of §3.2 that
+// lets multiple processes share one kernel port.
+package gmkrc
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Cache is one GMKRC instance, serving one (typically kernel) GM port.
+type Cache struct {
+	port     *gm.Port
+	maxPages int
+
+	// entries are disjoint per address space; lru orders them by last
+	// use (front = most recent).
+	entries map[entryKey]*entry
+	lru     *list.List
+	pages   int
+	spied   map[*vm.AddressSpace]bool
+
+	// Stats
+	Hits, Misses, Evictions, Invalidations sim.Counter
+}
+
+type entryKey struct {
+	asid  uint32
+	first uint64 // first VPN
+}
+
+type entry struct {
+	key    entryKey
+	as     *vm.AddressSpace
+	va     vm.VirtAddr
+	length int // page-aligned
+	region *gm.Region
+	lruEl  *list.Element
+}
+
+func (e *entry) lastVPN() uint64 { return e.va.VPN() + uint64(e.length/vm.PageSize) - 1 }
+
+// New creates a cache over port with a page budget. A budget of 0 means
+// "no caching": every Acquire registers and every Release path
+// deregisters immediately (the paper's "without registration cache"
+// configuration in Fig 3(b) is expressed by maxPages==0 — see Acquire).
+func New(port *gm.Port, maxPages int) *Cache {
+	return &Cache{
+		port:     port,
+		maxPages: maxPages,
+		entries:  make(map[entryKey]*entry),
+		lru:      list.New(),
+		spied:    make(map[*vm.AddressSpace]bool),
+	}
+}
+
+// Pages returns the number of pages currently registered via the cache.
+func (c *Cache) Pages() int { return c.pages }
+
+// Entries returns the number of cached regions.
+func (c *Cache) Entries() int { return len(c.entries) }
+
+// Acquire ensures [va, va+n) of as is registered with the port's NIC,
+// registering (and caching) on miss. It reports whether the call was a
+// cache hit. The caller may then use gm.Port.Send/PostRecv on the range
+// directly: the translations are in the NIC table.
+func (c *Cache) Acquire(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (hit bool, err error) {
+	if n <= 0 {
+		return false, fmt.Errorf("gmkrc: Acquire length %d", n)
+	}
+	c.watch(as)
+	start := pageFloor(va)
+	length := int(pageCeil(va+vm.VirtAddr(n)) - start)
+
+	// Hit: a single cached region covering the whole range. (Entries
+	// are kept disjoint, so a covering region is unique if it exists.)
+	if e := c.covering(as, start, length); e != nil {
+		c.lru.MoveToFront(e.lruEl)
+		c.Hits.Add(n)
+		return true, nil
+	}
+	c.Misses.Add(n)
+
+	// Evict anything partially overlapping, so entries stay disjoint.
+	for _, e := range c.overlapping(as, start, length) {
+		if err := c.drop(p, e); err != nil {
+			return false, err
+		}
+	}
+	// Make room within the page budget.
+	need := length / vm.PageSize
+	if c.maxPages > 0 {
+		for c.pages+need > c.maxPages && c.lru.Len() > 0 {
+			victim := c.lru.Back().Value.(*entry)
+			c.Evictions.Add(victim.length)
+			if err := c.drop(p, victim); err != nil {
+				return false, err
+			}
+		}
+		if c.pages+need > c.maxPages {
+			return false, fmt.Errorf("gmkrc: range of %d pages exceeds cache budget %d", need, c.maxPages)
+		}
+	}
+	region, err := c.port.RegisterMemory(p, as, start, length)
+	if err != nil {
+		return false, err
+	}
+	if c.maxPages == 0 {
+		// Caching disabled: leave registered for this use; the caller
+		// must call ReleaseUncached when done. We still track it so
+		// invalidation stays correct.
+	}
+	e := &entry{key: entryKey{as.ID(), start.VPN()}, as: as, va: start, length: length, region: region}
+	e.lruEl = c.lru.PushFront(e)
+	c.entries[e.key] = e
+	c.pages += need
+	return false, nil
+}
+
+// ReleaseUncached deregisters the entry covering va immediately. It is
+// the "no registration cache" discipline of Fig 3(b): pay the
+// deregistration on every transfer. With a non-zero budget it is
+// normally never called — that is the whole point of the cache.
+func (c *Cache) ReleaseUncached(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr) error {
+	e := c.at(as, pageFloor(va))
+	if e == nil {
+		return fmt.Errorf("gmkrc: ReleaseUncached of uncached address %#x", va)
+	}
+	return c.drop(p, e)
+}
+
+// Flush deregisters everything (port teardown).
+func (c *Cache) Flush(p *sim.Proc) error {
+	for c.lru.Len() > 0 {
+		if err := c.drop(p, c.lru.Back().Value.(*entry)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pageFloor(va vm.VirtAddr) vm.VirtAddr {
+	return vm.VirtAddr(va.VPN() * vm.PageSize)
+}
+
+func pageCeil(va vm.VirtAddr) vm.VirtAddr {
+	if va.PageAligned() {
+		return va
+	}
+	return pageFloor(va) + vm.PageSize
+}
+
+// covering returns the entry fully containing [start, start+length).
+func (c *Cache) covering(as *vm.AddressSpace, start vm.VirtAddr, length int) *entry {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.as == as && e.va <= start && start+vm.VirtAddr(length) <= e.va+vm.VirtAddr(e.length) {
+			return e
+		}
+	}
+	return nil
+}
+
+// at returns the entry starting exactly at start.
+func (c *Cache) at(as *vm.AddressSpace, start vm.VirtAddr) *entry {
+	return c.entries[entryKey{as.ID(), start.VPN()}]
+}
+
+// overlapping returns entries of as intersecting [start, start+length).
+func (c *Cache) overlapping(as *vm.AddressSpace, start vm.VirtAddr, length int) []*entry {
+	var out []*entry
+	end := start + vm.VirtAddr(length)
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.as == as && e.va < end && start < e.va+vm.VirtAddr(e.length) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// drop deregisters and removes one entry.
+func (c *Cache) drop(p *sim.Proc, e *entry) error {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.lruEl)
+	c.pages -= e.length / vm.PageSize
+	return c.port.DeregisterMemory(p, e.region)
+}
+
+// dropNow removes an entry from spy context (scheduler, no Proc): the
+// deregistration cost cannot be charged to a process here, so it is
+// accounted to the next Acquire via pendingDereg. This mirrors reality:
+// the munmap caller pays for the NIC table update.
+func (c *Cache) dropNow(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.lruEl)
+	c.pages -= e.length / vm.PageSize
+	// Deregistration bookkeeping without a proc: bypass timing, do the
+	// state changes synchronously.
+	if err := c.port.DeregisterInstant(e.region); err != nil {
+		panic(fmt.Sprintf("gmkrc: spy-context deregistration failed: %v", err))
+	}
+}
+
+// watch attaches the cache as a VMA SPY of as (idempotent).
+func (c *Cache) watch(as *vm.AddressSpace) {
+	if !c.spied[as] {
+		as.RegisterSpy(c)
+		c.spied[as] = true
+	}
+}
+
+// Invalidate implements vm.Spy: evict entries overlapping a range that
+// is about to be unmapped, while the translations are still resolvable.
+func (c *Cache) Invalidate(as *vm.AddressSpace, start vm.VirtAddr, length int) {
+	for _, e := range c.overlapping(as, start, length) {
+		c.Invalidations.Add(e.length)
+		c.dropNow(e)
+	}
+}
+
+// Forked implements vm.Spy. The parent's registrations stay valid (its
+// frames are untouched); the child shares no entries because entries
+// are keyed by ASID. Nothing to do — which is precisely the safety the
+// ASID tagging buys.
+func (c *Cache) Forked(parent, child *vm.AddressSpace) {}
+
+// Exited implements vm.Spy: drop everything belonging to the space.
+func (c *Cache) Exited(as *vm.AddressSpace) {
+	var doomed []*entry
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry); e.as == as {
+			doomed = append(doomed, e)
+		}
+	}
+	for _, e := range doomed {
+		c.Invalidations.Add(e.length)
+		c.dropNow(e)
+	}
+	delete(c.spied, as)
+}

@@ -1,0 +1,410 @@
+package gmkrc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gm"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+const us = time.Microsecond
+
+type rig struct {
+	env  *sim.Engine
+	p    *hw.Params
+	node *hw.Node
+	port *gm.Port
+}
+
+// newRig builds a one-node rig with an open kernel port. body runs as a
+// proc with the rig fully assembled.
+func newRig(t *testing.T, body func(r *rig, p *sim.Proc)) {
+	t.Helper()
+	env := sim.NewEngine()
+	params := hw.DefaultParams()
+	c := hw.NewCluster(env, params, hw.PCIXD)
+	node := c.AddNode("n")
+	c.AddNode("peer") // so sends have somewhere to go if needed
+	g := gm.Attach(node)
+	r := &rig{env: env, p: params, node: node}
+	env.Spawn("test", func(p *sim.Proc) {
+		port, err := g.OpenPort(1, true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.port = port
+		body(r, p)
+	})
+	env.Run(0)
+}
+
+func TestHitAvoidsRegistrationCost(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(8*mem.PageSize, "buf")
+
+		t0 := p.Now()
+		hit, err := cache.Acquire(p, as, va, 8*mem.PageSize)
+		if err != nil || hit {
+			t.Errorf("first acquire: hit=%v err=%v", hit, err)
+		}
+		missCost := p.Now() - t0
+		if missCost < r.p.RegTime(8) {
+			t.Errorf("miss cost %v below registration cost %v", missCost, r.p.RegTime(8))
+		}
+
+		t1 := p.Now()
+		hit, err = cache.Acquire(p, as, va, 8*mem.PageSize)
+		if err != nil || !hit {
+			t.Errorf("second acquire: hit=%v err=%v", hit, err)
+		}
+		if hitCost := p.Now() - t1; hitCost >= missCost/10 {
+			t.Errorf("hit cost %v not much cheaper than miss %v", hitCost, missCost)
+		}
+		if cache.Hits.N != 1 || cache.Misses.N != 1 {
+			t.Errorf("stats hits=%d misses=%d", cache.Hits.N, cache.Misses.N)
+		}
+	})
+}
+
+func TestSubrangeIsAHit(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(8*mem.PageSize, "buf")
+		cache.Acquire(p, as, va, 8*mem.PageSize)
+		hit, err := cache.Acquire(p, as, va+2*mem.PageSize, 3*mem.PageSize)
+		if err != nil || !hit {
+			t.Errorf("contained subrange: hit=%v err=%v", hit, err)
+		}
+	})
+}
+
+func TestOverlapEvictsAndReRegisters(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(8*mem.PageSize, "buf")
+		cache.Acquire(p, as, va, 4*mem.PageSize)
+		// Partially overlapping: old entry must go, disjointness holds.
+		hit, err := cache.Acquire(p, as, va+2*mem.PageSize, 4*mem.PageSize)
+		if err != nil || hit {
+			t.Errorf("overlap acquire: hit=%v err=%v", hit, err)
+		}
+		if cache.Entries() != 1 {
+			t.Errorf("entries = %d, want 1 (disjointness)", cache.Entries())
+		}
+		// All pages of the new range usable.
+		if hit, _ := cache.Acquire(p, as, va+2*mem.PageSize, 4*mem.PageSize); !hit {
+			t.Error("re-acquire of new range missed")
+		}
+	})
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 8) // 8-page budget
+		as := r.node.NewUserSpace("app")
+		var vas []vm.VirtAddr
+		for i := 0; i < 3; i++ {
+			va, _ := as.Mmap(4*mem.PageSize, "buf")
+			vas = append(vas, va)
+		}
+		cache.Acquire(p, as, vas[0], 4*mem.PageSize)
+		cache.Acquire(p, as, vas[1], 4*mem.PageSize) // budget full
+		// Touch 0 so 1 becomes LRU.
+		cache.Acquire(p, as, vas[0], 4*mem.PageSize)
+		cache.Acquire(p, as, vas[2], 4*mem.PageSize) // evicts 1
+		if cache.Evictions.N != 1 {
+			t.Errorf("evictions = %d, want 1", cache.Evictions.N)
+		}
+		if hit, _ := cache.Acquire(p, as, vas[0], 4*mem.PageSize); !hit {
+			t.Error("MRU entry was evicted")
+		}
+		if cache.Pages() > 8 {
+			t.Errorf("pages = %d over budget", cache.Pages())
+		}
+		// Entry 1 must re-register (miss): it was evicted.
+		if hit, _ := cache.Acquire(p, as, vas[1], 4*mem.PageSize); hit {
+			t.Error("evicted entry reported as hit")
+		}
+	})
+}
+
+func TestOversizedRequestRejected(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 4)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(8*mem.PageSize, "buf")
+		if _, err := cache.Acquire(p, as, va, 8*mem.PageSize); err == nil {
+			t.Error("acquire larger than budget succeeded")
+		}
+	})
+}
+
+func TestMunmapInvalidates(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(4*mem.PageSize, "buf")
+		cache.Acquire(p, as, va, 4*mem.PageSize)
+		used := r.node.NIC.Table.Used()
+		if used != 4 {
+			t.Fatalf("table entries = %d, want 4", used)
+		}
+		if err := as.Munmap(va, 4*mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if r.node.NIC.Table.Used() != 0 {
+			t.Error("stale NIC translations survived munmap")
+		}
+		if cache.Entries() != 0 {
+			t.Error("cache entry survived munmap")
+		}
+		if cache.Invalidations.N != 1 {
+			t.Errorf("invalidations = %d, want 1", cache.Invalidations.N)
+		}
+		// Remap the same virtual range (likely different frames): a new
+		// acquire must re-register, not hit stale state.
+		va2, _ := as.Mmap(4*mem.PageSize, "buf2")
+		if hit, err := cache.Acquire(p, as, va2, 4*mem.PageSize); hit || err != nil {
+			t.Errorf("post-munmap acquire: hit=%v err=%v", hit, err)
+		}
+	})
+}
+
+func TestPartialMunmapEvictsWholeEntry(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(4*mem.PageSize, "buf")
+		cache.Acquire(p, as, va, 4*mem.PageSize)
+		// Unmap just one page in the middle.
+		if err := as.Munmap(va+mem.PageSize, mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if cache.Entries() != 0 {
+			t.Error("entry overlapping partial munmap not evicted")
+		}
+		if r.node.NIC.Table.Used() != 0 {
+			t.Error("translations not fully removed")
+		}
+	})
+}
+
+func TestExitInvalidatesAll(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va1, _ := as.Mmap(2*mem.PageSize, "a")
+		va2, _ := as.Mmap(2*mem.PageSize, "b")
+		cache.Acquire(p, as, va1, 2*mem.PageSize)
+		cache.Acquire(p, as, va2, 2*mem.PageSize)
+		as.Destroy()
+		if cache.Entries() != 0 || r.node.NIC.Table.Used() != 0 {
+			t.Error("exit did not clean up registrations")
+		}
+	})
+}
+
+func TestForkKeepsParentEntriesValid(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(2*mem.PageSize, "buf")
+		cache.Acquire(p, as, va, 2*mem.PageSize)
+		child, err := as.Fork("child")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Parent still hits.
+		if hit, _ := cache.Acquire(p, as, va, 2*mem.PageSize); !hit {
+			t.Error("parent entry lost after fork")
+		}
+		// Child misses (its ASID differs), then gets its own entry.
+		if hit, _ := cache.Acquire(p, child, va, 2*mem.PageSize); hit {
+			t.Error("child hit parent's entry: ASID collision")
+		}
+		if cache.Entries() != 2 {
+			t.Errorf("entries = %d, want 2", cache.Entries())
+		}
+	})
+}
+
+func TestTwoSpacesSameAddressesStayApart(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		p1 := r.node.NewUserSpace("p1")
+		p2 := r.node.NewUserSpace("p2")
+		va1, _ := p1.Mmap(mem.PageSize, "b")
+		va2, _ := p2.Mmap(mem.PageSize, "b")
+		if va1 != va2 {
+			t.Fatalf("want colliding addresses")
+		}
+		cache.Acquire(p, p1, va1, mem.PageSize)
+		if hit, _ := cache.Acquire(p, p2, va2, mem.PageSize); hit {
+			t.Error("cross-process cache hit")
+		}
+		// Munmap in p1 must not disturb p2's entry.
+		p1.Munmap(va1, mem.PageSize)
+		if hit, _ := cache.Acquire(p, p2, va2, mem.PageSize); !hit {
+			t.Error("p2 entry lost to p1's munmap")
+		}
+	})
+}
+
+func TestFlush(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		cache := New(r.port, 1024)
+		as := r.node.NewUserSpace("app")
+		for i := 0; i < 3; i++ {
+			va, _ := as.Mmap(2*mem.PageSize, "b")
+			cache.Acquire(p, as, va, 2*mem.PageSize)
+		}
+		if err := cache.Flush(p); err != nil {
+			t.Fatal(err)
+		}
+		if cache.Entries() != 0 || cache.Pages() != 0 || r.node.NIC.Table.Used() != 0 {
+			t.Error("flush incomplete")
+		}
+	})
+}
+
+// Property: after any sequence of acquires, munmaps and forks, every
+// cached entry's pages are present in the NIC table, entries are
+// disjoint per space, and the page count matches.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		env := sim.NewEngine()
+		params := hw.DefaultParams()
+		c := hw.NewCluster(env, params, hw.PCIXD)
+		node := c.AddNode("n")
+		g := gm.Attach(node)
+		env.Spawn("t", func(p *sim.Proc) {
+			port, _ := g.OpenPort(1, true)
+			cache := New(port, 64)
+			rng := rand.New(rand.NewSource(seed))
+			as := node.NewUserSpace("app")
+			type reg struct {
+				va vm.VirtAddr
+				n  int
+			}
+			var regions []reg
+			for op := 0; op < 60; op++ {
+				switch rng.Intn(5) {
+				case 0, 1: // mmap + acquire
+					n := (rng.Intn(6) + 1) * mem.PageSize
+					va, err := as.Mmap(n, "r")
+					if err != nil {
+						return
+					}
+					regions = append(regions, reg{va, n})
+					if _, err := cache.Acquire(p, as, va, n); err != nil {
+						return
+					}
+				case 2: // re-acquire random subrange
+					if len(regions) == 0 {
+						continue
+					}
+					r := regions[rng.Intn(len(regions))]
+					off := rng.Intn(r.n)
+					l := rng.Intn(r.n-off) + 1
+					if _, err := cache.Acquire(p, as, r.va+vm.VirtAddr(off), l); err != nil {
+						return
+					}
+				case 3: // munmap a region
+					if len(regions) == 0 {
+						continue
+					}
+					i := rng.Intn(len(regions))
+					r := regions[i]
+					if err := as.Munmap(r.va, r.n); err != nil {
+						return
+					}
+					regions = append(regions[:i], regions[i+1:]...)
+				case 4: // fork, acquire in child, exit child
+					child, err := as.Fork("c")
+					if err != nil {
+						return
+					}
+					if len(regions) > 0 {
+						r := regions[rng.Intn(len(regions))]
+						if _, err := cache.Acquire(p, child, r.va, r.n); err != nil {
+							return
+						}
+					}
+					child.Destroy()
+				}
+			}
+			// Invariants.
+			total := 0
+			type span struct{ a, b uint64 }
+			spans := map[uint32][]span{}
+			for el := cache.lru.Front(); el != nil; el = el.Next() {
+				e := el.Value.(*entry)
+				total += e.length / vm.PageSize
+				for vpn := e.va.VPN(); vpn <= e.lastVPN(); vpn++ {
+					if _, found := node.NIC.Table.Lookup(hw.TransKey{AS: e.as.ID(), VPN: vpn}); !found {
+						return
+					}
+				}
+				for _, s := range spans[e.as.ID()] {
+					if e.va.VPN() <= s.b && s.a <= e.lastVPN() {
+						return // overlap
+					}
+				}
+				spans[e.as.ID()] = append(spans[e.as.ID()], span{e.va.VPN(), e.lastVPN()})
+			}
+			if total != cache.Pages() || total > 64 {
+				return
+			}
+			ok = true
+		})
+		env.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline number: with the cache, repeated transfers cost ~zero
+// registration; without it (budget 0 + ReleaseUncached), every transfer
+// pays register+deregister — the ~20 % direct-access gap of Fig 3(b).
+func TestReuseCostGap(t *testing.T) {
+	newRig(t, func(r *rig, p *sim.Proc) {
+		as := r.node.NewUserSpace("app")
+		va, _ := as.Mmap(16*mem.PageSize, "buf")
+
+		cached := New(r.port, 1024)
+		t0 := p.Now()
+		for i := 0; i < 10; i++ {
+			cached.Acquire(p, as, va, 16*mem.PageSize)
+		}
+		cachedCost := p.Now() - t0
+		cached.Flush(p)
+
+		uncached := New(r.port, 0)
+		t1 := p.Now()
+		for i := 0; i < 10; i++ {
+			uncached.Acquire(p, as, va, 16*mem.PageSize)
+			uncached.ReleaseUncached(p, as, va)
+		}
+		uncachedCost := p.Now() - t1
+
+		if uncachedCost < 10*(r.p.RegTime(16)+r.p.DeregTime(16)) {
+			t.Errorf("uncached cost %v below 10 register+dereg cycles", uncachedCost)
+		}
+		if cachedCost*5 > uncachedCost {
+			t.Errorf("cache speedup too small: cached %v vs uncached %v", cachedCost, uncachedCost)
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Message is one message on the Myrinet fabric. Payload carries real
+// bytes; WireLen (envelope + header + payload) governs timing. Fields
+// Proto/Kind/Tag/Header are interpreted by the drivers (GM, MX).
+type Message struct {
+	Src, Dst NodeID
+	Proto    uint8  // registered driver (protocol) on the destination
+	Kind     uint8  // driver-defined message kind
+	Tag      uint64 // driver-defined (GM port / MX match bits)
+	Seq      uint64 // assigned by the sending NIC
+	Header   []byte // small control payload
+	Payload  []byte // bulk data (gathered at send DMA time)
+
+	// TxDone fires when the last fragment has left the sender's DMA
+	// engine (local send completion — the buffer may be reused).
+	TxDone *sim.Signal
+
+	wireLen int
+	frags   int
+	arrived int
+}
+
+// WireLen returns the total on-wire byte count used for timing.
+func (m *Message) WireLen() int { return m.wireLen }
+
+// PayloadLen returns len(Header) + len(Payload) — the logical size.
+func (m *Message) PayloadLen() int { return len(m.Header) + len(m.Payload) }
+
+// TxJob describes a send handed to the NIC by a driver. Exactly one of
+// Gather or Inline provides the payload: Gather is a zero-copy DMA from
+// host physical memory (bytes are read at DMA time, so late stores —
+// the hazard registration/pinning exists to prevent — are faithfully
+// visible); Inline is data already pushed into NIC memory by the host
+// (PIO, or a bounce-buffer copy the driver charged separately).
+type TxJob struct {
+	Msg     *Message
+	Gather  []mem.Extent // host memory to DMA from (nil for inline)
+	Inline  []byte       // payload already in NIC SRAM
+	FwExtra sim.Time     // extra firmware work (e.g. GM translation lookup)
+	PIO     bool         // no DMA stage (payload arrived by PIO)
+}
+
+// Handler is a driver's receive entry point. It runs in the NIC's
+// receive-pump process after all fragment timing has been charged; it
+// must scatter/deliver data and fire events quickly (host-side heavy
+// work belongs in host processes, not here).
+type Handler func(p *sim.Proc, m *Message)
+
+// NIC models one Myrinet interface: a firmware processor (LANai), send
+// and receive DMA engines, a transmit link, and a translation table for
+// registered memory. Stages are separate resources connected by pump
+// processes, so fragments of a large message pipeline through
+// DMA→link→DMA exactly like cut-through hardware, and distinct messages
+// queue against each other realistically.
+type NIC struct {
+	node  *Node
+	p     *Params
+	model LinkModel
+
+	Firmware *sim.Resource
+	TxDMA    *sim.Resource
+	RxDMA    *sim.Resource
+	Link     *sim.Resource
+
+	Table *TransTable
+
+	txq      *sim.Chan[*TxJob]
+	linkq    *sim.Chan[*frag]
+	rxq      *sim.Chan[*frag]
+	handlers map[uint8]Handler
+	seq      uint64
+
+	// Stats
+	TxMsgs, RxMsgs sim.Counter
+}
+
+type frag struct {
+	msg  *Message
+	idx  int
+	size int // wire bytes of this fragment
+}
+
+func newNIC(node *Node, model LinkModel) *NIC {
+	env := node.Cluster.Env
+	p := node.Cluster.Params
+	n := &NIC{
+		node:     node,
+		p:        p,
+		model:    model,
+		Firmware: sim.NewResource(env, node.Name+"-lanai", 1),
+		TxDMA:    sim.NewResource(env, node.Name+"-txdma", 1),
+		RxDMA:    sim.NewResource(env, node.Name+"-rxdma", 1),
+		Link:     sim.NewResource(env, node.Name+"-txlink", 1),
+		Table:    NewTransTable(p.TransTableCap),
+		txq:      sim.NewChan[*TxJob](env),
+		linkq:    sim.NewChan[*frag](env),
+		rxq:      sim.NewChan[*frag](env),
+		handlers: make(map[uint8]Handler),
+	}
+	env.Spawn(node.Name+"-nic-tx", n.txPump)
+	env.Spawn(node.Name+"-nic-link", n.linkPump)
+	env.Spawn(node.Name+"-nic-rx", n.rxPump)
+	return n
+}
+
+// Node returns the owning node.
+func (n *NIC) Node() *Node { return n.node }
+
+// Model returns the card generation.
+func (n *NIC) Model() LinkModel { return n.model }
+
+// Handle registers the receive handler for a protocol number. Drivers
+// call this once at attach time.
+func (n *NIC) Handle(proto uint8, h Handler) {
+	if n.handlers[proto] != nil {
+		panic(fmt.Sprintf("hw: duplicate handler for proto %d on %s", proto, n.node.Name))
+	}
+	n.handlers[proto] = h
+}
+
+// Send enqueues a transmit job. It returns immediately (the caller has
+// already charged its host-side costs); j.Msg.TxDone fires when the
+// payload has fully left host memory.
+func (n *NIC) Send(j *TxJob) {
+	m := j.Msg
+	m.Src = n.node.ID
+	m.Seq = n.seq
+	n.seq++
+	if m.TxDone == nil {
+		m.TxDone = sim.NewSignal(n.node.Cluster.Env)
+	}
+	if j.Inline != nil && j.Gather != nil {
+		panic("hw: TxJob with both Inline and Gather")
+	}
+	payload := len(j.Inline) + mem.TotalLen(j.Gather)
+	m.wireLen = n.p.WireEnvelope + len(m.Header) + payload
+	m.frags = n.p.Frags(m.wireLen)
+	n.TxMsgs.Add(payload)
+	n.txq.Send(j)
+}
+
+// txPump is the firmware send loop: per message, charge firmware
+// processing; per fragment, run the send DMA engine; hand fragments to
+// the link pump.
+func (n *NIC) txPump(p *sim.Proc) {
+	for {
+		j := n.txq.Recv(p)
+		m := j.Msg
+		n.Firmware.Use(p, n.p.FwSendTime(n.isMX(m.Proto), m.frags)+j.FwExtra)
+		gather := j.Gather != nil
+		if !gather {
+			// Inline payload (PIO or bounce copy): the application
+			// buffer is already free.
+			m.Payload = j.Inline
+			m.TxDone.Fire()
+		} else {
+			m.Payload = nil
+		}
+		remaining := j.Gather
+		got := 0
+		total := mem.TotalLen(j.Gather) + len(j.Inline)
+		for f := 0; f < m.frags; f++ {
+			fb := n.fragBytes(m, f)
+			// Payload bytes carried by this fragment (the envelope and
+			// header occupy the front of fragment 0).
+			want := fb
+			if f == 0 {
+				want -= n.p.WireEnvelope + len(m.Header)
+				if want < 0 {
+					want = 0
+				}
+			}
+			if want > total-got {
+				want = total - got
+			}
+			if !j.PIO {
+				// Both zero-copy (gather) and bounce (inline) payloads
+				// cross the PCI bus fragment by fragment, pipelining
+				// with the link stage like the real cut-through MCP.
+				n.TxDMA.Use(p, n.p.DMATime(n.model, want))
+			}
+			if gather && want > 0 {
+				// Bytes leave host memory now: stores after this point
+				// are not part of the message (the hazard pinning and
+				// registration exist to prevent).
+				chunk, rest := takeExtents(remaining, want)
+				remaining = rest
+				m.Payload = append(m.Payload, n.node.Mem.Gather(chunk)...)
+			}
+			got += want
+			n.linkq.Send(&frag{msg: m, idx: f, size: fb})
+			if gather && f == m.frags-1 {
+				m.TxDone.Fire()
+			}
+		}
+	}
+}
+
+// fragBytes returns the wire size of fragment f of m.
+func (n *NIC) fragBytes(m *Message, f int) int {
+	if f < m.frags-1 {
+		return n.p.FragSize
+	}
+	last := m.wireLen - (m.frags-1)*n.p.FragSize
+	if last <= 0 {
+		last = m.wireLen
+	}
+	return last
+}
+
+// takeExtents splits want bytes off the front of xs.
+func takeExtents(xs []mem.Extent, want int) (head, tail []mem.Extent) {
+	for i, x := range xs {
+		if want == 0 {
+			return head, xs[i:]
+		}
+		if x.Len <= want {
+			head = append(head, x)
+			want -= x.Len
+			continue
+		}
+		head = append(head, mem.Extent{Addr: x.Addr, Len: want})
+		tail = append([]mem.Extent{{Addr: x.Addr + mem.PhysAddr(want), Len: x.Len - want}}, xs[i+1:]...)
+		return head, tail
+	}
+	if want != 0 {
+		panic(fmt.Sprintf("hw: takeExtents short by %d bytes", want))
+	}
+	return head, nil
+}
+
+// linkPump serializes fragments onto the wire and delivers them to the
+// destination NIC after the propagation delay.
+func (n *NIC) linkPump(p *sim.Proc) {
+	env := n.node.Cluster.Env
+	for {
+		f := n.linkq.Recv(p)
+		n.Link.Use(p, n.p.LinkTime(n.model, f.size))
+		dst := n.node.Cluster.Node(f.msg.Dst).NIC
+		env.After(n.p.WireProp, func() { dst.rxq.Send(f) })
+	}
+}
+
+// rxPump drains arriving fragments: per fragment, run the receive DMA
+// engine; on the last fragment of a message, charge receive firmware
+// processing and invoke the driver handler.
+func (n *NIC) rxPump(p *sim.Proc) {
+	for {
+		f := n.rxq.Recv(p)
+		n.RxDMA.Use(p, n.p.DMATime(n.model, f.size))
+		m := f.msg
+		m.arrived++
+		if m.arrived < m.frags {
+			continue
+		}
+		n.Firmware.Use(p, n.p.FwRecvTime(n.isMX(m.Proto), m.frags))
+		n.RxMsgs.Add(m.PayloadLen())
+		h := n.handlers[m.Proto]
+		if h == nil {
+			panic(fmt.Sprintf("hw: node %s received proto %d with no handler", n.node.Name, m.Proto))
+		}
+		h(p, m)
+	}
+}
+
+// Protocol numbers. Firmware processing costs differ between the GM and
+// MX MCPs, so the NIC needs to know which family a message belongs to.
+const (
+	ProtoGM  uint8 = 1
+	ProtoMX  uint8 = 2
+	ProtoTCP uint8 = 3
+)
+
+func (n *NIC) isMX(proto uint8) bool { return proto == ProtoMX }
+
+// FwSendTime is firmware send processing for a message of the given
+// fragment count under the GM or MX MCP.
+func (p *Params) FwSendTime(mx bool, frags int) sim.Time {
+	if mx {
+		return p.MXFwSend + sim.Time(frags-1)*p.MXFwFrag
+	}
+	return p.GMFwSend + sim.Time(frags-1)*p.GMFwFrag
+}
+
+// FwRecvTime is firmware receive processing.
+func (p *Params) FwRecvTime(mx bool, frags int) sim.Time {
+	if mx {
+		return p.MXFwRecv + sim.Time(frags-1)*p.MXFwFrag
+	}
+	return p.GMFwRecv + sim.Time(frags-1)*p.GMFwFrag
+}
+
+// TransTable is the NIC's page-translation table: the registered-memory
+// state the paper's §2.2 describes. Entries map (ASID, virtual page) to
+// a physical frame address. Capacity is bounded; GM registration fails
+// when full (forcing deregistration, hence the pin-down cache).
+type TransTable struct {
+	capacity int
+	entries  map[TransKey]mem.PhysAddr
+}
+
+// TransKey identifies one registered page. The ASID field is the
+// address-space descriptor GMKRC packs into the upper bits of NIC
+// pointers to disambiguate processes sharing a kernel port (§3.2).
+type TransKey struct {
+	AS  uint32
+	VPN uint64
+}
+
+// NewTransTable returns an empty table with the given entry capacity.
+func NewTransTable(capacity int) *TransTable {
+	return &TransTable{capacity: capacity, entries: make(map[TransKey]mem.PhysAddr)}
+}
+
+// Used returns the number of live entries.
+func (t *TransTable) Used() int { return len(t.entries) }
+
+// Capacity returns the table capacity.
+func (t *TransTable) Capacity() int { return t.capacity }
+
+// Insert adds a page translation. It fails when the table is full.
+func (t *TransTable) Insert(k TransKey, pa mem.PhysAddr) error {
+	if _, ok := t.entries[k]; !ok && len(t.entries) >= t.capacity {
+		return fmt.Errorf("hw: NIC translation table full (%d entries)", t.capacity)
+	}
+	t.entries[k] = pa
+	return nil
+}
+
+// Remove drops a translation (no-op if absent).
+func (t *TransTable) Remove(k TransKey) { delete(t.entries, k) }
+
+// Lookup returns the physical address for a registered page.
+func (t *TransTable) Lookup(k TransKey) (mem.PhysAddr, bool) {
+	pa, ok := t.entries[k]
+	return pa, ok
+}

@@ -1,0 +1,142 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// NodeID identifies a node in the cluster fabric.
+type NodeID int
+
+// Cluster is a set of nodes connected by a Myrinet fabric, sharing one
+// simulation engine and one parameter set.
+type Cluster struct {
+	Env    *sim.Engine
+	Params *Params
+	Model  LinkModel
+	nodes  []*Node
+}
+
+// NewCluster creates an empty cluster with the given link model.
+func NewCluster(env *sim.Engine, params *Params, model LinkModel) *Cluster {
+	return &Cluster{Env: env, Params: params, Model: model}
+}
+
+// AddNode creates a node with its own memory, CPU, kernel address space
+// and NIC, and attaches it to the fabric.
+func (c *Cluster) AddNode(name string) *Node {
+	id := NodeID(len(c.nodes))
+	n := &Node{
+		ID:      id,
+		Name:    name,
+		Cluster: c,
+		Mem:     mem.New(0),
+		IDs:     vm.NewIDSource(),
+	}
+	n.Kernel = vm.NewAddressSpace(n.Mem, n.IDs, vm.Kernel, name+"-kernel")
+	n.CPU = newCPU(c.Env, c.Params, name)
+	n.NIC = newNIC(n, c.Model)
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		panic(fmt.Sprintf("hw: no node %d", id))
+	}
+	return c.nodes[id]
+}
+
+// Nodes returns all nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node is one cluster host: memory, CPU, kernel address space, NIC.
+type Node struct {
+	ID      NodeID
+	Name    string
+	Cluster *Cluster
+	Mem     *mem.Memory
+	CPU     *CPU
+	NIC     *NIC
+	Kernel  *vm.AddressSpace
+	IDs     *vm.IDSource
+
+	drivers map[uint8]any
+}
+
+// SetDriver records the driver instance attached for a protocol number
+// (so peers can reach, e.g., the sending side's GM state for ACKs).
+func (n *Node) SetDriver(proto uint8, d any) {
+	if n.drivers == nil {
+		n.drivers = make(map[uint8]any)
+	}
+	n.drivers[proto] = d
+}
+
+// Driver returns the driver attached for a protocol, or nil.
+func (n *Node) Driver(proto uint8) any { return n.drivers[proto] }
+
+// NewUserSpace creates a user address space on this node (one simulated
+// process).
+func (n *Node) NewUserSpace(name string) *vm.AddressSpace {
+	return vm.NewAddressSpace(n.Mem, n.IDs, vm.User, name)
+}
+
+// CPU models the host processor(s) as a capacity-limited resource with
+// the paper-calibrated cost model. Every host-side cost — copies, page
+// pinning, syscalls, VFS traversal — occupies a core for its duration,
+// so CPU contention between the communication stack and computation
+// (the paper's motivation for zero-copy, §2.1) is observable.
+type CPU struct {
+	res *sim.Resource
+	p   *Params
+
+	// CopyStats accumulates all memcpy work for "CPU cycles wasted on
+	// copies" accounting in the experiments.
+	CopyStats sim.Counter
+}
+
+func newCPU(env *sim.Engine, p *Params, name string) *CPU {
+	return &CPU{res: sim.NewResource(env, name+"-cpu", p.CPUCores), p: p}
+}
+
+// Resource exposes the underlying resource (for utilization stats).
+func (c *CPU) Resource() *sim.Resource { return c.res }
+
+// Compute occupies a core for d (application computation or
+// miscellaneous driver work).
+func (c *CPU) Compute(p *sim.Proc, d sim.Time) { c.res.Use(p, d) }
+
+// Copy charges a host memory copy of n bytes.
+func (c *CPU) Copy(p *sim.Proc, n int) {
+	c.CopyStats.Add(n)
+	c.res.Use(p, c.p.CopyTime(n))
+}
+
+// PIO charges a programmed-I/O push of n bytes to the NIC.
+func (c *CPU) PIO(p *sim.Proc, n int) { c.res.Use(p, c.p.PIOTime(n)) }
+
+// Syscall charges one user/kernel crossing.
+func (c *CPU) Syscall(p *sim.Proc) { c.res.Use(p, c.p.Syscall) }
+
+// VFS charges one VFS-layer traversal.
+func (c *CPU) VFS(p *sim.Proc) { c.res.Use(p, c.p.VFSOp) }
+
+// PageAlloc charges allocating one page-cache page.
+func (c *CPU) PageAlloc(p *sim.Proc) { c.res.Use(p, c.p.PageAlloc) }
+
+// ContextSwitch charges one thread dispatch (Sockets-GM's extra thread).
+func (c *CPU) ContextSwitch(p *sim.Proc) { c.res.Use(p, c.p.ContextSwitch) }
+
+// Pin charges pinning n pages (kernel=true for kernel memory, which is
+// cheaper — §5.1).
+func (c *CPU) Pin(p *sim.Proc, pages int, kernel bool) {
+	c.res.Use(p, c.p.PinTime(pages, kernel))
+}
+
+// Unpin charges unpinning n pages.
+func (c *CPU) Unpin(p *sim.Proc, pages int) { c.res.Use(p, c.p.UnpinTime(pages)) }

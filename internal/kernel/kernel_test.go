@@ -1,0 +1,425 @@
+package kernel_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// rig runs body as a process on a node with a memfs mounted at /mnt.
+type rig struct {
+	env  *sim.Engine
+	node *hw.Node
+	os   *kernel.OS
+	fs   *memfs.FS
+	as   *vm.AddressSpace
+	buf  vm.VirtAddr // 1MB scratch user buffer
+}
+
+func run(t *testing.T, body func(r *rig, p *sim.Proc)) {
+	t.Helper()
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	node := c.AddNode("n")
+	osys := kernel.NewOS(node, 0)
+	fs := memfs.New("memfs", node, 0)
+	osys.Mount("/mnt", fs)
+	r := &rig{env: env, node: node, os: osys, fs: fs}
+	r.as = node.NewUserSpace("app")
+	r.buf, _ = r.as.Mmap(1<<20, "scratch")
+	completed := false
+	env.Spawn("test", func(p *sim.Proc) {
+		body(r, p)
+		completed = true
+	})
+	env.Run(0)
+	if !completed {
+		t.Fatal("test body did not run to completion (deadlock?)")
+	}
+}
+
+// writeFile creates a file with the given contents via the VFS.
+func (r *rig) writeFile(t *testing.T, p *sim.Proc, path string, data []byte) {
+	t.Helper()
+	f, err := r.os.Open(p, path, kernel.OCreate|kernel.OTrunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.as.WriteBytes(r.buf, data)
+	if n, err := f.Write(p, r.as, r.buf, len(data)); err != nil || n != len(data) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if err := f.Close(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readFile reads a whole file via the VFS.
+func (r *rig) readFile(t *testing.T, p *sim.Proc, path string, flags kernel.OpenFlag) []byte {
+	t.Helper()
+	f, err := r.os.Open(p, path, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close(p)
+	var out []byte
+	for {
+		n, err := f.Read(p, r.as, r.buf, 300000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		chunk, _ := r.as.ReadBytes(r.buf, n)
+		out = append(out, chunk...)
+	}
+	return out
+}
+
+func pattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*13 + 7)
+	}
+	return out
+}
+
+func TestWriteReadRoundtripBuffered(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		for _, n := range []int{1, 4095, 4096, 4097, 100000} {
+			data := pattern(n)
+			r.writeFile(t, p, "/mnt/f", data)
+			got := r.readFile(t, p, "/mnt/f", 0)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("n=%d: buffered roundtrip corrupted (got %d bytes)", n, len(got))
+			}
+		}
+	})
+}
+
+func TestWriteReadRoundtripDirect(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		data := pattern(50000)
+		f, err := r.os.Open(p, "/mnt/d", kernel.OCreate|kernel.ODirect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.as.WriteBytes(r.buf, data)
+		if n, err := f.Write(p, r.as, r.buf, len(data)); err != nil || n != len(data) {
+			t.Fatalf("direct write: n=%d err=%v", n, err)
+		}
+		f.Close(p)
+		got := r.readFile(t, p, "/mnt/d", kernel.ODirect)
+		if !bytes.Equal(got, data) {
+			t.Fatal("direct roundtrip corrupted")
+		}
+	})
+}
+
+func TestDirectSeesBufferedWrites(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		data := pattern(20000)
+		r.writeFile(t, p, "/mnt/x", data) // buffered, Close flushes
+		got := r.readFile(t, p, "/mnt/x", kernel.ODirect)
+		if !bytes.Equal(got, data) {
+			t.Fatal("O_DIRECT read missed flushed buffered writes")
+		}
+	})
+}
+
+func TestBufferedSeesDirectWrites(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		first := pattern(8192)
+		r.writeFile(t, p, "/mnt/y", first)
+		_ = r.readFile(t, p, "/mnt/y", 0) // populate page cache
+		second := bytes.Repeat([]byte{0xEE}, 8192)
+		f, _ := r.os.Open(p, "/mnt/y", kernel.ODirect)
+		r.as.WriteBytes(r.buf, second)
+		f.Write(p, r.as, r.buf, len(second))
+		f.Close(p)
+		got := r.readFile(t, p, "/mnt/y", 0)
+		if !bytes.Equal(got, second) {
+			t.Fatal("buffered read returned stale cached pages after O_DIRECT write")
+		}
+	})
+}
+
+func TestPageCacheHitsOnReRead(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		data := pattern(64 * 1024)
+		r.writeFile(t, p, "/mnt/c", data)
+		r.os.PC.InvalidateInode(r.fs, mustStat(t, r, p, "/mnt/c").Ino)
+		_ = r.readFile(t, p, "/mnt/c", 0)
+		misses := r.os.PC.MissCount.N
+		_ = r.readFile(t, p, "/mnt/c", 0)
+		if r.os.PC.MissCount.N != misses {
+			t.Fatalf("re-read missed the page cache (%d → %d misses)", misses, r.os.PC.MissCount.N)
+		}
+		if r.os.PC.HitCount.N == 0 {
+			t.Fatal("no page cache hits recorded")
+		}
+	})
+}
+
+func TestRereadFasterThanFirstRead(t *testing.T) {
+	// The page cache's entire point (§2.3.1): repeated access is a
+	// memory copy, not a storage access.
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	node := c.AddNode("n")
+	osys := kernel.NewOS(node, 0)
+	fs := memfs.New("memfs", node, 50*time.Microsecond) // slow disk
+	osys.Mount("/mnt", fs)
+	as := node.NewUserSpace("app")
+	buf, _ := as.Mmap(1<<20, "scratch")
+	var cold, warm sim.Time
+	env.Spawn("t", func(p *sim.Proc) {
+		f, _ := osys.Open(p, "/mnt/f", kernel.OCreate)
+		as.WriteBytes(buf, pattern(256*1024))
+		f.Write(p, as, buf, 256*1024)
+		f.Close(p)
+		osys.PC.InvalidateInode(fs, 0) // no-op ino; drop below instead
+		g, _ := osys.Open(p, "/mnt/f", 0)
+		a, _ := osys.Stat(p, "/mnt/f")
+		osys.PC.InvalidateInode(fs, a.Ino)
+		t0 := p.Now()
+		g.ReadAt(p, as, buf, 256*1024, 0)
+		cold = p.Now() - t0
+		t1 := p.Now()
+		g.ReadAt(p, as, buf, 256*1024, 0)
+		warm = p.Now() - t1
+		g.Close(p)
+	})
+	env.Run(0)
+	if warm*3 > cold {
+		t.Fatalf("warm read %v not much faster than cold %v", warm, cold)
+	}
+}
+
+func mustStat(t *testing.T, r *rig, p *sim.Proc, path string) kernel.Attr {
+	t.Helper()
+	a, err := r.os.Stat(p, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMetadataOps(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		if err := r.os.Mkdir(p, "/mnt/dir"); err != nil {
+			t.Fatal(err)
+		}
+		r.writeFile(t, p, "/mnt/dir/a", []byte("aaa"))
+		r.writeFile(t, p, "/mnt/dir/b", []byte("bbbb"))
+		ents, err := r.os.Readdir(p, "/mnt/dir")
+		if err != nil || len(ents) != 2 {
+			t.Fatalf("readdir: %v %v", ents, err)
+		}
+		if ents[0].Name != "a" || ents[1].Name != "b" {
+			t.Fatalf("readdir order: %v", ents)
+		}
+		a := mustStat(t, r, p, "/mnt/dir/b")
+		if a.Size != 4 || a.Kind != kernel.RegularFile {
+			t.Fatalf("stat: %v", a)
+		}
+		if err := r.os.Rmdir(p, "/mnt/dir"); err != kernel.ErrNotEmpty {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		r.os.Unlink(p, "/mnt/dir/a")
+		r.os.Unlink(p, "/mnt/dir/b")
+		if err := r.os.Rmdir(p, "/mnt/dir"); err != nil {
+			t.Fatalf("rmdir: %v", err)
+		}
+		if _, err := r.os.Stat(p, "/mnt/dir"); err == nil {
+			t.Fatal("stat of removed dir succeeded")
+		}
+	})
+}
+
+func TestDentryCache(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		r.writeFile(t, p, "/mnt/f", []byte("x"))
+		mustStat(t, r, p, "/mnt/f")
+		h0 := r.os.DCacheHits.N
+		mustStat(t, r, p, "/mnt/f")
+		mustStat(t, r, p, "/mnt/f")
+		if r.os.DCacheHits.N != h0+2 {
+			t.Fatalf("dcache hits %d → %d, want +2", h0, r.os.DCacheHits.N)
+		}
+		// Unlink invalidates.
+		r.os.Unlink(p, "/mnt/f")
+		if _, err := r.os.Stat(p, "/mnt/f"); err == nil {
+			t.Fatal("stale dentry after unlink")
+		}
+	})
+}
+
+func TestTruncateOnOpen(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		r.writeFile(t, p, "/mnt/t", pattern(10000))
+		f, err := r.os.Open(p, "/mnt/t", kernel.OTrunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close(p)
+		if got := r.readFile(t, p, "/mnt/t", 0); len(got) != 0 {
+			t.Fatalf("file has %d bytes after O_TRUNC", len(got))
+		}
+	})
+}
+
+func TestSparseFileHolesReadZero(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		f, _ := r.os.Open(p, "/mnt/sparse", kernel.OCreate)
+		r.as.WriteBytes(r.buf, []byte("end"))
+		f.WriteAt(p, r.as, r.buf, 3, 3*mem.PageSize)
+		f.Close(p)
+		got := r.readFile(t, p, "/mnt/sparse", 0)
+		if len(got) != 3*mem.PageSize+3 {
+			t.Fatalf("sparse file length %d", len(got))
+		}
+		for i := 0; i < 3*mem.PageSize; i++ {
+			if got[i] != 0 {
+				t.Fatalf("hole byte %d = %d", i, got[i])
+			}
+		}
+		if string(got[3*mem.PageSize:]) != "end" {
+			t.Fatal("tail corrupted")
+		}
+	})
+}
+
+func TestPageCacheEviction(t *testing.T) {
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	node := c.AddNode("n")
+	osys := kernel.NewOS(node, 8) // tiny page cache
+	fs := memfs.New("memfs", node, 0)
+	osys.Mount("/mnt", fs)
+	as := node.NewUserSpace("app")
+	buf, _ := as.Mmap(1<<20, "scratch")
+	env.Spawn("t", func(p *sim.Proc) {
+		f, _ := osys.Open(p, "/mnt/big", kernel.OCreate)
+		data := pattern(64 * mem.PageSize)
+		as.WriteBytes(buf, data)
+		if _, err := f.Write(p, as, buf, len(data)); err != nil {
+			t.Error(err)
+			return
+		}
+		f.Close(p)
+		if osys.PC.Resident() > 8 {
+			t.Errorf("page cache resident %d exceeds bound 8", osys.PC.Resident())
+		}
+		// Eviction wrote dirty pages back: data must survive.
+		got := make([]byte, len(data))
+		f2, _ := osys.Open(p, "/mnt/big", 0)
+		n, _ := f2.ReadAt(p, as, buf, len(data), 0)
+		chunk, _ := as.ReadBytes(buf, n)
+		copy(got, chunk)
+		if n != len(data) || !bytes.Equal(got[:n], data) {
+			t.Errorf("data lost across eviction: read %d bytes", n)
+		}
+	})
+	env.Run(0)
+}
+
+func TestSeekSemantics(t *testing.T) {
+	run(t, func(r *rig, p *sim.Proc) {
+		r.writeFile(t, p, "/mnt/s", pattern(1000))
+		f, _ := r.os.Open(p, "/mnt/s", 0)
+		defer f.Close(p)
+		f.Seek(100, 0)
+		n, _ := f.Read(p, r.as, r.buf, 10)
+		got, _ := r.as.ReadBytes(r.buf, n)
+		if !bytes.Equal(got, pattern(1000)[100:110]) {
+			t.Fatal("seek/read wrong data")
+		}
+		f.Seek(-5, 2)
+		n, _ = f.Read(p, r.as, r.buf, 100)
+		if n != 5 {
+			t.Fatalf("read at EOF-5 returned %d", n)
+		}
+	})
+}
+
+// Property: a random sequence of buffered/direct reads and writes on a
+// file matches a flat in-memory reference model byte for byte.
+func TestFileOpsMatchReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		env := sim.NewEngine()
+		c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+		node := c.AddNode("n")
+		osys := kernel.NewOS(node, 32) // small cache: force evictions
+		fs := memfs.New("memfs", node, 0)
+		osys.Mount("/m", fs)
+		as := node.NewUserSpace("app")
+		buf, _ := as.Mmap(1<<20, "scratch")
+		env.Spawn("t", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			ref := make([]byte, 0, 1<<20)
+			fb, _ := osys.Open(p, "/m/f", kernel.OCreate)
+			fd, _ := osys.Open(p, "/m/f", kernel.ODirect)
+			for op := 0; op < 25 && ok; op++ {
+				f := fb
+				if rng.Intn(2) == 1 {
+					f = fd
+				}
+				off := rng.Int63n(200 * 1024)
+				n := rng.Intn(60*1024) + 1
+				if rng.Intn(2) == 0 { // write
+					data := make([]byte, n)
+					rng.Read(data)
+					as.WriteBytes(buf, data)
+					if _, err := f.WriteAt(p, as, buf, n, off); err != nil {
+						ok = false
+						return
+					}
+					if need := int(off) + n; need > len(ref) {
+						ref = append(ref, make([]byte, need-len(ref))...)
+					}
+					copy(ref[off:], data)
+				} else { // read
+					got := make([]byte, n)
+					rn, err := f.ReadAt(p, as, buf, n, off)
+					if err != nil {
+						ok = false
+						return
+					}
+					chunk, _ := as.ReadBytes(buf, rn)
+					copy(got, chunk)
+					want := []byte{}
+					if int(off) < len(ref) {
+						end := int(off) + n
+						if end > len(ref) {
+							end = len(ref)
+						}
+						want = ref[off:end]
+					}
+					if rn != len(want) || !bytes.Equal(got[:rn], want) {
+						ok = false
+						return
+					}
+				}
+			}
+			fb.Close(p)
+			fd.Close(p)
+		})
+		env.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package mem models the physical memory of a simulated cluster node at
+// page granularity, holding real bytes.
+//
+// Every data path the paper measures — memory copies, DMA transfers,
+// programmed I/O, page-cache fills — moves actual bytes through this
+// package, so the test suite can verify end-to-end data integrity of
+// each code path, not just its timing.
+//
+// Frames are identified by physical frame number (PFN); physical
+// addresses are PFN*PageSize + offset. The allocator deliberately
+// distinguishes between ordinary allocations (which become scattered as
+// the free list recycles frames, like user anonymous memory after a
+// while) and explicitly contiguous allocations (like kernel bounce
+// buffers): the paper's copy-removal optimization only applies to
+// physically contiguous runs, so contiguity must be controllable.
+package mem
+
+import (
+	"fmt"
+)
+
+// PageSize is the page size of the simulated IA32 hosts (paper §3.3).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PhysAddr is a physical byte address in a node's memory.
+type PhysAddr uint64
+
+// PFN returns the physical frame number containing the address.
+func (a PhysAddr) PFN() uint64 { return uint64(a) >> PageShift }
+
+// Offset returns the offset of the address within its frame.
+func (a PhysAddr) Offset() int { return int(uint64(a) & (PageSize - 1)) }
+
+// Frame is one physical page frame.
+type Frame struct {
+	pfn  uint64
+	data [PageSize]byte
+	// Ref counts the reasons the frame must stay allocated: one for
+	// each address-space mapping plus one for each pin. The page cache
+	// and NIC bounce pools hold their own references.
+	ref int
+}
+
+// PFN returns the frame's physical frame number.
+func (f *Frame) PFN() uint64 { return f.pfn }
+
+// Addr returns the physical address of the first byte of the frame.
+func (f *Frame) Addr() PhysAddr { return PhysAddr(f.pfn << PageShift) }
+
+// Data returns the frame's backing bytes.
+func (f *Frame) Data() []byte { return f.data[:] }
+
+// Get increments the frame's reference count.
+func (f *Frame) Get() { f.ref++ }
+
+// RefCount returns the current reference count.
+func (f *Frame) RefCount() int { return f.ref }
+
+// Extent is a physically contiguous byte range: the unit in which
+// physical-address-based communication primitives (paper §4.1) describe
+// buffers.
+type Extent struct {
+	Addr PhysAddr
+	Len  int
+}
+
+// End returns the physical address one past the extent.
+func (x Extent) End() PhysAddr { return x.Addr + PhysAddr(x.Len) }
+
+// TotalLen sums the lengths of a slice of extents.
+func TotalLen(xs []Extent) int {
+	n := 0
+	for _, x := range xs {
+		n += x.Len
+	}
+	return n
+}
+
+// Memory is the physical memory of one node.
+type Memory struct {
+	frames   map[uint64]*Frame
+	nextPFN  uint64
+	freeList []uint64 // LIFO recycle list; makes reused frames scattered
+	numPages int      // capacity in frames; 0 = unlimited
+	allocked int
+}
+
+// New returns a node memory with capacity for numPages frames
+// (0 = unlimited).
+func New(numPages int) *Memory {
+	return &Memory{
+		frames:   make(map[uint64]*Frame),
+		nextPFN:  1, // keep PFN 0 / address 0 invalid
+		numPages: numPages,
+	}
+}
+
+// Allocated returns the number of live frames.
+func (m *Memory) Allocated() int { return m.allocked }
+
+// AllocFrame allocates one frame with reference count 1. Recycled frames
+// are preferred (LIFO), which naturally fragments long-lived address
+// spaces the way real systems do.
+func (m *Memory) AllocFrame() (*Frame, error) {
+	if m.numPages > 0 && m.allocked >= m.numPages {
+		return nil, fmt.Errorf("mem: out of physical memory (%d frames)", m.numPages)
+	}
+	var pfn uint64
+	if n := len(m.freeList); n > 0 {
+		pfn = m.freeList[n-1]
+		m.freeList = m.freeList[:n-1]
+	} else {
+		pfn = m.nextPFN
+		m.nextPFN++
+	}
+	f := &Frame{pfn: pfn, ref: 1}
+	m.frames[pfn] = f
+	m.allocked++
+	return f, nil
+}
+
+// AllocContig allocates n physically contiguous frames (fresh PFNs, never
+// recycled ones), each with reference count 1. This models kernel
+// contiguous allocations (bounce buffers, DMA rings).
+func (m *Memory) AllocContig(n int) ([]*Frame, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mem: AllocContig(%d)", n)
+	}
+	if m.numPages > 0 && m.allocked+n > m.numPages {
+		return nil, fmt.Errorf("mem: out of physical memory for %d contiguous frames", n)
+	}
+	out := make([]*Frame, n)
+	for i := range out {
+		f := &Frame{pfn: m.nextPFN, ref: 1}
+		m.nextPFN++
+		m.frames[f.pfn] = f
+		m.allocked++
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Put decrements a frame's reference count, freeing it when it reaches
+// zero. Freed PFNs go to the recycle list.
+func (m *Memory) Put(f *Frame) {
+	if f.ref <= 0 {
+		panic(fmt.Sprintf("mem: Put on frame %d with ref %d", f.pfn, f.ref))
+	}
+	f.ref--
+	if f.ref == 0 {
+		delete(m.frames, f.pfn)
+		m.freeList = append(m.freeList, f.pfn)
+		m.allocked--
+	}
+}
+
+// Frame returns the live frame with the given PFN, or nil.
+func (m *Memory) Frame(pfn uint64) *Frame { return m.frames[pfn] }
+
+// CheckExtent verifies that an extent lies entirely within live frames.
+func (m *Memory) CheckExtent(x Extent) error {
+	if x.Len < 0 {
+		return fmt.Errorf("mem: negative extent length %d", x.Len)
+	}
+	for pfn := x.Addr.PFN(); pfn <= (x.End() - 1).PFN(); pfn++ {
+		if m.frames[pfn] == nil {
+			return fmt.Errorf("mem: extent %#x+%d touches unallocated frame %d", x.Addr, x.Len, pfn)
+		}
+	}
+	return nil
+}
+
+// ReadAt copies bytes from physical memory into buf, crossing frame
+// boundaries as needed. It panics on access to unallocated frames —
+// in the simulation that is a wild DMA, always a bug.
+func (m *Memory) ReadAt(addr PhysAddr, buf []byte) {
+	for len(buf) > 0 {
+		f := m.frames[addr.PFN()]
+		if f == nil {
+			panic(fmt.Sprintf("mem: read from unallocated frame %d", addr.PFN()))
+		}
+		off := addr.Offset()
+		n := copy(buf, f.data[off:])
+		buf = buf[n:]
+		addr += PhysAddr(n)
+	}
+}
+
+// WriteAt copies bytes from buf into physical memory.
+func (m *Memory) WriteAt(addr PhysAddr, buf []byte) {
+	for len(buf) > 0 {
+		f := m.frames[addr.PFN()]
+		if f == nil {
+			panic(fmt.Sprintf("mem: write to unallocated frame %d", addr.PFN()))
+		}
+		off := addr.Offset()
+		n := copy(f.data[off:], buf)
+		buf = buf[n:]
+		addr += PhysAddr(n)
+	}
+}
+
+// Gather reads the bytes described by extents into a single slice.
+func (m *Memory) Gather(xs []Extent) []byte {
+	out := make([]byte, TotalLen(xs))
+	pos := 0
+	for _, x := range xs {
+		m.ReadAt(x.Addr, out[pos:pos+x.Len])
+		pos += x.Len
+	}
+	return out
+}
+
+// Scatter writes data across the byte ranges described by extents.
+// It panics if the extents are shorter than data.
+func (m *Memory) Scatter(xs []Extent, data []byte) {
+	for _, x := range xs {
+		if len(data) == 0 {
+			return
+		}
+		n := x.Len
+		if n > len(data) {
+			n = len(data)
+		}
+		m.WriteAt(x.Addr, data[:n])
+		data = data[n:]
+	}
+	if len(data) > 0 {
+		panic(fmt.Sprintf("mem: Scatter overflow, %d bytes left", len(data)))
+	}
+}
+
+// MergeExtents coalesces adjacent extents (x.End == next.Addr) into
+// maximal physically contiguous runs, preserving order.
+func MergeExtents(xs []Extent) []Extent {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]Extent, 0, len(xs))
+	cur := xs[0]
+	for _, x := range xs[1:] {
+		if x.Len == 0 {
+			continue
+		}
+		if cur.End() == x.Addr {
+			cur.Len += x.Len
+			continue
+		}
+		out = append(out, cur)
+		cur = x
+	}
+	return append(out, cur)
+}
+
+// PagesIn returns the number of page frames an address range of length n
+// starting at the given offset-within-page touches.
+func PagesIn(offset, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (offset%PageSize + n + PageSize - 1) / PageSize
+}

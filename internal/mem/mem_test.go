@@ -1,0 +1,258 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFrameDistinctPFNs(t *testing.T) {
+	m := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f.PFN()] {
+			t.Fatalf("duplicate PFN %d", f.PFN())
+		}
+		if f.PFN() == 0 {
+			t.Fatal("PFN 0 must stay invalid")
+		}
+		seen[f.PFN()] = true
+	}
+	if m.Allocated() != 100 {
+		t.Errorf("Allocated = %d, want 100", m.Allocated())
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	m := New(4)
+	var frames []*Frame
+	for i := 0; i < 4; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := m.AllocFrame(); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+	m.Put(frames[0])
+	if _, err := m.AllocFrame(); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	m := New(0)
+	f, _ := m.AllocFrame()
+	f.Get()
+	m.Put(f)
+	if m.Frame(f.PFN()) == nil {
+		t.Fatal("frame freed while still referenced")
+	}
+	m.Put(f)
+	if m.Frame(f.PFN()) != nil {
+		t.Fatal("frame not freed at refcount zero")
+	}
+	if m.Allocated() != 0 {
+		t.Errorf("Allocated = %d, want 0", m.Allocated())
+	}
+}
+
+func TestPutUnderflowPanics(t *testing.T) {
+	m := New(0)
+	f, _ := m.AllocFrame()
+	m.Put(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put should panic")
+		}
+	}()
+	m.Put(f)
+}
+
+func TestAllocContigIsContiguous(t *testing.T) {
+	m := New(0)
+	// Fragment the free list first.
+	var fs []*Frame
+	for i := 0; i < 10; i++ {
+		f, _ := m.AllocFrame()
+		fs = append(fs, f)
+	}
+	m.Put(fs[3])
+	m.Put(fs[7])
+	got, err := m.AllocContig(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].PFN() != got[i-1].PFN()+1 {
+			t.Fatalf("frames not contiguous: %d then %d", got[i-1].PFN(), got[i].PFN())
+		}
+	}
+}
+
+func TestRecycledFramesScatter(t *testing.T) {
+	m := New(0)
+	var fs []*Frame
+	for i := 0; i < 8; i++ {
+		f, _ := m.AllocFrame()
+		fs = append(fs, f)
+	}
+	// Free in order; LIFO recycling hands them back in reverse.
+	for _, f := range fs {
+		m.Put(f)
+	}
+	a, _ := m.AllocFrame()
+	b, _ := m.AllocFrame()
+	if b.PFN() == a.PFN()+1 {
+		t.Fatal("recycled frames unexpectedly contiguous (LIFO free list should reverse order)")
+	}
+}
+
+func TestReadWriteCrossFrame(t *testing.T) {
+	m := New(0)
+	frames, _ := m.AllocContig(3)
+	base := frames[0].Addr()
+	src := make([]byte, 2*PageSize+123)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	start := base + 100
+	m.WriteAt(start, src)
+	got := make([]byte, len(src))
+	m.ReadAt(start, got)
+	if !bytes.Equal(got, src) {
+		t.Fatal("cross-frame read/write corrupted data")
+	}
+}
+
+func TestWildAccessPanics(t *testing.T) {
+	m := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to unallocated frame should panic")
+		}
+	}()
+	m.ReadAt(PhysAddr(999*PageSize), make([]byte, 1))
+}
+
+func TestGatherScatterRoundtrip(t *testing.T) {
+	m := New(0)
+	var xs []Extent
+	for i := 0; i < 5; i++ {
+		f, _ := m.AllocFrame()
+		xs = append(xs, Extent{Addr: f.Addr() + PhysAddr(i*10), Len: 1000 - i*100})
+	}
+	data := make([]byte, TotalLen(xs))
+	rand.New(rand.NewSource(1)).Read(data)
+	m.Scatter(xs, data)
+	if got := m.Gather(xs); !bytes.Equal(got, data) {
+		t.Fatal("gather(scatter(x)) != x")
+	}
+}
+
+func TestScatterOverflowPanics(t *testing.T) {
+	m := New(0)
+	f, _ := m.AllocFrame()
+	defer func() {
+		if recover() == nil {
+			t.Error("scatter overflow should panic")
+		}
+	}()
+	m.Scatter([]Extent{{Addr: f.Addr(), Len: 10}}, make([]byte, 11))
+}
+
+func TestMergeExtents(t *testing.T) {
+	cases := []struct {
+		in   []Extent
+		want []Extent
+	}{
+		{nil, nil},
+		{[]Extent{{0x1000, 100}}, []Extent{{0x1000, 100}}},
+		{[]Extent{{0x1000, 0x1000}, {0x2000, 0x1000}}, []Extent{{0x1000, 0x2000}}},
+		{[]Extent{{0x1000, 0x800}, {0x1800, 0x800}, {0x4000, 4}}, []Extent{{0x1000, 0x1000}, {0x4000, 4}}},
+		{[]Extent{{0x1000, 4}, {0x3000, 4}}, []Extent{{0x1000, 4}, {0x3000, 4}}},
+	}
+	for i, c := range cases {
+		got := MergeExtents(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+// Property: merging never changes total length or byte content.
+func TestMergeExtentsPreservesBytes(t *testing.T) {
+	m := New(0)
+	frames, _ := m.AllocContig(64)
+	base := frames[0].Addr()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cnt := int(n%10) + 1
+		var xs []Extent
+		pos := PhysAddr(0)
+		for i := 0; i < cnt; i++ {
+			gap := PhysAddr(rng.Intn(3)) * 512
+			l := rng.Intn(3000) + 1
+			if int(pos+gap)+l > 60*PageSize {
+				break
+			}
+			xs = append(xs, Extent{Addr: base + pos + gap, Len: l})
+			pos += gap + PhysAddr(l)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		data := make([]byte, TotalLen(xs))
+		rng.Read(data)
+		m.Scatter(xs, data)
+		merged := MergeExtents(xs)
+		if TotalLen(merged) != TotalLen(xs) {
+			return false
+		}
+		if len(merged) > len(xs) {
+			return false
+		}
+		return bytes.Equal(m.Gather(merged), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	cases := []struct {
+		off, n, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, PageSize, 1},
+		{0, PageSize + 1, 2},
+		{PageSize - 1, 2, 2},
+		{100, 2 * PageSize, 3},
+		{0, 8 * PageSize, 8},
+	}
+	for _, c := range cases {
+		if got := PagesIn(c.off, c.n); got != c.want {
+			t.Errorf("PagesIn(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPhysAddrHelpers(t *testing.T) {
+	a := PhysAddr(5*PageSize + 17)
+	if a.PFN() != 5 || a.Offset() != 17 {
+		t.Errorf("PFN/Offset = %d/%d, want 5/17", a.PFN(), a.Offset())
+	}
+}

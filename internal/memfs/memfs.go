@@ -1,0 +1,432 @@
+// Package memfs is the local filesystem backing the file servers: an
+// in-memory, ext2-shaped store (inodes, directories, per-page data
+// blocks) whose data blocks are physical frames of the node's memory.
+//
+// Storing blocks in frames matters: the server side of the paper's
+// experiments serves files from memory, and sending a block over the
+// network with the physical-address primitives requires the block to
+// *have* a physical address. An optional per-page disk latency models
+// slower backing stores for experiments that want one.
+package memfs
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// FS is one memfs instance.
+type FS struct {
+	name     string
+	node     *hw.Node
+	inodes   map[kernel.InodeID]*inode
+	next     kernel.InodeID
+	pageCost sim.Time // simulated disk latency per page (0 = RAM)
+}
+
+type inode struct {
+	attr   kernel.Attr
+	blocks map[int64]*mem.Frame      // page index → frame
+	dir    map[string]kernel.InodeID // directories only
+}
+
+// New creates an empty filesystem on node. pageCost is charged per
+// page-sized block access (0 models the paper's RAM-served files).
+func New(name string, node *hw.Node, pageCost sim.Time) *FS {
+	fs := &FS{
+		name:   name,
+		node:   node,
+		inodes: make(map[kernel.InodeID]*inode),
+		next:   1,
+	}
+	fs.pageCost = pageCost
+	root := fs.newInode(kernel.Directory)
+	_ = root
+	return fs
+}
+
+func (fs *FS) newInode(kind kernel.FileKind) *inode {
+	ino := &inode{
+		attr:   kernel.Attr{Ino: fs.next, Kind: kind, Version: 1},
+		blocks: make(map[int64]*mem.Frame),
+	}
+	if kind == kernel.Directory {
+		ino.dir = make(map[string]kernel.InodeID)
+	}
+	fs.inodes[fs.next] = ino
+	fs.next++
+	return ino
+}
+
+func (fs *FS) get(id kernel.InodeID) (*inode, error) {
+	ino := fs.inodes[id]
+	if ino == nil {
+		return nil, kernel.ErrNotFound
+	}
+	return ino, nil
+}
+
+func (fs *FS) getDir(id kernel.InodeID) (*inode, error) {
+	ino, err := fs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if ino.attr.Kind != kernel.Directory {
+		return nil, kernel.ErrNotDir
+	}
+	return ino, nil
+}
+
+// FSName implements kernel.FileSystem.
+func (fs *FS) FSName() string { return fs.name }
+
+// Root implements kernel.FileSystem.
+func (fs *FS) Root() kernel.InodeID { return 1 }
+
+// Lookup implements kernel.FileSystem.
+func (fs *FS) Lookup(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	d, err := fs.getDir(dir)
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	id, ok := d.dir[name]
+	if !ok {
+		return kernel.Attr{}, kernel.ErrNotFound
+	}
+	return fs.inodes[id].attr, nil
+}
+
+// Getattr implements kernel.FileSystem.
+func (fs *FS) Getattr(p *sim.Proc, id kernel.InodeID) (kernel.Attr, error) {
+	ino, err := fs.get(id)
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	return ino.attr, nil
+}
+
+// Readdir implements kernel.FileSystem.
+func (fs *FS) Readdir(p *sim.Proc, dir kernel.InodeID) ([]kernel.DirEntry, error) {
+	d, err := fs.getDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(d.dir))
+	for n := range d.dir {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]kernel.DirEntry, 0, len(names))
+	for _, n := range names {
+		child := fs.inodes[d.dir[n]]
+		out = append(out, kernel.DirEntry{Name: n, Ino: child.attr.Ino, Kind: child.attr.Kind})
+	}
+	return out, nil
+}
+
+// Create implements kernel.FileSystem.
+func (fs *FS) Create(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	return fs.makeNode(dir, name, kernel.RegularFile)
+}
+
+// Mkdir implements kernel.FileSystem.
+func (fs *FS) Mkdir(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	return fs.makeNode(dir, name, kernel.Directory)
+}
+
+func (fs *FS) makeNode(dir kernel.InodeID, name string, kind kernel.FileKind) (kernel.Attr, error) {
+	d, err := fs.getDir(dir)
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	if name == "" {
+		return kernel.Attr{}, kernel.ErrNotFound
+	}
+	if _, exists := d.dir[name]; exists {
+		return kernel.Attr{}, kernel.ErrExists
+	}
+	ino := fs.newInode(kind)
+	d.dir[name] = ino.attr.Ino
+	d.attr.Version++
+	return ino.attr, nil
+}
+
+// Unlink implements kernel.FileSystem.
+func (fs *FS) Unlink(p *sim.Proc, dir kernel.InodeID, name string) error {
+	return fs.removeNode(dir, name, kernel.RegularFile)
+}
+
+// Rmdir implements kernel.FileSystem.
+func (fs *FS) Rmdir(p *sim.Proc, dir kernel.InodeID, name string) error {
+	return fs.removeNode(dir, name, kernel.Directory)
+}
+
+func (fs *FS) removeNode(dir kernel.InodeID, name string, kind kernel.FileKind) error {
+	d, err := fs.getDir(dir)
+	if err != nil {
+		return err
+	}
+	id, ok := d.dir[name]
+	if !ok {
+		return kernel.ErrNotFound
+	}
+	victim := fs.inodes[id]
+	if kind == kernel.Directory {
+		if victim.attr.Kind != kernel.Directory {
+			return kernel.ErrNotDir
+		}
+		if len(victim.dir) > 0 {
+			return kernel.ErrNotEmpty
+		}
+	} else if victim.attr.Kind == kernel.Directory {
+		return kernel.ErrIsDir
+	}
+	for _, f := range victim.blocks {
+		fs.node.Mem.Put(f)
+	}
+	delete(fs.inodes, id)
+	delete(d.dir, name)
+	d.attr.Version++
+	return nil
+}
+
+// Truncate implements kernel.FileSystem.
+func (fs *FS) Truncate(p *sim.Proc, id kernel.InodeID, size int64) error {
+	ino, err := fs.get(id)
+	if err != nil {
+		return err
+	}
+	if ino.attr.Kind == kernel.Directory {
+		return kernel.ErrIsDir
+	}
+	lastPage := (size + mem.PageSize - 1) / mem.PageSize
+	for idx, f := range ino.blocks {
+		if idx >= lastPage {
+			fs.node.Mem.Put(f)
+			delete(ino.blocks, idx)
+		}
+	}
+	if tail := size % mem.PageSize; tail > 0 {
+		if f := ino.blocks[size/mem.PageSize]; f != nil {
+			zero(f.Data()[tail:])
+		}
+	}
+	ino.attr.Size = size
+	ino.attr.Version++
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// FrameAt returns the frame backing page idx of a file (nil for holes
+// or beyond EOF). File servers use it to send blocks by physical
+// address, zero-copy.
+func (fs *FS) FrameAt(id kernel.InodeID, idx int64) *mem.Frame {
+	if ino := fs.inodes[id]; ino != nil {
+		return ino.blocks[idx]
+	}
+	return nil
+}
+
+// ensureBlock allocates (zero-filled) the block for page idx.
+func (fs *FS) ensureBlock(ino *inode, idx int64) (*mem.Frame, error) {
+	if f := ino.blocks[idx]; f != nil {
+		return f, nil
+	}
+	f, err := fs.node.Mem.AllocFrame()
+	if err != nil {
+		return nil, err
+	}
+	ino.blocks[idx] = f
+	return f, nil
+}
+
+// validInPage returns how many bytes of page idx are below EOF.
+func validInPage(size int64, idx int64) int {
+	start := idx * mem.PageSize
+	if size <= start {
+		return 0
+	}
+	n := size - start
+	if n > mem.PageSize {
+		n = mem.PageSize
+	}
+	return int(n)
+}
+
+// ReadPage implements kernel.FileSystem: local block fetch (a memory
+// copy plus the optional disk latency).
+func (fs *FS) ReadPage(p *sim.Proc, id kernel.InodeID, idx int64, frame *mem.Frame) (int, error) {
+	ino, err := fs.get(id)
+	if err != nil {
+		return 0, err
+	}
+	n := validInPage(ino.attr.Size, idx)
+	if n == 0 {
+		return 0, nil
+	}
+	if fs.pageCost > 0 {
+		p.Sleep(fs.pageCost)
+	}
+	fs.node.CPU.Copy(p, n)
+	if blk := ino.blocks[idx]; blk != nil {
+		copy(frame.Data(), blk.Data()[:n])
+	} else {
+		zero(frame.Data()[:n]) // hole
+	}
+	return n, nil
+}
+
+// ReadPages implements kernel.PageRangeReader for the local store.
+func (fs *FS) ReadPages(p *sim.Proc, id kernel.InodeID, idx int64, frames []*mem.Frame) (int, error) {
+	total := 0
+	for i, f := range frames {
+		n, err := fs.ReadPage(p, id, idx+int64(i), f)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		if n < mem.PageSize {
+			break
+		}
+	}
+	return total, nil
+}
+
+// WritePage implements kernel.FileSystem.
+func (fs *FS) WritePage(p *sim.Proc, id kernel.InodeID, idx int64, frame *mem.Frame, n int) error {
+	ino, err := fs.get(id)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if fs.pageCost > 0 {
+		p.Sleep(fs.pageCost)
+	}
+	blk, err := fs.ensureBlock(ino, idx)
+	if err != nil {
+		return err
+	}
+	fs.node.CPU.Copy(p, n)
+	copy(blk.Data()[:n], frame.Data()[:n])
+	if end := idx*mem.PageSize + int64(n); end > ino.attr.Size {
+		ino.attr.Size = end
+	}
+	ino.attr.Version++
+	return nil
+}
+
+// ReadDirect implements kernel.FileSystem: local O_DIRECT.
+func (fs *FS) ReadDirect(p *sim.Proc, id kernel.InodeID, off int64, v core.Vector) (int, error) {
+	ino, err := fs.get(id)
+	if err != nil {
+		return 0, err
+	}
+	n := v.TotalLen()
+	if off >= ino.attr.Size {
+		return 0, nil
+	}
+	if int64(n) > ino.attr.Size-off {
+		n = int(ino.attr.Size - off)
+	}
+	data := fs.readBytes(ino, off, n)
+	if fs.pageCost > 0 {
+		p.Sleep(fs.pageCost * sim.Time((n+mem.PageSize-1)/mem.PageSize))
+	}
+	fs.node.CPU.Copy(p, n)
+	xs, err := v.Extents()
+	if err != nil {
+		return 0, err
+	}
+	fs.node.Mem.Scatter(clip(xs, n), data)
+	return n, nil
+}
+
+// WriteDirect implements kernel.FileSystem.
+func (fs *FS) WriteDirect(p *sim.Proc, id kernel.InodeID, off int64, v core.Vector) (int, error) {
+	ino, err := fs.get(id)
+	if err != nil {
+		return 0, err
+	}
+	xs, err := v.Extents()
+	if err != nil {
+		return 0, err
+	}
+	data := fs.node.Mem.Gather(xs)
+	if fs.pageCost > 0 {
+		p.Sleep(fs.pageCost * sim.Time((len(data)+mem.PageSize-1)/mem.PageSize))
+	}
+	fs.node.CPU.Copy(p, len(data))
+	fs.writeBytes(ino, off, data)
+	return len(data), nil
+}
+
+// readBytes copies [off, off+n) out of the block store.
+func (fs *FS) readBytes(ino *inode, off int64, n int) []byte {
+	out := make([]byte, n)
+	pos := 0
+	for pos < n {
+		idx := (off + int64(pos)) / mem.PageSize
+		pgOff := int((off + int64(pos)) % mem.PageSize)
+		chunk := mem.PageSize - pgOff
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		if blk := ino.blocks[idx]; blk != nil {
+			copy(out[pos:pos+chunk], blk.Data()[pgOff:])
+		}
+		pos += chunk
+	}
+	return out
+}
+
+// writeBytes stores data at off, extending the file as needed.
+func (fs *FS) writeBytes(ino *inode, off int64, data []byte) {
+	pos := 0
+	for pos < len(data) {
+		idx := (off + int64(pos)) / mem.PageSize
+		pgOff := int((off + int64(pos)) % mem.PageSize)
+		chunk := mem.PageSize - pgOff
+		if chunk > len(data)-pos {
+			chunk = len(data) - pos
+		}
+		blk, err := fs.ensureBlock(ino, idx)
+		if err != nil {
+			panic(err) // test memories are unbounded
+		}
+		copy(blk.Data()[pgOff:], data[pos:pos+chunk])
+		pos += chunk
+	}
+	if end := off + int64(len(data)); end > ino.attr.Size {
+		ino.attr.Size = end
+	}
+	ino.attr.Version++
+}
+
+func clip(xs []mem.Extent, n int) []mem.Extent {
+	var out []mem.Extent
+	for _, x := range xs {
+		if n == 0 {
+			break
+		}
+		l := x.Len
+		if l > n {
+			l = n
+		}
+		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
+		n -= l
+	}
+	return out
+}
+
+var _ kernel.FileSystem = (*FS)(nil)

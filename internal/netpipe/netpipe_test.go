@@ -1,0 +1,201 @@
+package netpipe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gm"
+	"repro/internal/hw"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/sockets"
+)
+
+// measure runs a two-sided ping-pong over the transport built by mk.
+func measure(t *testing.T, model hw.LinkModel, sizes []int,
+	mk func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error)) []Point {
+	t.Helper()
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), model)
+	a, b := c.AddNode("a"), c.AddNode("b")
+	var pts []Point
+	ready := sim.NewSignal(env)
+	var ta, tb Transport
+	env.Spawn("setup", func(p *sim.Proc) {
+		var err error
+		ta, tb, err = mk(p, a, b)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ready.Fire()
+	})
+	r := &Runner{Iters: 10, Warmup: 2}
+	env.Spawn("responder", func(p *sim.Proc) {
+		ready.Wait(p)
+		if err := r.Respond(p, tb, sizes); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Spawn("initiator", func(p *sim.Proc) {
+		ready.Wait(p)
+		p.Sleep(10 * time.Microsecond)
+		var err error
+		pts, err = r.Measure(p, ta, sizes)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(0)
+	if pts == nil {
+		t.Fatal("measurement did not complete")
+	}
+	return pts
+}
+
+func gmPair(mode AddrMode) func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error) {
+	return func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error) {
+		ga, gb := gm.Attach(a), gm.Attach(b)
+		const maxSize = 1 << 20
+		ta, err := NewGMEnd(p, ga, 1, mode, b.ID, 1, maxSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		tb, err := NewGMEnd(p, gb, 1, mode, a.ID, 1, maxSize)
+		return ta, tb, err
+	}
+}
+
+func mxPair(mode AddrMode, contiguous bool, opts ...mx.Option) func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error) {
+	return func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error) {
+		ma, mb := mx.Attach(a), mx.Attach(b)
+		const maxSize = 1 << 20
+		ta, err := NewMXEnd(ma, 1, mode, b.ID, 1, maxSize, contiguous, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		tb, err := NewMXEnd(mb, 1, mode, a.ID, 1, maxSize, contiguous, opts...)
+		return ta, tb, err
+	}
+}
+
+func sockPair(family string) func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error) {
+	return func(p *sim.Proc, a, b *hw.Node) (Transport, Transport, error) {
+		var sa, sb sockets.Stack
+		var err error
+		switch family {
+		case "mx":
+			if sa, err = sockets.NewMXStack(mx.Attach(a), 7); err != nil {
+				return nil, nil, err
+			}
+			if sb, err = sockets.NewMXStack(mx.Attach(b), 7); err != nil {
+				return nil, nil, err
+			}
+		case "gm":
+			if sa, err = sockets.NewGMStack(gm.Attach(a), 7); err != nil {
+				return nil, nil, err
+			}
+			if sb, err = sockets.NewGMStack(gm.Attach(b), 7); err != nil {
+				return nil, nil, err
+			}
+		}
+		l, err := sb.Listen(5)
+		if err != nil {
+			return nil, nil, err
+		}
+		var server sockets.Conn
+		got := sim.NewSignal(p.Engine())
+		p.Engine().Spawn("accept", func(ap *sim.Proc) {
+			server, _ = l.Accept(ap)
+			got.Fire()
+		})
+		client, err := sa.Dial(p, int(b.ID), 5)
+		if err != nil {
+			return nil, nil, err
+		}
+		got.Wait(p)
+		const maxSize = 1 << 20
+		ta, err := NewSockEnd(a, client, maxSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		tb, err := NewSockEnd(b, server, maxSize)
+		return ta, tb, err
+	}
+}
+
+func TestGMUserCurveShape(t *testing.T) {
+	pts := measure(t, hw.PCIXD, Sizes(1<<20), gmPair(UserBuf))
+	if lat := pts[0].OneWay; lat < 6200*time.Nanosecond || lat > 7200*time.Nanosecond {
+		t.Errorf("GM user 1B = %v, want ≈6.7µs", lat)
+	}
+	last := pts[len(pts)-1]
+	if last.MBps < 230 || last.MBps > 252 {
+		t.Errorf("GM user 1MB = %.1f MB/s, want ≈244", last.MBps)
+	}
+	// Monotone-ish bandwidth growth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MBps < pts[i-1].MBps*0.7 {
+			t.Errorf("bandwidth collapse at %d: %.1f after %.1f", pts[i].Size, pts[i].MBps, pts[i-1].MBps)
+		}
+	}
+}
+
+func TestMXKernelEqualsUser(t *testing.T) {
+	user := measure(t, hw.PCIXD, Sizes(4096), mxPair(UserBuf, false))
+	kern := measure(t, hw.PCIXD, Sizes(4096), mxPair(KernelBuf, true))
+	for i := range user {
+		diff := kern[i].OneWay - user[i].OneWay
+		if diff > user[i].OneWay/5 {
+			t.Errorf("size %d: kernel %v much worse than user %v", user[i].Size, kern[i].OneWay, user[i].OneWay)
+		}
+	}
+}
+
+func TestPhysicalBeatsRegisteredVirtualInKernel(t *testing.T) {
+	// Fig 4(a): physical primitives shave ~1 µs off kernel GM latency.
+	virt := measure(t, hw.PCIXD, []int{16, 256, 1024, 4096}, gmPair(KernelBuf))
+	phys := measure(t, hw.PCIXD, []int{16, 256, 1024, 4096}, gmPair(PhysBuf))
+	for i := range virt {
+		gain := virt[i].OneWay - phys[i].OneWay
+		if gain < 500*time.Nanosecond || gain > 2*time.Microsecond {
+			t.Errorf("size %d: physical gain %v, want ≈1µs", virt[i].Size, gain)
+		}
+	}
+}
+
+func TestFig6NoSendCopyGain(t *testing.T) {
+	std := measure(t, hw.PCIXD, []int{32768}, mxPair(KernelBuf, true))
+	nsc := measure(t, hw.PCIXD, []int{32768}, mxPair(KernelBuf, true, mx.WithNoSendCopy()))
+	gain := (nsc[0].MBps - std[0].MBps) / std[0].MBps
+	if gain < 0.12 || gain > 0.25 {
+		t.Errorf("no-send-copy 32KB gain %.0f%% (std %.1f → %.1f), want ≈17%%", gain*100, std[0].MBps, nsc[0].MBps)
+	}
+}
+
+func TestSocketTransports(t *testing.T) {
+	mxPts := measure(t, hw.PCIXE, []int{1, 4096}, sockPair("mx"))
+	gmPts := measure(t, hw.PCIXE, []int{1, 4096}, sockPair("gm"))
+	if mxPts[0].OneWay > 6*time.Microsecond {
+		t.Errorf("SOCKETS-MX 1B = %v, want ≈5µs", mxPts[0].OneWay)
+	}
+	if gmPts[0].OneWay < 12*time.Microsecond || gmPts[0].OneWay > 18*time.Microsecond {
+		t.Errorf("SOCKETS-GM 1B = %v, want ≈15µs", gmPts[0].OneWay)
+	}
+	if mxPts[1].MBps <= gmPts[1].MBps {
+		t.Errorf("SOCKETS-MX 4KB (%.1f) not above SOCKETS-GM (%.1f)", mxPts[1].MBps, gmPts[1].MBps)
+	}
+}
+
+func TestSizesLadder(t *testing.T) {
+	s := Sizes(8)
+	want := []int{1, 2, 4, 8}
+	if len(s) != len(want) {
+		t.Fatalf("Sizes(8) = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Sizes(8) = %v", s)
+		}
+	}
+}

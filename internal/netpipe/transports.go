@@ -1,0 +1,259 @@
+package netpipe
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/sockets"
+	"repro/internal/vm"
+)
+
+// AddrMode selects the buffer addressing for raw GM/MX transports —
+// the independent variable of Figures 4(a) and 5(b).
+type AddrMode int
+
+const (
+	// UserBuf: user-virtual buffers in a user process (registered for
+	// GM, pinned/copied internally by MX).
+	UserBuf AddrMode = iota
+	// KernelBuf: kernel-virtual buffers on a kernel port/endpoint.
+	KernelBuf
+	// PhysBuf: page-cache-style physically addressed frames (kernel
+	// port/endpoint; scattered pages like a real page cache).
+	PhysBuf
+)
+
+func (m AddrMode) String() string {
+	switch m {
+	case UserBuf:
+		return "user"
+	case KernelBuf:
+		return "kernel"
+	default:
+		return "kernel-physical"
+	}
+}
+
+// GMEnd is a raw-GM transport endpoint. Raw benchmarks poll the event
+// queue (gm_receive_event style), matching the paper's raw figures.
+type GMEnd struct {
+	port     *gm.Port
+	peer     hw.NodeID
+	peerPort uint8
+	mode     AddrMode
+	as       *vm.AddressSpace
+	va       vm.VirtAddr
+	xs       []mem.Extent
+	max      int
+}
+
+// NewGMEnd prepares one side of a raw GM ping-pong: opens the port,
+// allocates and (for virtual modes) registers a max-size buffer.
+func NewGMEnd(p *sim.Proc, g *gm.GM, portID uint8, mode AddrMode, peer hw.NodeID, peerPort uint8, maxSize int) (*GMEnd, error) {
+	kernel := mode != UserBuf
+	port, err := g.OpenPort(portID, kernel)
+	if err != nil {
+		return nil, err
+	}
+	e := &GMEnd{port: port, peer: peer, peerPort: peerPort, mode: mode, max: maxSize}
+	node := g.Node()
+	switch mode {
+	case UserBuf:
+		e.as = node.NewUserSpace("netpipe")
+		if e.va, err = e.as.Mmap(maxSize, "buf"); err != nil {
+			return nil, err
+		}
+		if _, err := port.RegisterMemory(p, e.as, e.va, maxSize); err != nil {
+			return nil, err
+		}
+	case KernelBuf:
+		e.as = node.Kernel
+		if e.va, err = e.as.Mmap(maxSize, "buf"); err != nil {
+			return nil, err
+		}
+		if _, err := port.RegisterMemory(p, e.as, e.va, maxSize); err != nil {
+			return nil, err
+		}
+	case PhysBuf:
+		// Page-cache-style frames: scattered physical pages.
+		pages := (maxSize + mem.PageSize - 1) / mem.PageSize
+		for i := 0; i < pages; i++ {
+			f, err := node.Mem.AllocFrame()
+			if err != nil {
+				return nil, err
+			}
+			e.xs = append(e.xs, mem.Extent{Addr: f.Addr(), Len: mem.PageSize})
+		}
+	}
+	return e, nil
+}
+
+// Ping implements Transport.
+func (e *GMEnd) Ping(p *sim.Proc, n int) error {
+	if n > e.max {
+		return fmt.Errorf("netpipe: size %d over buffer %d", n, e.max)
+	}
+	if e.mode == PhysBuf {
+		return e.port.SendPhysical(p, e.peer, e.peerPort, 1, clipXS(e.xs, n))
+	}
+	return e.port.Send(p, e.peer, e.peerPort, 1, e.as, e.va, n)
+}
+
+// Pong implements Transport.
+func (e *GMEnd) Pong(p *sim.Proc, n int) (int, error) {
+	var err error
+	if e.mode == PhysBuf {
+		err = e.port.PostRecvPhysical(p, 1, clipXS(e.xs, n))
+	} else {
+		err = e.port.PostRecv(p, 1, e.as, e.va, n)
+	}
+	if err != nil {
+		return 0, err
+	}
+	for {
+		ev := e.port.PollEvent(p)
+		if ev.Type == gm.RecvComplete {
+			return ev.Len, ev.Err
+		}
+	}
+}
+
+// MXEnd is a raw-MX transport endpoint.
+type MXEnd struct {
+	ep   *mx.Endpoint
+	peer hw.NodeID
+	pEP  uint8
+	mode AddrMode
+	vec  core.Vector // max-size vector, sliced per message
+	max  int
+}
+
+// NewMXEnd prepares one side of a raw MX ping-pong. opts configure the
+// endpoint (e.g. the Fig 6 copy-removal modes).
+func NewMXEnd(m *mx.MX, epID uint8, mode AddrMode, peer hw.NodeID, peerEP uint8, maxSize int, contiguous bool, opts ...mx.Option) (*MXEnd, error) {
+	kernel := mode != UserBuf
+	ep, err := m.OpenEndpoint(epID, kernel, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e := &MXEnd{ep: ep, peer: peer, pEP: peerEP, mode: mode, max: maxSize}
+	node := m.Node()
+	switch mode {
+	case UserBuf:
+		as := node.NewUserSpace("netpipe")
+		va, err := as.Mmap(maxSize, "buf")
+		if err != nil {
+			return nil, err
+		}
+		e.vec = core.Of(core.UserSeg(as, va, maxSize))
+	case KernelBuf:
+		var va vm.VirtAddr
+		if contiguous {
+			va, err = node.Kernel.MmapContig(maxSize, "buf")
+		} else {
+			va, err = node.Kernel.Mmap(maxSize, "buf")
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.vec = core.Of(core.KernelSeg(node.Kernel, va, maxSize))
+	case PhysBuf:
+		if contiguous {
+			frames, err := node.Mem.AllocContig((maxSize + mem.PageSize - 1) / mem.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			e.vec = core.Of(core.PhysSeg(frames[0].Addr(), maxSize))
+		} else {
+			pages := (maxSize + mem.PageSize - 1) / mem.PageSize
+			for i := 0; i < pages; i++ {
+				f, err := node.Mem.AllocFrame()
+				if err != nil {
+					return nil, err
+				}
+				e.vec = append(e.vec, core.PhysSeg(f.Addr(), mem.PageSize))
+			}
+		}
+	}
+	return e, nil
+}
+
+// Ping implements Transport.
+func (e *MXEnd) Ping(p *sim.Proc, n int) error {
+	req, err := e.ep.Send(p, e.peer, e.pEP, 1, e.vec.Slice(0, n))
+	if err != nil {
+		return err
+	}
+	st := req.Wait(p)
+	return st.Err
+}
+
+// Pong implements Transport.
+func (e *MXEnd) Pong(p *sim.Proc, n int) (int, error) {
+	req, err := e.ep.Recv(p, core.MatchAll, e.vec.Slice(0, n))
+	if err != nil {
+		return 0, err
+	}
+	st := req.Wait(p)
+	return st.Len, st.Err
+}
+
+// SockEnd wraps an established socket connection (any family).
+type SockEnd struct {
+	conn sockets.Conn
+	as   *vm.AddressSpace
+	va   vm.VirtAddr
+	max  int
+}
+
+// NewSockEnd wraps conn with a max-size user buffer on node.
+func NewSockEnd(node *hw.Node, conn sockets.Conn, maxSize int) (*SockEnd, error) {
+	as := node.NewUserSpace("netpipe")
+	va, err := as.Mmap(maxSize, "buf")
+	if err != nil {
+		return nil, err
+	}
+	return &SockEnd{conn: conn, as: as, va: va, max: maxSize}, nil
+}
+
+// Ping implements Transport.
+func (e *SockEnd) Ping(p *sim.Proc, n int) error {
+	sent, err := e.conn.Send(p, e.as, e.va, n)
+	if err != nil {
+		return err
+	}
+	if sent != n {
+		return fmt.Errorf("netpipe: short socket send %d/%d", sent, n)
+	}
+	return nil
+}
+
+// Pong implements Transport.
+func (e *SockEnd) Pong(p *sim.Proc, n int) (int, error) {
+	return sockets.RecvAll(p, e.conn, e.as, e.va, n)
+}
+
+func clipXS(xs []mem.Extent, n int) []mem.Extent {
+	var out []mem.Extent
+	for _, x := range xs {
+		if n == 0 {
+			break
+		}
+		l := x.Len
+		if l > n {
+			l = n
+		}
+		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
+		n -= l
+	}
+	return out
+}
+
+var _ Transport = (*GMEnd)(nil)
+var _ Transport = (*MXEnd)(nil)
+var _ Transport = (*SockEnd)(nil)

@@ -1,0 +1,177 @@
+// Package orfs implements ORFS, the paper's in-kernel remote
+// file-system client (§3.1): a kernel.FileSystem that forwards
+// operations to a distant server over a rfsrv transport (GM or MX).
+//
+// Mounted through kernel.OS, ORFS gets everything the paper values
+// about being in the kernel — the dentry/attribute caches for metadata
+// and the page cache for buffered access — and exercises exactly the
+// network-interface interactions the paper studies:
+//
+//   - Buffered access: kernel.PageCache calls ReadPage/WritePage; the
+//     destination is a page-cache frame addressed physically, so on MX
+//     (and on GM with the §3.3 physical extension) the NIC DMAs file
+//     data straight into the page cache.
+//   - Direct access (O_DIRECT): kernel.File passes the application's
+//     user-virtual vector down; on MX it is pinned per transfer (or
+//     rides the rendezvous), on GM it must go through the GMKRC
+//     registration cache.
+package orfs
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/rfsrv"
+	"repro/internal/sim"
+)
+
+// FS is an ORFS mount's client state.
+type FS struct {
+	name string
+	cl   rfsrv.Client
+
+	// Ops counts RPCs issued per operation class.
+	MetaOps, ReadOps, WriteOps sim.Counter
+}
+
+// New creates an ORFS client over an rfsrv transport.
+func New(name string, cl rfsrv.Client) *FS {
+	return &FS{name: name, cl: cl}
+}
+
+// Client returns the underlying transport (stats).
+func (f *FS) Client() rfsrv.Client { return f.cl }
+
+// FSName implements kernel.FileSystem.
+func (f *FS) FSName() string { return f.name }
+
+// Root implements kernel.FileSystem. Inode 0 is the protocol's "root"
+// alias; the server resolves it.
+func (f *FS) Root() kernel.InodeID { return 0 }
+
+func (f *FS) meta(p *sim.Proc, req *rfsrv.Req) (*rfsrv.Resp, error) {
+	f.MetaOps.Add(1)
+	return f.cl.Meta(p, req)
+}
+
+// Lookup implements kernel.FileSystem.
+func (f *FS) Lookup(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	resp, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpLookup, Ino: dir, Name: name})
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	return resp.Attr, nil
+}
+
+// Getattr implements kernel.FileSystem.
+func (f *FS) Getattr(p *sim.Proc, ino kernel.InodeID) (kernel.Attr, error) {
+	resp, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino})
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	return resp.Attr, nil
+}
+
+// Readdir implements kernel.FileSystem.
+func (f *FS) Readdir(p *sim.Proc, dir kernel.InodeID) ([]kernel.DirEntry, error) {
+	resp, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpReaddir, Ino: dir})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Create implements kernel.FileSystem.
+func (f *FS) Create(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	resp, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpCreate, Ino: dir, Name: name})
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	return resp.Attr, nil
+}
+
+// Mkdir implements kernel.FileSystem.
+func (f *FS) Mkdir(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, error) {
+	resp, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpMkdir, Ino: dir, Name: name})
+	if err != nil {
+		return kernel.Attr{}, err
+	}
+	return resp.Attr, nil
+}
+
+// Unlink implements kernel.FileSystem.
+func (f *FS) Unlink(p *sim.Proc, dir kernel.InodeID, name string) error {
+	_, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpUnlink, Ino: dir, Name: name})
+	return err
+}
+
+// Rmdir implements kernel.FileSystem.
+func (f *FS) Rmdir(p *sim.Proc, dir kernel.InodeID, name string) error {
+	_, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpRmdir, Ino: dir, Name: name})
+	return err
+}
+
+// Truncate implements kernel.FileSystem.
+func (f *FS) Truncate(p *sim.Proc, ino kernel.InodeID, size int64) error {
+	_, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpTruncate, Ino: ino, Off: size})
+	return err
+}
+
+// ReadPage implements kernel.FileSystem: the buffered path. The frame's
+// physical address goes straight to the network layer — the paper's
+// page-cache case (§2.3.1).
+func (f *FS) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame) (int, error) {
+	f.ReadOps.Add(mem.PageSize)
+	resp, err := f.cl.Read(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), mem.PageSize)))
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// ReadPages implements kernel.PageRangeReader: several consecutive
+// pages in one vectorial request — the request combining the paper
+// predicts for Linux 2.6 (§3.3), possible precisely because the
+// transport supports vectors of physical segments (§4.1).
+func (f *FS) ReadPages(p *sim.Proc, ino kernel.InodeID, idx int64, frames []*mem.Frame) (int, error) {
+	v := make(core.Vector, 0, len(frames))
+	for _, fr := range frames {
+		v = append(v, core.PhysSeg(fr.Addr(), mem.PageSize))
+	}
+	f.ReadOps.Add(v.TotalLen())
+	resp, err := f.cl.Read(p, ino, idx*mem.PageSize, v)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// WritePage implements kernel.FileSystem.
+func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame, n int) error {
+	f.WriteOps.Add(n)
+	_, err := f.cl.Write(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), n)))
+	return err
+}
+
+// ReadDirect implements kernel.FileSystem: the O_DIRECT path, handing
+// the application's own vector to the transport (§2.3.2).
+func (f *FS) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
+	f.ReadOps.Add(v.TotalLen())
+	resp, err := f.cl.Read(p, ino, off, v)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// WriteDirect implements kernel.FileSystem.
+func (f *FS) WriteDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
+	f.WriteOps.Add(v.TotalLen())
+	resp, err := f.cl.Write(p, ino, off, v)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+var _ kernel.FileSystem = (*FS)(nil)

@@ -1,0 +1,410 @@
+package rfsrv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/gmkrc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// GMClient is the protocol client over GM. Everything that is a single
+// call in MXClient needs scaffolding here, faithfully to the paper:
+//
+//   - User buffers must be registered; a GMKRC pin-down cache
+//     ([TOHI98], §3.2) amortizes the 3 µs/page + 200 µs costs, and
+//     VMA SPY keeps it coherent. Disable the cache (cachePages == 0)
+//     to reproduce Fig 3(b)'s "without Reg. Cache" curve.
+//   - Kernel buffers and page-cache frames use the paper's §3.3
+//     physical-address extension (SendPhysical/PostRecvPhysical).
+//   - GM has no vectors, so header and data travel as separate
+//     messages, and GM cannot receive into a multi-segment user vector
+//     at all.
+//   - Completions come from the port's unique event queue; waiting
+//     from kernel context pays the dispatch-thread hop.
+type GMClient struct {
+	port     *gm.Port
+	cache    *gmkrc.Cache
+	noCache  bool
+	as       *vm.AddressSpace
+	kernSide bool
+	server   hw.NodeID
+	servPort uint8
+	myPort   uint8
+
+	reqVA, hdrVA vm.VirtAddr
+	reqXS, hdrXS []mem.Extent // kernel side: resolved once
+	seq          uint64
+	lock         *sim.Resource
+
+	// noPhys simulates stock GM without the paper's §3.3 physical
+	// extension: every transfer uses registered virtual buffers, so
+	// page-cache data must bounce through a registered staging region
+	// with a host copy — the ablation quantifying what the physical
+	// primitives buy.
+	noPhys    bool
+	stagingVA vm.VirtAddr
+	fixup     func(p *sim.Proc, n int) // post-receive staging copy
+}
+
+// NewGMClient opens GM port portID and prepares the client. cachePages
+// sizes the registration cache; 0 disables caching (every user-buffer
+// transfer pays register+deregister). The client's internal buffers
+// live in bufAS and are registered once (kernel side: addressed
+// physically instead, needing no registration at all).
+func NewGMClient(p *sim.Proc, g *gm.GM, portID uint8, kernelSide bool, bufAS *vm.AddressSpace, server hw.NodeID, serverPort uint8, cachePages int) (*GMClient, error) {
+	port, err := g.OpenPort(portID, kernelSide)
+	if err != nil {
+		return nil, err
+	}
+	c := &GMClient{
+		port: port, kernSide: kernelSide, as: bufAS,
+		server: server, servPort: serverPort, myPort: portID,
+		noCache: cachePages == 0,
+		lock:    sim.NewResource(g.Node().Cluster.Env, "gmclient-lock", 1),
+	}
+	if cachePages == 0 {
+		cachePages = 0 // gmkrc.New(…, 0) = no caching
+	}
+	c.cache = gmkrc.New(port, cachePages)
+	alloc := bufAS.Mmap
+	if kernelSide {
+		alloc = bufAS.MmapContig
+	}
+	if c.reqVA, err = alloc(4096, "rfsrv-req"); err != nil {
+		return nil, err
+	}
+	if c.hdrVA, err = alloc(HdrBufSize, "rfsrv-hdr"); err != nil {
+		return nil, err
+	}
+	if kernelSide {
+		c.reqXS, _ = bufAS.Resolve(c.reqVA, 4096)
+		c.hdrXS, _ = bufAS.Resolve(c.hdrVA, HdrBufSize)
+	} else {
+		// User side: the library registers its own buffers once at
+		// startup (the amortized case registration is designed for).
+		if _, err := port.RegisterMemory(p, bufAS, c.reqVA, 4096); err != nil {
+			return nil, err
+		}
+		if _, err := port.RegisterMemory(p, bufAS, c.hdrVA, HdrBufSize); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// DisablePhysicalAPI switches the client to stock-GM behaviour (no
+// physical-address primitives): internal buffers are registered
+// instead, and all non-user data bounces through a registered staging
+// buffer with a host copy on each transfer. Kernel-side clients only.
+func (c *GMClient) DisablePhysicalAPI(p *sim.Proc) error {
+	if !c.kernSide {
+		return fmt.Errorf("rfsrv: DisablePhysicalAPI applies to kernel-side clients")
+	}
+	if c.noPhys {
+		return nil
+	}
+	var err error
+	if c.stagingVA, err = c.as.MmapContig(MaxWriteChunk, "rfsrv-staging"); err != nil {
+		return err
+	}
+	// Stock GM: register everything the driver will touch.
+	if _, err := c.port.RegisterMemory(p, c.as, c.stagingVA, MaxWriteChunk); err != nil {
+		return err
+	}
+	if _, err := c.port.RegisterMemory(p, c.as, c.reqVA, 4096); err != nil {
+		return err
+	}
+	if _, err := c.port.RegisterMemory(p, c.as, c.hdrVA, HdrBufSize); err != nil {
+		return err
+	}
+	c.noPhys = true
+	return nil
+}
+
+// Port returns the underlying GM port (stats).
+func (c *GMClient) Port() *gm.Port { return c.port }
+
+// Cache returns the registration cache (stats).
+func (c *GMClient) Cache() *gmkrc.Cache { return c.cache }
+
+func (c *GMClient) postHdr(p *sim.Proc, seq uint64) error {
+	if c.kernSide && !c.noPhys {
+		return c.port.PostRecvPhysical(p, tag(seq, c.myPort, kindHdr), c.hdrXS)
+	}
+	return c.port.PostRecv(p, tag(seq, c.myPort, kindHdr), c.as, c.hdrVA, HdrBufSize)
+}
+
+func (c *GMClient) sendReq(p *sim.Proc, req *Req) error {
+	enc := EncodeReq(req)
+	if err := c.as.WriteBytes(c.reqVA, enc); err != nil {
+		return err
+	}
+	if c.kernSide && !c.noPhys {
+		return c.port.SendPhysical(p, c.server, c.servPort, reqTag, clipExtents(c.reqXS, len(enc)))
+	}
+	return c.port.Send(p, c.server, c.servPort, reqTag, c.as, c.reqVA, len(enc))
+}
+
+// acquireUser ensures a user segment is registered (via the cache) and
+// returns a release closure for the uncached mode.
+func (c *GMClient) acquireUser(p *sim.Proc, s core.Segment) (func(), error) {
+	if _, err := c.cache.Acquire(p, s.AS, s.VA, s.Len); err != nil {
+		return nil, err
+	}
+	if c.noCache {
+		return func() { c.cache.ReleaseUncached(p, s.AS, s.VA) }, nil
+	}
+	return func() {}, nil
+}
+
+// postData posts the read-data receive for dst. GM's lack of vectors
+// shows here: only a single user segment, or ranges resolvable to
+// physical extents, can be received into.
+func (c *GMClient) postData(p *sim.Proc, seq uint64, dst core.Vector) (func(), error) {
+	if err := dst.Validate(); err != nil {
+		return nil, err
+	}
+	if !hasUserSeg(dst) {
+		if !c.kernSide {
+			return nil, fmt.Errorf("rfsrv: GM user port cannot address kernel/physical memory")
+		}
+		xs, err := dst.Extents()
+		if err != nil {
+			return nil, err
+		}
+		if c.noPhys {
+			// Stock GM: receive into the registered staging buffer and
+			// copy to the real destination afterwards (the extra copy
+			// the physical primitives eliminate).
+			n := dst.TotalLen()
+			if n > MaxWriteChunk {
+				return nil, fmt.Errorf("rfsrv: staged receive of %d bytes exceeds staging buffer", n)
+			}
+			if err := c.port.PostRecv(p, tag(seq, c.myPort, kindData), c.as, c.stagingVA, max(n, 1)); err != nil {
+				return nil, err
+			}
+			c.fixup = func(p *sim.Proc, got int) {
+				if got == 0 {
+					return
+				}
+				raw, err := c.as.ReadBytes(c.stagingVA, got)
+				if err != nil {
+					panic(err)
+				}
+				c.port.Node().CPU.Copy(p, got)
+				c.port.Node().Mem.Scatter(clipExtents(xs, got), raw)
+			}
+			return func() {}, nil
+		}
+		return func() {}, c.port.PostRecvPhysical(p, tag(seq, c.myPort, kindData), xs)
+	}
+	if len(dst) != 1 {
+		return nil, fmt.Errorf("rfsrv: GM cannot receive into a %d-segment vector (no vectorial primitives)", len(dst))
+	}
+	s := dst[0]
+	release, err := c.acquireUser(p, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.port.PostRecv(p, tag(seq, c.myPort, kindData), s.AS, s.VA, s.Len); err != nil {
+		release()
+		return nil, err
+	}
+	return release, nil
+}
+
+// sendData transmits write data as its own message.
+func (c *GMClient) sendData(p *sim.Proc, seq uint64, src core.Vector) (func(), error) {
+	if !hasUserSeg(src) {
+		if !c.kernSide {
+			return nil, fmt.Errorf("rfsrv: GM user port cannot address kernel/physical memory")
+		}
+		xs, err := src.Extents()
+		if err != nil {
+			return nil, err
+		}
+		if c.noPhys {
+			// Stock GM: stage through the registered buffer.
+			n := mem.TotalLen(xs)
+			if n > MaxWriteChunk {
+				return nil, fmt.Errorf("rfsrv: staged send of %d bytes exceeds staging buffer", n)
+			}
+			data := c.port.Node().Mem.Gather(xs)
+			c.port.Node().CPU.Copy(p, n)
+			if err := c.as.WriteBytes(c.stagingVA, data); err != nil {
+				return nil, err
+			}
+			return func() {}, c.port.Send(p, c.server, c.servPort, tag(seq, c.myPort, kindData), c.as, c.stagingVA, n)
+		}
+		return func() {}, c.port.SendPhysical(p, c.server, c.servPort, tag(seq, c.myPort, kindData), xs)
+	}
+	if len(src) != 1 {
+		return nil, fmt.Errorf("rfsrv: GM cannot send a %d-segment vector (no vectorial primitives)", len(src))
+	}
+	s := src[0]
+	release, err := c.acquireUser(p, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.port.Send(p, c.server, c.servPort, tag(seq, c.myPort, kindData), s.AS, s.VA, s.Len); err != nil {
+		release()
+		return nil, err
+	}
+	return release, nil
+}
+
+// waitRecv blocks on the unique event queue until the wanted receive
+// completes, consuming interleaved send completions.
+func (c *GMClient) waitRecv(p *sim.Proc, want uint64) (gm.Event, error) {
+	for {
+		ev := c.port.WaitEvent(p)
+		if ev.Type == gm.RecvComplete && ev.Tag == want {
+			return ev, ev.Err
+		}
+	}
+}
+
+func (c *GMClient) finish(p *sim.Proc, seq uint64) (*Resp, error) {
+	ev, err := c.waitRecv(p, tag(seq, c.myPort, kindHdr))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.as.ReadBytes(c.hdrVA, ev.Len)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResp(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != seq {
+		return nil, fmt.Errorf("rfsrv: reply for seq %d, want %d", resp.Seq, seq)
+	}
+	if err := ErrOf(resp.Status); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// Meta implements Client.
+func (c *GMClient) Meta(p *sim.Proc, req *Req) (*Resp, error) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	c.seq++
+	req.Seq, req.EP = c.seq, c.myPort
+	if err := c.postHdr(p, req.Seq); err != nil {
+		return nil, err
+	}
+	if err := c.sendReq(p, req); err != nil {
+		return nil, err
+	}
+	return c.finish(p, req.Seq)
+}
+
+// Read implements Client.
+func (c *GMClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	c.seq++
+	seq := c.seq
+	req := &Req{Op: OpRead, Seq: seq, EP: c.myPort, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
+	if err := c.postHdr(p, seq); err != nil {
+		return nil, err
+	}
+	release, err := c.postData(p, seq, dst)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := c.sendReq(p, req); err != nil {
+		return nil, err
+	}
+	ev, err := c.waitRecv(p, tag(seq, c.myPort, kindData))
+	if err != nil {
+		return nil, err
+	}
+	if c.fixup != nil {
+		c.fixup(p, ev.Len)
+		c.fixup = nil
+	}
+	return c.finish(p, seq)
+}
+
+// Write implements Client.
+func (c *GMClient) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	total := src.TotalLen()
+	written := 0
+	var last *Resp
+	for written < total || total == 0 {
+		chunk := total - written
+		if chunk > MaxWriteChunk {
+			chunk = MaxWriteChunk
+		}
+		c.seq++
+		seq := c.seq
+		req := &Req{Op: OpWrite, Seq: seq, EP: c.myPort, Ino: ino, Off: off + int64(written), Len: uint32(chunk)}
+		if err := c.postHdr(p, seq); err != nil {
+			return nil, err
+		}
+		if err := c.sendReq(p, req); err != nil {
+			return nil, err
+		}
+		release, err := c.sendData(p, seq, src.Slice(written, chunk))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.finish(p, seq)
+		release()
+		if err != nil {
+			return resp, err
+		}
+		written += int(resp.N)
+		last = resp
+		if total == 0 {
+			break
+		}
+		if resp.N == 0 {
+			return last, fmt.Errorf("rfsrv: short write at %d", written)
+		}
+	}
+	if last == nil {
+		last = &Resp{}
+	}
+	last.N = uint32(written)
+	return last, nil
+}
+
+func hasUserSeg(v core.Vector) bool {
+	for _, s := range v {
+		if s.Type == core.UserVirtual {
+			return true
+		}
+	}
+	return false
+}
+
+func clipExtents(xs []mem.Extent, n int) []mem.Extent {
+	var out []mem.Extent
+	for _, x := range xs {
+		if n == 0 {
+			break
+		}
+		l := x.Len
+		if l > n {
+			l = n
+		}
+		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
+		n -= l
+	}
+	return out
+}
+
+var _ Client = (*GMClient)(nil)

@@ -1,0 +1,194 @@
+package rfsrv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// MXClient is the protocol client over the MX interface. Opened on a
+// kernel endpoint it is the ORFS transport; on a user endpoint it is
+// the ORFA transport. Either way the code is the same — which is the
+// paper's §4.2 claim about the MX kernel interface made concrete.
+type MXClient struct {
+	ep       *mx.Endpoint
+	as       *vm.AddressSpace
+	kernSide bool
+	server   hw.NodeID
+	serverEP uint8
+	myEP     uint8
+
+	reqVA vm.VirtAddr
+	hdrVA vm.VirtAddr
+	seq   uint64
+	lock  *sim.Resource
+}
+
+// NewMXClient opens endpoint epID (kernel or user per kernelSide) and
+// prepares the client's internal request/reply buffers in bufAS (the
+// kernel space for ORFS, the process space for ORFA).
+func NewMXClient(m *mx.MX, epID uint8, kernelSide bool, bufAS *vm.AddressSpace, server hw.NodeID, serverEP uint8) (*MXClient, error) {
+	ep, err := m.OpenEndpoint(epID, kernelSide)
+	if err != nil {
+		return nil, err
+	}
+	c := &MXClient{
+		ep: ep, as: bufAS, kernSide: kernelSide,
+		server: server, serverEP: serverEP, myEP: epID,
+		lock: sim.NewResource(m.Node().Cluster.Env, "mxclient-lock", 1),
+	}
+	alloc := bufAS.Mmap
+	if kernelSide {
+		alloc = bufAS.MmapContig
+	}
+	if c.reqVA, err = alloc(4096, "rfsrv-req"); err != nil {
+		return nil, err
+	}
+	if c.hdrVA, err = alloc(HdrBufSize, "rfsrv-hdr"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Endpoint returns the underlying MX endpoint (stats).
+func (c *MXClient) Endpoint() *mx.Endpoint { return c.ep }
+
+// seg builds an address-typed segment over the client's own buffers.
+func (c *MXClient) seg(va vm.VirtAddr, n int) core.Segment {
+	if c.kernSide {
+		return core.KernelSeg(c.as, va, n)
+	}
+	return core.UserSeg(c.as, va, n)
+}
+
+// postHdr posts the reply-header receive for seq.
+func (c *MXClient) postHdr(p *sim.Proc, seq uint64) (*mx.Request, error) {
+	return c.ep.Recv(p, core.Exact(tag(seq, c.myEP, kindHdr)), core.Of(c.seg(c.hdrVA, HdrBufSize)))
+}
+
+// sendReq encodes and transmits a request, with extra data segments
+// appended to the same (vectorial) message.
+func (c *MXClient) sendReq(p *sim.Proc, req *Req, extra core.Vector) error {
+	enc := EncodeReq(req)
+	if err := c.as.WriteBytes(c.reqVA, enc); err != nil {
+		return err
+	}
+	v := append(core.Vector{c.seg(c.reqVA, len(enc))}, extra...)
+	_, err := c.ep.Send(p, c.server, c.serverEP, reqTag, v)
+	return err
+}
+
+// finish waits for the header reply and decodes it.
+func (c *MXClient) finish(p *sim.Proc, hdrReq *mx.Request, seq uint64) (*Resp, error) {
+	st := hdrReq.Wait(p)
+	if st.Err != nil {
+		return nil, st.Err
+	}
+	raw, err := c.as.ReadBytes(c.hdrVA, st.Len)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResp(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != seq {
+		return nil, fmt.Errorf("rfsrv: reply for seq %d, want %d", resp.Seq, seq)
+	}
+	if err := ErrOf(resp.Status); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// Meta implements Client.
+func (c *MXClient) Meta(p *sim.Proc, req *Req) (*Resp, error) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	c.seq++
+	req.Seq, req.EP = c.seq, c.myEP
+	hdrReq, err := c.postHdr(p, req.Seq)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.sendReq(p, req, nil); err != nil {
+		return nil, err
+	}
+	return c.finish(p, hdrReq, req.Seq)
+}
+
+// Read implements Client: data lands directly in dst (physical
+// page-cache frames, kernel buffers or pinned user memory — MX handles
+// all three address types natively).
+func (c *MXClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	c.seq++
+	seq := c.seq
+	req := &Req{Op: OpRead, Seq: seq, EP: c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
+	hdrReq, err := c.postHdr(p, seq)
+	if err != nil {
+		return nil, err
+	}
+	dataReq, err := c.ep.Recv(p, core.Exact(tag(seq, c.myEP, kindData)), dst)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.sendReq(p, req, nil); err != nil {
+		return nil, err
+	}
+	if st := dataReq.Wait(p); st.Err != nil {
+		return nil, st.Err
+	}
+	return c.finish(p, hdrReq, seq)
+}
+
+// Write implements Client: write data rides in the request message
+// itself, as additional vector segments (chunked at MaxWriteChunk).
+func (c *MXClient) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	total := src.TotalLen()
+	written := 0
+	var last *Resp
+	for written < total || total == 0 {
+		chunk := total - written
+		if chunk > MaxWriteChunk {
+			chunk = MaxWriteChunk
+		}
+		c.seq++
+		seq := c.seq
+		req := &Req{Op: OpWrite, Seq: seq, EP: c.myEP, Ino: ino, Off: off + int64(written), Len: uint32(chunk)}
+		hdrReq, err := c.postHdr(p, seq)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.sendReq(p, req, src.Slice(written, chunk)); err != nil {
+			return nil, err
+		}
+		resp, err := c.finish(p, hdrReq, seq)
+		if err != nil {
+			return resp, err
+		}
+		written += int(resp.N)
+		last = resp
+		if total == 0 {
+			break
+		}
+		if resp.N == 0 {
+			return last, fmt.Errorf("rfsrv: short write at %d", written)
+		}
+	}
+	if last == nil {
+		last = &Resp{}
+	}
+	last.N = uint32(written)
+	return last, nil
+}
+
+var _ Client = (*MXClient)(nil)

@@ -1,0 +1,288 @@
+// Package rfsrv implements the ORFA/ORFS remote file-access protocol
+// (§3.1): a request/response protocol between a client (user-space
+// ORFA library or in-kernel ORFS filesystem) and a file server backed
+// by memfs.
+//
+// The protocol is transport-neutral; the two Client implementations
+// (MXClient, GMClient) embody the paper's comparison:
+//
+//   - MXClient uses the MX kernel interface directly: vectorial,
+//     address-typed requests; write data rides in the request message;
+//     read data lands zero-copy in physically-addressed page-cache
+//     frames or in (pinned) user buffers via rendezvous; waits are
+//     per-request.
+//   - GMClient has to assemble the same functionality out of GM's
+//     primitives: everything it touches must be registered (a GMKRC
+//     registration cache handles user buffers), there are no vectors
+//     (header and data travel as separate messages), and completions
+//     come from the port's unique event queue via a blocking wait that
+//     costs a dispatch-thread hop (§5.3).
+//
+// The asymmetry in code shape between the two clients *is* the paper's
+// point; the measured gap in ORFS throughput (Fig 7) follows from it.
+package rfsrv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+
+	"repro/internal/core"
+)
+
+// Op is a protocol operation code.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpLookup Op = iota + 1
+	OpGetattr
+	OpReaddir
+	OpCreate
+	OpMkdir
+	OpUnlink
+	OpRmdir
+	OpTruncate
+	OpRead
+	OpWrite
+)
+
+var opNames = map[Op]string{
+	OpLookup: "lookup", OpGetattr: "getattr", OpReaddir: "readdir",
+	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
+	OpRmdir: "rmdir", OpTruncate: "truncate", OpRead: "read", OpWrite: "write",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Req is a protocol request. Ino 0 denotes the filesystem root.
+type Req struct {
+	Op   Op
+	Seq  uint64
+	EP   uint8 // client endpoint/port to reply to
+	Ino  kernel.InodeID
+	Off  int64  // offset (read/write) or new size (truncate)
+	Len  uint32 // read/write byte count
+	Name string // lookup/create/mkdir/unlink/rmdir
+}
+
+// reqFixed is the fixed-size prefix of an encoded request.
+const reqFixed = 1 + 8 + 1 + 8 + 8 + 4 + 2
+
+// EncodeReq serializes a request.
+func EncodeReq(r *Req) []byte {
+	if len(r.Name) > 1<<15 {
+		panic("rfsrv: name too long")
+	}
+	out := make([]byte, reqFixed+len(r.Name))
+	out[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(out[1:], r.Seq)
+	out[9] = r.EP
+	binary.LittleEndian.PutUint64(out[10:], uint64(r.Ino))
+	binary.LittleEndian.PutUint64(out[18:], uint64(r.Off))
+	binary.LittleEndian.PutUint32(out[26:], r.Len)
+	binary.LittleEndian.PutUint16(out[30:], uint16(len(r.Name)))
+	copy(out[reqFixed:], r.Name)
+	return out
+}
+
+// DecodeReq parses a request, returning it and the number of bytes
+// consumed (the remainder of the buffer is inline write data).
+func DecodeReq(b []byte) (*Req, int, error) {
+	if len(b) < reqFixed {
+		return nil, 0, fmt.Errorf("rfsrv: short request (%d bytes)", len(b))
+	}
+	r := &Req{
+		Op:  Op(b[0]),
+		Seq: binary.LittleEndian.Uint64(b[1:]),
+		EP:  b[9],
+		Ino: kernel.InodeID(binary.LittleEndian.Uint64(b[10:])),
+		Off: int64(binary.LittleEndian.Uint64(b[18:])),
+		Len: binary.LittleEndian.Uint32(b[26:]),
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b[30:]))
+	if len(b) < reqFixed+nameLen {
+		return nil, 0, fmt.Errorf("rfsrv: truncated name")
+	}
+	r.Name = string(b[reqFixed : reqFixed+nameLen])
+	return r, reqFixed + nameLen, nil
+}
+
+// Status codes.
+const (
+	StOK int32 = iota
+	StNotFound
+	StExists
+	StNotDir
+	StIsDir
+	StNotEmpty
+	StBadOffset
+	StIO
+)
+
+// StatusOf maps a filesystem error to a wire status.
+func StatusOf(err error) int32 {
+	switch err {
+	case nil:
+		return StOK
+	case kernel.ErrNotFound:
+		return StNotFound
+	case kernel.ErrExists:
+		return StExists
+	case kernel.ErrNotDir:
+		return StNotDir
+	case kernel.ErrIsDir:
+		return StIsDir
+	case kernel.ErrNotEmpty:
+		return StNotEmpty
+	case kernel.ErrBadOffset:
+		return StBadOffset
+	default:
+		return StIO
+	}
+}
+
+// ErrOf maps a wire status back to a filesystem error.
+func ErrOf(st int32) error {
+	switch st {
+	case StOK:
+		return nil
+	case StNotFound:
+		return kernel.ErrNotFound
+	case StExists:
+		return kernel.ErrExists
+	case StNotDir:
+		return kernel.ErrNotDir
+	case StIsDir:
+		return kernel.ErrIsDir
+	case StNotEmpty:
+		return kernel.ErrNotEmpty
+	case StBadOffset:
+		return kernel.ErrBadOffset
+	default:
+		return fmt.Errorf("rfsrv: remote I/O error (status %d)", st)
+	}
+}
+
+// Resp is a protocol response.
+type Resp struct {
+	Seq     uint64
+	Status  int32
+	Attr    kernel.Attr
+	N       uint32 // data bytes in the companion data transfer
+	Entries []kernel.DirEntry
+}
+
+// respFixed is the fixed-size prefix of an encoded response.
+const respFixed = 8 + 4 + 8 + 1 + 8 + 8 + 4 + 2
+
+// HdrBufSize is the reply-header buffer size clients must post: fixed
+// part plus room for directory listings.
+const HdrBufSize = 16 * 1024
+
+// EncodeResp serializes a response. It fails only if a directory
+// listing overflows HdrBufSize.
+func EncodeResp(r *Resp) ([]byte, error) {
+	size := respFixed
+	for _, e := range r.Entries {
+		size += 8 + 1 + 2 + len(e.Name)
+	}
+	if size > HdrBufSize {
+		return nil, fmt.Errorf("rfsrv: directory listing (%d bytes) exceeds reply buffer", size)
+	}
+	out := make([]byte, size)
+	binary.LittleEndian.PutUint64(out[0:], r.Seq)
+	binary.LittleEndian.PutUint32(out[8:], uint32(r.Status))
+	binary.LittleEndian.PutUint64(out[12:], uint64(r.Attr.Ino))
+	out[20] = byte(r.Attr.Kind)
+	binary.LittleEndian.PutUint64(out[21:], uint64(r.Attr.Size))
+	binary.LittleEndian.PutUint64(out[29:], r.Attr.Version)
+	binary.LittleEndian.PutUint32(out[37:], r.N)
+	binary.LittleEndian.PutUint16(out[41:], uint16(len(r.Entries)))
+	pos := respFixed
+	for _, e := range r.Entries {
+		binary.LittleEndian.PutUint64(out[pos:], uint64(e.Ino))
+		out[pos+8] = byte(e.Kind)
+		binary.LittleEndian.PutUint16(out[pos+9:], uint16(len(e.Name)))
+		copy(out[pos+11:], e.Name)
+		pos += 11 + len(e.Name)
+	}
+	return out, nil
+}
+
+// DecodeResp parses a response.
+func DecodeResp(b []byte) (*Resp, error) {
+	if len(b) < respFixed {
+		return nil, fmt.Errorf("rfsrv: short response (%d bytes)", len(b))
+	}
+	r := &Resp{
+		Seq:    binary.LittleEndian.Uint64(b[0:]),
+		Status: int32(binary.LittleEndian.Uint32(b[8:])),
+		Attr: kernel.Attr{
+			Ino:     kernel.InodeID(binary.LittleEndian.Uint64(b[12:])),
+			Kind:    kernel.FileKind(b[20]),
+			Size:    int64(binary.LittleEndian.Uint64(b[21:])),
+			Version: binary.LittleEndian.Uint64(b[29:]),
+		},
+		N: binary.LittleEndian.Uint32(b[37:]),
+	}
+	count := int(binary.LittleEndian.Uint16(b[41:]))
+	pos := respFixed
+	for i := 0; i < count; i++ {
+		if len(b) < pos+11 {
+			return nil, fmt.Errorf("rfsrv: truncated dirent")
+		}
+		e := kernel.DirEntry{
+			Ino:  kernel.InodeID(binary.LittleEndian.Uint64(b[pos:])),
+			Kind: kernel.FileKind(b[pos+8]),
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[pos+9:]))
+		if len(b) < pos+11+nameLen {
+			return nil, fmt.Errorf("rfsrv: truncated dirent name")
+		}
+		e.Name = string(b[pos+11 : pos+11+nameLen])
+		r.Entries = append(r.Entries, e)
+		pos += 11 + nameLen
+	}
+	return r, nil
+}
+
+// Client is the transport-specific RPC engine used by ORFA and ORFS.
+// Implementations are synchronous and single-threaded (one outstanding
+// request), like the paper's prototypes.
+type Client interface {
+	// Meta performs a metadata operation (no bulk data).
+	Meta(p *sim.Proc, req *Req) (*Resp, error)
+	// Read reads up to dst.TotalLen() bytes at off into dst.
+	Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error)
+	// Write writes src at off.
+	Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error)
+}
+
+// Match/tag layout shared by the transports: kind in the low 4 bits,
+// the client endpoint above it, the sequence number above that. All
+// requests share the constant reqTag (servers match them FIFO);
+// replies are tagged per (seq, client endpoint) so concurrent clients
+// of one server never collide.
+const (
+	kindReq uint64 = iota
+	kindHdr
+	kindData
+)
+
+const reqTag = kindReq
+
+func tag(seq uint64, ep uint8, kind uint64) uint64 {
+	return seq<<12 | uint64(ep)<<4 | kind
+}
+
+// MaxWriteChunk bounds the data carried by one write RPC (the server's
+// bounce capacity); clients loop over larger writes.
+const MaxWriteChunk = 256 * 1024

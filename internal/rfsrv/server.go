@@ -1,0 +1,323 @@
+package rfsrv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gm"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// BackingFS is what the server serves: a filesystem whose data blocks
+// have physical addresses (so read replies can be sent zero-copy,
+// straight from the block store — the server-side analogue of the
+// paper's physical-address primitives).
+type BackingFS interface {
+	kernel.FileSystem
+	FrameAt(ino kernel.InodeID, idx int64) *mem.Frame
+}
+
+// Server is the ORFA/ORFS file server.
+type Server struct {
+	node *hw.Node
+	fs   BackingFS
+	zero *mem.Frame // shared zero page for holes
+
+	// Requests counts served operations.
+	Requests sim.Counter
+}
+
+// NewServer creates a server for fs on node.
+func NewServer(node *hw.Node, fs BackingFS) *Server {
+	zero, err := node.Mem.AllocFrame()
+	if err != nil {
+		panic(err)
+	}
+	return &Server{node: node, fs: fs, zero: zero}
+}
+
+// handleMeta executes a metadata request against the backing store.
+func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
+	resp := &Resp{Seq: req.Seq}
+	ino := req.Ino
+	if ino == 0 {
+		ino = s.fs.Root()
+	}
+	var err error
+	switch req.Op {
+	case OpLookup:
+		resp.Attr, err = s.fs.Lookup(p, ino, req.Name)
+	case OpGetattr:
+		resp.Attr, err = s.fs.Getattr(p, ino)
+	case OpReaddir:
+		resp.Entries, err = s.fs.Readdir(p, ino)
+	case OpCreate:
+		resp.Attr, err = s.fs.Create(p, ino, req.Name)
+	case OpMkdir:
+		resp.Attr, err = s.fs.Mkdir(p, ino, req.Name)
+	case OpUnlink:
+		err = s.fs.Unlink(p, ino, req.Name)
+	case OpRmdir:
+		err = s.fs.Rmdir(p, ino, req.Name)
+	case OpTruncate:
+		err = s.fs.Truncate(p, ino, req.Off)
+	default:
+		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
+	}
+	resp.Status = StatusOf(err)
+	return resp
+}
+
+// readExtents builds the zero-copy reply extents for a read: physical
+// runs of the file's block frames (the zero page for holes), clipped to
+// EOF. It returns the response and the extents to transmit.
+func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
+	resp := &Resp{Seq: req.Seq}
+	attr, err := s.fs.Getattr(p, req.Ino)
+	if err != nil {
+		resp.Status = StatusOf(err)
+		return resp, nil
+	}
+	n := int64(req.Len)
+	if req.Off >= attr.Size {
+		n = 0
+	} else if req.Off+n > attr.Size {
+		n = attr.Size - req.Off
+	}
+	var xs []mem.Extent
+	off := req.Off
+	left := n
+	for left > 0 {
+		idx := off / mem.PageSize
+		pgOff := int(off % mem.PageSize)
+		chunk := int64(mem.PageSize - pgOff)
+		if chunk > left {
+			chunk = left
+		}
+		f := s.fs.FrameAt(req.Ino, idx)
+		if f == nil {
+			f = s.zero // hole
+		}
+		xs = append(xs, mem.Extent{Addr: f.Addr() + mem.PhysAddr(pgOff), Len: int(chunk)})
+		off += chunk
+		left -= chunk
+	}
+	resp.N = uint32(n)
+	resp.Attr = attr
+	return resp, mem.MergeExtents(xs)
+}
+
+// handleWrite applies inline write data (already landed in the
+// transport's bounce buffer, described by src).
+func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
+	resp := &Resp{Seq: req.Seq}
+	n, err := s.fs.WriteDirect(p, req.Ino, req.Off, src)
+	resp.Status = StatusOf(err)
+	resp.N = uint32(n)
+	if err == nil {
+		if a, err2 := s.fs.Getattr(p, req.Ino); err2 == nil {
+			resp.Attr = a
+		}
+	}
+	return resp
+}
+
+// ---- MX transport ----
+
+// ServeMX starts worker processes serving the protocol on MX kernel
+// endpoint epID. Each worker owns a bounce buffer for incoming
+// requests (with inline write data) and replies zero-copy from the
+// block store.
+func (s *Server) ServeMX(m *mx.MX, epID uint8, workers int) (*mx.Endpoint, error) {
+	ep, err := m.OpenEndpoint(epID, true)
+	if err != nil {
+		return nil, err
+	}
+	env := s.node.Cluster.Env
+	for w := 0; w < workers; w++ {
+		w := w
+		env.Spawn(fmt.Sprintf("%s-rfsrv-mx-%d", s.node.Name, w), func(p *sim.Proc) {
+			s.mxWorker(p, ep)
+		})
+	}
+	return ep, nil
+}
+
+func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint) {
+	kern := s.node.Kernel
+	bounceLen := MaxWriteChunk + HdrBufSize
+	bounce, err := kern.MmapContig(bounceLen, "rfsrv-bounce")
+	if err != nil {
+		panic(err)
+	}
+	hdrVA, err := kern.MmapContig(HdrBufSize, "rfsrv-hdr")
+	if err != nil {
+		panic(err)
+	}
+	reqMatch := core.Match{Bits: reqTag, Mask: 15}
+	for {
+		rr, err := ep.Recv(p, reqMatch, core.Of(core.KernelSeg(kern, bounce, bounceLen)))
+		if err != nil {
+			panic(err)
+		}
+		st := rr.Wait(p)
+		raw, _ := kern.ReadBytes(bounce, st.Len)
+		req, consumed, err := DecodeReq(raw)
+		if err != nil {
+			continue // malformed: drop
+		}
+		s.Requests.Add(st.Len)
+		s.node.CPU.VFS(p) // request dispatch
+		switch req.Op {
+		case OpRead:
+			resp, xs := s.readExtents(p, req)
+			// Data first (zero-copy from the block store), then the
+			// header. A zero-length data message is still sent so the
+			// client's posted receive always completes.
+			dataVec := core.Vector{}
+			for _, x := range xs {
+				dataVec = append(dataVec, core.PhysSeg(x.Addr, x.Len))
+			}
+			if len(dataVec) == 0 {
+				dataVec = core.Of(core.PhysSeg(s.zero.Addr(), 0))
+			}
+			if _, err := ep.Send(p, st.Src, req.EP, tag(req.Seq, req.EP, kindData), dataVec); err != nil {
+				panic(err)
+			}
+			s.replyMX(p, ep, kern, hdrVA, st.Src, req, resp)
+		case OpWrite:
+			src := core.Of(core.KernelSeg(kern, bounce+vm.VirtAddr(consumed), int(st.Len)-consumed))
+			resp := s.handleWrite(p, req, src)
+			s.replyMX(p, ep, kern, hdrVA, st.Src, req, resp)
+		default:
+			resp := s.handleMeta(p, req)
+			s.replyMX(p, ep, kern, hdrVA, st.Src, req, resp)
+		}
+	}
+}
+
+func (s *Server) replyMX(p *sim.Proc, ep *mx.Endpoint, kern *vm.AddressSpace, hdrVA vm.VirtAddr, dst hw.NodeID, req *Req, resp *Resp) {
+	hdr, err := EncodeResp(resp)
+	if err != nil {
+		resp = &Resp{Seq: req.Seq, Status: StIO}
+		hdr, _ = EncodeResp(resp)
+	}
+	if err := kern.WriteBytes(hdrVA, hdr); err != nil {
+		panic(err)
+	}
+	if _, err := ep.Send(p, dst, req.EP, tag(req.Seq, req.EP, kindHdr), core.Of(core.KernelSeg(kern, hdrVA, len(hdr)))); err != nil {
+		panic(err)
+	}
+}
+
+// ---- GM transport ----
+
+// ServeGM starts a worker serving the protocol on GM kernel port
+// portID. GM offers no vectors and a single event queue, so the server
+// (like the client) juggles separate header and data messages and
+// filters its completions out of the unique queue — the per-request
+// overhead §5.2 blames for the ORFS/GM gap.
+func (s *Server) ServeGM(g *gm.GM, portID uint8) (*gm.Port, error) {
+	port, err := g.OpenPort(portID, true)
+	if err != nil {
+		return nil, err
+	}
+	env := s.node.Cluster.Env
+	env.Spawn(fmt.Sprintf("%s-rfsrv-gm", s.node.Name), func(p *sim.Proc) {
+		s.gmWorker(p, port)
+	})
+	return port, nil
+}
+
+func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
+	kern := s.node.Kernel
+	reqVA, err := kern.MmapContig(4096, "rfsrv-req")
+	if err != nil {
+		panic(err)
+	}
+	reqXS, _ := kern.Resolve(reqVA, 4096)
+	bounceVA, err := kern.MmapContig(MaxWriteChunk, "rfsrv-bounce")
+	if err != nil {
+		panic(err)
+	}
+	hdrVA, err := kern.MmapContig(HdrBufSize, "rfsrv-hdr")
+	if err != nil {
+		panic(err)
+	}
+	for {
+		if err := port.PostRecvPhysical(p, reqTag, reqXS); err != nil {
+			panic(err)
+		}
+		ev := s.gmWaitRecv(p, port, reqTag)
+		raw, _ := kern.ReadBytes(reqVA, ev.Len)
+		req, _, err := DecodeReq(raw)
+		if err != nil {
+			continue
+		}
+		s.Requests.Add(ev.Len)
+		s.node.CPU.VFS(p)
+		switch req.Op {
+		case OpRead:
+			resp, xs := s.readExtents(p, req)
+			if len(xs) == 0 {
+				xs = []mem.Extent{{Addr: s.zero.Addr(), Len: 0}}
+			}
+			// Data then header, as separate messages (no vectors in GM).
+			if err := port.SendPhysical(p, ev.Src, req.EP, tag(req.Seq, req.EP, kindData), xs); err != nil {
+				panic(err)
+			}
+			s.replyGM(p, port, kern, hdrVA, ev.Src, req, resp)
+		case OpWrite:
+			// The data message follows the request; post the bounce now
+			// (it has usually already arrived and sits in the
+			// unexpected queue — GM's eager staging).
+			n := int(req.Len)
+			if n > MaxWriteChunk {
+				s.replyGM(p, port, kern, hdrVA, ev.Src, req, &Resp{Seq: req.Seq, Status: StIO})
+				continue
+			}
+			bxs, _ := kern.Resolve(bounceVA, max(n, 1))
+			if err := port.PostRecvPhysical(p, tag(req.Seq, req.EP, kindData), bxs); err != nil {
+				panic(err)
+			}
+			s.gmWaitRecv(p, port, tag(req.Seq, req.EP, kindData))
+			resp := s.handleWrite(p, req, core.Of(core.KernelSeg(kern, bounceVA, n)))
+			s.replyGM(p, port, kern, hdrVA, ev.Src, req, resp)
+		default:
+			resp := s.handleMeta(p, req)
+			s.replyGM(p, port, kern, hdrVA, ev.Src, req, resp)
+		}
+	}
+}
+
+// gmWaitRecv blocks on the unique event queue until the receive with
+// the given tag completes, consuming (and paying for) the unrelated
+// send completions that share the queue.
+func (s *Server) gmWaitRecv(p *sim.Proc, port *gm.Port, want uint64) gm.Event {
+	for {
+		ev := port.WaitEvent(p)
+		if ev.Type == gm.RecvComplete && ev.Tag == want {
+			return ev
+		}
+	}
+}
+
+func (s *Server) replyGM(p *sim.Proc, port *gm.Port, kern *vm.AddressSpace, hdrVA vm.VirtAddr, dst hw.NodeID, req *Req, resp *Resp) {
+	hdr, err := EncodeResp(resp)
+	if err != nil {
+		resp = &Resp{Seq: req.Seq, Status: StIO}
+		hdr, _ = EncodeResp(resp)
+	}
+	if err := kern.WriteBytes(hdrVA, hdr); err != nil {
+		panic(err)
+	}
+	xs, _ := kern.Resolve(hdrVA, len(hdr))
+	if err := port.SendPhysical(p, dst, req.EP, tag(req.Seq, req.EP, kindHdr), xs); err != nil {
+		panic(err)
+	}
+}

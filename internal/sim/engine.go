@@ -1,0 +1,254 @@
+// Package sim provides a deterministic, cooperative discrete-event
+// simulation kernel.
+//
+// # Model
+//
+// A simulation is driven by an Engine holding a virtual clock and a
+// time-ordered event queue. Application logic runs in Procs: goroutines
+// that execute one at a time, cooperatively handing control back to the
+// scheduler whenever they block (Sleep, Signal.Wait, Chan.Recv,
+// Resource.Acquire). Exactly one goroutine — either the scheduler or a
+// single Proc — is runnable at any instant, so simulations are fully
+// deterministic: same inputs, same event interleaving, same results.
+// Ties between events scheduled for the same virtual time are broken by
+// creation order (a monotonically increasing sequence number).
+//
+// Virtual time is a time.Duration measured from the start of the run.
+// Nothing in the package reads wall-clock time.
+//
+// The package is the substrate for the hardware and protocol models in
+// this repository: CPUs, NIC firmware processors, DMA engines and links
+// are all Resources; completion notification queues are Chans; request
+// completions are Signals.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Time is virtual simulation time, measured from the beginning of the run.
+type Time = time.Duration
+
+// event is a scheduled callback. Events either run inline in the
+// scheduler (fn != nil) or transfer control to a parked Proc (proc != nil).
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	proc      *Proc
+	cancelled bool
+	index     int // heap index, maintained by eventHeap
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable;
+// create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // a running Proc signals here when it parks or exits
+	running bool
+	parked  int // number of live Procs currently parked
+	procs   int // number of live Procs (started, not yet finished)
+	failure any // panic value captured from a Proc
+	trace   func(t Time, format string, args ...any)
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTrace installs a trace function invoked by Tracef. A nil function
+// disables tracing (the default).
+func (e *Engine) SetTrace(fn func(t Time, format string, args ...any)) { e.trace = fn }
+
+// Tracef emits a trace record at the current virtual time if tracing is
+// enabled.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, format, args...)
+	}
+}
+
+// schedule inserts an event at absolute time at. Panics if at is in the
+// past (events may be scheduled for the current instant).
+func (e *Engine) schedule(at Time, ev *event) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run in scheduler context after delay d.
+// fn must not block; it may schedule further events, fire signals,
+// send on channels and spawn Procs. The returned event may be cancelled
+// with Cancel.
+func (e *Engine) After(d Time, fn func()) *event {
+	return e.schedule(e.now+d, &event{fn: fn})
+}
+
+// Cancel marks a scheduled event so it will be skipped. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *event) {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// Spawn creates a Proc running body, starting at the current virtual
+// time (or, if the engine is not yet running, when Run is called).
+// name is used in diagnostics only.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAfter(0, name, body)
+}
+
+// SpawnAfter creates a Proc whose body starts after delay d.
+func (e *Engine) SpawnAfter(d Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	e.schedule(e.now+d, &event{fn: func() { e.launch(p, body) }})
+	return p
+}
+
+// launch starts the Proc goroutine and immediately transfers control to
+// it, waiting for it to park or finish.
+func (e *Engine) launch(p *Proc, body func(p *Proc)) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					e.failure = fmt.Sprintf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.done = true
+			e.procs--
+			e.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	<-e.yield
+	e.checkFailure()
+}
+
+// transfer resumes a parked Proc and waits until it parks again or exits.
+func (e *Engine) transfer(p *Proc) {
+	p.wakePending = false
+	if p.done {
+		return
+	}
+	e.parked--
+	p.resume <- struct{}{}
+	<-e.yield
+	e.checkFailure()
+}
+
+func (e *Engine) checkFailure() {
+	if e.failure != nil {
+		f := e.failure
+		e.failure = nil
+		panic(f)
+	}
+}
+
+// wake schedules a control transfer to p at the current time. Duplicate
+// wake-ups for the same proc are coalesced: synchronization primitives
+// always remove a proc from their waiter list before calling wake, so a
+// parked proc has at most one pending wake-up (plus possibly a timer it
+// scheduled itself, which it is responsible for cancelling).
+func (e *Engine) wake(p *Proc) {
+	if p.wakePending {
+		return
+	}
+	p.wakePending = true
+	e.schedule(e.now, &event{proc: p})
+}
+
+// wakeAt schedules a control transfer to p at absolute time at, returning
+// the event so it can be cancelled (used for timeouts).
+func (e *Engine) wakeAt(at Time, p *Proc) *event {
+	return e.schedule(at, &event{proc: p})
+}
+
+// Run processes events until the queue drains or the virtual clock would
+// exceed limit. A zero limit means no limit. Run returns the virtual time
+// at which it stopped. Procs still parked when the queue drains are
+// "stranded" (see Stranded); this usually indicates a protocol deadlock
+// and is deliberately not an error here so tests can assert on it.
+func (e *Engine) Run(limit Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if limit > 0 && next.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		switch {
+		case next.proc != nil:
+			e.transfer(next.proc)
+		case next.fn != nil:
+			next.fn()
+		}
+	}
+	return e.now
+}
+
+// Idle reports whether no events remain.
+func (e *Engine) Idle() bool { return len(e.events) == 0 }
+
+// Stranded returns the number of live Procs that are parked with no
+// pending wake-up event. After Run drains the queue this equals the
+// number of deadlocked processes.
+func (e *Engine) Stranded() int { return e.parked }
+
+// Live returns the number of Procs that have been spawned and have not
+// yet finished.
+func (e *Engine) Live() int { return e.procs }

@@ -1,0 +1,70 @@
+package sim
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// Engine. All blocking methods (Sleep, and the Wait/Recv/Acquire methods
+// on the synchronization types) must only be called from within the
+// Proc's own body.
+type Proc struct {
+	e           *Engine
+	name        string
+	resume      chan struct{}
+	done        bool
+	killed      bool
+	wakePending bool
+}
+
+// procKilled is the panic value used to unwind a killed Proc.
+type procKilled struct{}
+
+// Engine returns the engine this Proc belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park hands control back to the scheduler and blocks until resumed.
+// The caller must already have arranged for a future wake-up (an event,
+// or membership in some waiter list).
+func (p *Proc) park() {
+	p.e.parked++
+	p.e.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the Proc for virtual duration d. A non-positive d
+// yields to other same-time events and returns.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.wakeAt(p.e.now+d, p)
+	p.park()
+}
+
+// Yield lets all other events scheduled for the current instant run
+// before the Proc continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill marks the Proc so that it unwinds (via an internal panic that is
+// recovered by the scheduler) the next time it would resume. Killing an
+// already-finished Proc is a no-op. Kill must be called from scheduler
+// context or from another Proc.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// If the proc is parked with no pending event, give it one so the
+	// unwind actually runs. A spurious extra wake-up is harmless: the
+	// killed flag is checked on every resume.
+	p.e.wake(p)
+}
+
+// Done reports whether the Proc body has returned.
+func (p *Proc) Done() bool { return p.done }

@@ -1,0 +1,390 @@
+package sockets
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// SOCKETS-GM wire tags reuse the (conn, channel) layout of the MX
+// stack; GM's extra port byte is added by the driver.
+func gmTag(conn uint32, ch uint64) uint64 { return uint64(conn)<<8 | ch }
+
+// gmChunk is the staging-buffer granularity of SOCKETS-GM: every send
+// is copied into a registered kernel bounce buffer of this size and
+// shipped chunk by chunk (GM offers no vectors and requires registered
+// or physical memory, so the user buffer cannot be handed to the NIC
+// directly without the whole GMKRC machinery — §5.3: "memory
+// registration problems are similar to ORFS direct file access
+// troubles").
+const gmChunk = 32 * 1024
+
+// GMStack is the SOCKETS-GM provider for one node.
+type GMStack struct {
+	node *hw.Node
+	p    *hw.Params
+	port *gm.Port
+
+	conns     map[uint32]*gmConn
+	nextConn  uint32
+	listeners map[Port]*gmListener
+	dials     map[uint32]*gmConn
+
+	// The dispatching kernel thread (§5.3): all completions funnel
+	// through it, adding a context switch to every blocking wait.
+	waiters map[uint64]*sim.Chan[gm.Event]
+
+	ctlVA vm.VirtAddr
+	ctlXS []mem.Extent
+}
+
+// NewGMStack attaches a SOCKETS-GM stack to a node on GM kernel port
+// portID.
+func NewGMStack(g *gm.GM, portID uint8) (*GMStack, error) {
+	port, err := g.OpenPort(portID, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &GMStack{
+		node:      g.Node(),
+		p:         g.Node().Cluster.Params,
+		port:      port,
+		conns:     make(map[uint32]*gmConn),
+		nextConn:  1,
+		listeners: make(map[Port]*gmListener),
+		dials:     make(map[uint32]*gmConn),
+		waiters:   make(map[uint64]*sim.Chan[gm.Event]),
+	}
+	if s.ctlVA, err = s.node.Kernel.MmapContig(256, "sockgm-ctl"); err != nil {
+		return nil, err
+	}
+	s.ctlXS, _ = s.node.Kernel.Resolve(s.ctlVA, 256)
+	s.node.Cluster.Env.Spawn(s.node.Name+"-sockgm-dispatch", s.dispatcher)
+	s.node.Cluster.Env.Spawn(s.node.Name+"-sockgm-ctl", s.ctlPump)
+	return s, nil
+}
+
+// sendKey distinguishes send-completion waiters from receive waiters
+// in the dispatcher's table.
+const sendKey = uint64(1) << 63
+
+// dispatcher is the extra kernel thread GM's completion model forces
+// (§5.3): it blocks on the port's unique event queue and hands each
+// completion to whichever socket operation is waiting for it. The
+// thread's sleep/wake cost (charged inside gm.Port.WaitEvent) is what
+// lifts SOCKETS-GM's one-way latency to ~15 µs.
+func (s *GMStack) dispatcher(p *sim.Proc) {
+	for {
+		ev := s.port.WaitEvent(p)
+		var key uint64
+		switch ev.Type {
+		case gm.RecvComplete:
+			key = ev.Tag
+		case gm.SendComplete:
+			key = ev.Tag | sendKey
+		default:
+			continue
+		}
+		if w := s.waiters[key]; w != nil {
+			delete(s.waiters, key)
+			w.Send(ev)
+		}
+		// Unclaimed completions (e.g. a FIN racing a close) are dropped.
+	}
+}
+
+// reserve registers interest in a completion before the operation that
+// produces it is issued (the dispatcher drops unclaimed completions).
+func (s *GMStack) reserve(key uint64) *sim.Chan[gm.Event] {
+	ch := sim.NewChan[gm.Event](s.node.Cluster.Env)
+	s.waiters[key] = ch
+	return ch
+}
+
+type gmListener struct {
+	stack   *GMStack
+	port    Port
+	backlog *sim.Chan[*gmConn]
+}
+
+// Accept implements Listener.
+func (l *gmListener) Accept(p *sim.Proc) (Conn, error) {
+	return l.backlog.Recv(p), nil
+}
+
+// gmConn is one SOCKETS-GM connection endpoint.
+type gmConn struct {
+	stack    *GMStack
+	localID  uint32
+	peerID   uint32
+	peerNode hw.NodeID
+
+	established *sim.Signal
+	buffered    []byte
+	eof         bool
+	closed      bool
+	seq         uint64 // per-conn data sequence (tags successive chunks)
+	rseq        uint64
+	pendingTag  uint64 // tag of an in-flight Recv (for FIN unblocking)
+
+	txVA, rxVA vm.VirtAddr
+	txXS, rxXS []mem.Extent
+
+	Tx, Rx sim.Counter
+}
+
+// Listen implements Stack.
+func (s *GMStack) Listen(port Port) (Listener, error) {
+	if _, dup := s.listeners[port]; dup {
+		return nil, fmt.Errorf("sockets: port %d already listening", port)
+	}
+	l := &gmListener{stack: s, port: port, backlog: sim.NewChan[*gmConn](s.node.Cluster.Env)}
+	s.listeners[port] = l
+	return l, nil
+}
+
+func (s *GMStack) newConn(peerNode hw.NodeID) (*gmConn, error) {
+	c := &gmConn{
+		stack:       s,
+		localID:     s.nextConn,
+		peerNode:    peerNode,
+		established: sim.NewSignal(s.node.Cluster.Env),
+	}
+	s.nextConn++
+	var err error
+	if c.txVA, err = s.node.Kernel.MmapContig(gmChunk, "sockgm-tx"); err != nil {
+		return nil, err
+	}
+	if c.rxVA, err = s.node.Kernel.MmapContig(gmChunk, "sockgm-rx"); err != nil {
+		return nil, err
+	}
+	c.txXS, _ = s.node.Kernel.Resolve(c.txVA, gmChunk)
+	c.rxXS, _ = s.node.Kernel.Resolve(c.rxVA, gmChunk)
+	s.conns[c.localID] = c
+	return c, nil
+}
+
+// Dial implements Stack.
+func (s *GMStack) Dial(p *sim.Proc, peerNode int, port Port) (Conn, error) {
+	s.node.CPU.Syscall(p)
+	c, err := s.newConn(hw.NodeID(peerNode))
+	if err != nil {
+		return nil, err
+	}
+	s.dials[c.localID] = c
+	s.sendCtl(p, hw.NodeID(peerNode), ctlSYN, c.localID, uint32(port))
+	if !c.established.WaitTimeout(p, 10*sim.Time(1e6)) {
+		return nil, ErrRefused
+	}
+	return c, nil
+}
+
+// sendCtl transmits a control message. All control traffic shares one
+// GM tag (GM matches by exact tag, so per-connection control tags
+// would need per-connection posted receives); the target connection
+// rides in the payload.
+func (s *GMStack) sendCtl(p *sim.Proc, dst hw.NodeID, kind uint8, a, b uint32) {
+	buf := make([]byte, 9)
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], a)
+	binary.LittleEndian.PutUint32(buf[5:], b)
+	s.node.Kernel.WriteBytes(s.ctlVA, buf)
+	xs := []mem.Extent{{Addr: s.ctlXS[0].Addr, Len: len(buf)}}
+	if err := s.port.SendPhysical(p, dst, s.port.ID(), chCtl, xs); err != nil {
+		panic(err)
+	}
+}
+
+// ctlPump keeps a control receive posted and handles connection
+// management events handed over by the dispatcher.
+func (s *GMStack) ctlPump(p *sim.Proc) {
+	kern := s.node.Kernel
+	bufVA, err := kern.MmapContig(256, "sockgm-ctlrx")
+	if err != nil {
+		panic(err)
+	}
+	bufXS, _ := kern.Resolve(bufVA, 256)
+	for {
+		ch := s.reserve(chCtl)
+		if err := s.port.PostRecvPhysical(p, chCtl, bufXS); err != nil {
+			panic(err)
+		}
+		ev := ch.Recv(p)
+		raw, _ := kern.ReadBytes(bufVA, ev.Len)
+		if len(raw) < 9 {
+			continue
+		}
+		kind := raw[0]
+		a := binary.LittleEndian.Uint32(raw[1:])
+		b := binary.LittleEndian.Uint32(raw[5:])
+		switch kind {
+		case ctlSYN:
+			l := s.listeners[Port(b)]
+			if l == nil {
+				continue
+			}
+			c, err := s.newConn(ev.Src)
+			if err != nil {
+				continue
+			}
+			c.peerID = a
+			c.established.Fire()
+			s.sendCtl(p, ev.Src, ctlSYNACK, c.localID, a)
+			l.backlog.Send(c)
+		case ctlSYNACK: // a = acceptor conn, b = our dialing conn
+			c := s.dials[b]
+			if c == nil {
+				continue
+			}
+			delete(s.dials, b)
+			c.peerID = a
+			c.established.Fire()
+		case ctlFIN: // a = target conn on our side
+			if c := s.conns[a]; c != nil {
+				c.eof = true
+				if w := s.waiters[c.pendingTag]; c.pendingTag != 0 && w != nil {
+					// Unblock a pending Recv with a zero-length event.
+					delete(s.waiters, c.pendingTag)
+					w.Send(gm.Event{Type: gm.RecvComplete, Len: 0})
+				}
+			}
+		}
+	}
+}
+
+// Send implements Conn: copy the user buffer into the registered
+// kernel bounce (chunk by chunk) and ship each chunk with the
+// physical-address primitives. Two copies per byte end to end — the
+// §5.3 bandwidth ceiling.
+func (c *gmConn) Send(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	s := c.stack
+	s.node.CPU.Syscall(p)
+	s.node.CPU.Compute(p, s.p.SockGMOverhead)
+	sent := 0
+	for sent < n {
+		chunk := n - sent
+		if chunk > gmChunk {
+			chunk = gmChunk
+		}
+		// Stage: user → bounce.
+		data, err := as.ReadBytes(va+vm.VirtAddr(sent), chunk)
+		if err != nil {
+			return sent, err
+		}
+		s.node.CPU.Copy(p, chunk)
+		if err := s.node.Kernel.WriteBytes(c.txVA, data); err != nil {
+			return sent, err
+		}
+		xs := clipXS(c.txXS, chunk)
+		c.seq++
+		stag := gmTag(c.peerID, chData) + c.seq<<40
+		done := s.reserve(stag | sendKey)
+		if err := s.port.SendPhysical(p, c.peerNode, s.port.ID(), stag, xs); err != nil {
+			delete(s.waiters, stag|sendKey)
+			return sent, err
+		}
+		sent += chunk
+		// The single bounce buffer cannot be rewritten until GM
+		// reports the send complete — and GM completion is end-to-end
+		// (ACK-based), so every chunk serializes on a full delivery: a
+		// real SOCKETS-GM bandwidth limiter.
+		done.Recv(p)
+	}
+	c.Tx.Add(n)
+	return sent, nil
+}
+
+// Recv implements Conn: data lands in the registered kernel bounce and
+// is copied out to the user buffer after a dispatcher hand-off.
+func (c *gmConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	s := c.stack
+	s.node.CPU.Syscall(p)
+	s.node.CPU.Compute(p, s.p.SockGMOverhead)
+	if len(c.buffered) > 0 {
+		take := n
+		if take > len(c.buffered) {
+			take = len(c.buffered)
+		}
+		s.node.CPU.Copy(p, take)
+		if err := as.WriteBytes(va, c.buffered[:take]); err != nil {
+			return 0, err
+		}
+		c.buffered = c.buffered[take:]
+		c.Rx.Add(take)
+		return take, nil
+	}
+	if c.eof {
+		return 0, nil
+	}
+	c.rseq++
+	tag := gmTag(c.localID, chData) + c.rseq<<40
+	ch := s.reserve(tag)
+	c.pendingTag = tag
+	if err := s.port.PostRecvPhysical(p, tag, c.rxXS); err != nil {
+		delete(s.waiters, tag)
+		return 0, err
+	}
+	ev := ch.Recv(p)
+	c.pendingTag = 0
+	if ev.Len == 0 {
+		return 0, nil // FIN
+	}
+	// Copy bounce → user.
+	got := ev.Len
+	raw, err := s.node.Kernel.ReadBytes(c.rxVA, got)
+	if err != nil {
+		return 0, err
+	}
+	take := got
+	if take > n {
+		take = n
+		c.buffered = append(c.buffered, raw[take:]...)
+	}
+	s.node.CPU.Copy(p, take)
+	if err := as.WriteBytes(va, raw[:take]); err != nil {
+		return 0, err
+	}
+	c.Rx.Add(take)
+	return take, nil
+}
+
+// Close implements Conn.
+func (c *gmConn) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.stack.node.CPU.Syscall(p)
+	c.stack.sendCtl(p, c.peerNode, ctlFIN, c.peerID, 0)
+	delete(c.stack.conns, c.localID)
+	return nil
+}
+
+func clipXS(xs []mem.Extent, n int) []mem.Extent {
+	var out []mem.Extent
+	for _, x := range xs {
+		if n == 0 {
+			break
+		}
+		l := x.Len
+		if l > n {
+			l = n
+		}
+		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
+		n -= l
+	}
+	return out
+}
+
+var _ Stack = (*GMStack)(nil)

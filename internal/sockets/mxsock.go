@@ -1,0 +1,320 @@
+package sockets
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/mx"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Match-information layout for the MX stack: channel in the low 8
+// bits, destination connection ID above.
+const (
+	chCtl  uint64 = 1 // SYN / SYN-ACK / FIN
+	chData uint64 = 2
+)
+
+func mxMatch(conn uint32, ch uint64) uint64 { return uint64(conn)<<8 | ch }
+
+// control message kinds.
+const (
+	ctlSYN uint8 = iota + 1
+	ctlSYNACK
+	ctlFIN
+)
+
+// overflowSize bounds how much a single inbound message may exceed the
+// posted user buffer; the excess lands in a kernel overflow buffer and
+// is drained by later Recv calls.
+const overflowSize = 1 << 20
+
+// MXStack is the SOCKETS-MX provider for one node.
+type MXStack struct {
+	node *hw.Node
+	p    *hw.Params
+	ep   *mx.Endpoint
+
+	conns     map[uint32]*mxConn
+	nextConn  uint32
+	listeners map[Port]*mxListener
+	dials     map[uint32]*mxConn // awaiting SYN-ACK
+
+	ctlVA vm.VirtAddr // control send buffer
+}
+
+// NewMXStack attaches a SOCKETS-MX stack to a node, using MX kernel
+// endpoint epID.
+func NewMXStack(m *mx.MX, epID uint8) (*MXStack, error) {
+	ep, err := m.OpenEndpoint(epID, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &MXStack{
+		node:      m.Node(),
+		p:         m.Node().Cluster.Params,
+		ep:        ep,
+		conns:     make(map[uint32]*mxConn),
+		nextConn:  1,
+		listeners: make(map[Port]*mxListener),
+		dials:     make(map[uint32]*mxConn),
+	}
+	if s.ctlVA, err = s.node.Kernel.MmapContig(256, "sockmx-ctl"); err != nil {
+		return nil, err
+	}
+	s.node.Cluster.Env.Spawn(s.node.Name+"-sockmx-ctl", s.ctlPump)
+	return s, nil
+}
+
+type mxListener struct {
+	stack   *MXStack
+	port    Port
+	backlog *sim.Chan[*mxConn]
+}
+
+// Accept implements Listener.
+func (l *mxListener) Accept(p *sim.Proc) (Conn, error) {
+	return l.backlog.Recv(p), nil
+}
+
+// mxConn is one SOCKETS-MX connection endpoint.
+type mxConn struct {
+	stack    *MXStack
+	localID  uint32
+	peerID   uint32
+	peerNode hw.NodeID
+	peerEP   uint8
+
+	established *sim.Signal
+	buffered    []byte // overflow bytes awaiting Recv
+	eof         bool
+	eofNotify   *sim.Signal // fires on FIN so blocked Recv can return
+	closed      bool
+
+	overflowVA vm.VirtAddr
+
+	// pendingRecv, when non-nil, is the in-flight posted receive (one
+	// at a time: blocking stream semantics).
+	Tx, Rx sim.Counter
+}
+
+// Listen implements Stack.
+func (s *MXStack) Listen(port Port) (Listener, error) {
+	if _, dup := s.listeners[port]; dup {
+		return nil, fmt.Errorf("sockets: port %d already listening", port)
+	}
+	l := &mxListener{stack: s, port: port, backlog: sim.NewChan[*mxConn](s.node.Cluster.Env)}
+	s.listeners[port] = l
+	return l, nil
+}
+
+func (s *MXStack) newConn(peerNode hw.NodeID, peerEP uint8) (*mxConn, error) {
+	c := &mxConn{
+		stack:       s,
+		localID:     s.nextConn,
+		peerNode:    peerNode,
+		peerEP:      peerEP,
+		established: sim.NewSignal(s.node.Cluster.Env),
+		eofNotify:   sim.NewSignal(s.node.Cluster.Env),
+	}
+	s.nextConn++
+	var err error
+	if c.overflowVA, err = s.node.Kernel.MmapContig(overflowSize, "sockmx-overflow"); err != nil {
+		return nil, err
+	}
+	s.conns[c.localID] = c
+	return c, nil
+}
+
+// Dial implements Stack.
+func (s *MXStack) Dial(p *sim.Proc, peerNode int, port Port) (Conn, error) {
+	s.node.CPU.Syscall(p)
+	c, err := s.newConn(hw.NodeID(peerNode), s.ep.ID())
+	if err != nil {
+		return nil, err
+	}
+	s.dials[c.localID] = c
+	s.sendCtl(p, hw.NodeID(peerNode), s.ep.ID(), 0, ctlSYN, c.localID, uint32(port))
+	if !c.established.WaitTimeout(p, 10*sim.Time(1e6)) {
+		return nil, ErrRefused
+	}
+	return c, nil
+}
+
+// sendCtl transmits a small control message.
+func (s *MXStack) sendCtl(p *sim.Proc, dst hw.NodeID, dstEP uint8, dstConn uint32, kind uint8, a, b uint32) {
+	buf := make([]byte, 9)
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], a)
+	binary.LittleEndian.PutUint32(buf[5:], b)
+	s.node.Kernel.WriteBytes(s.ctlVA, buf)
+	req, err := s.ep.Send(p, dst, dstEP, mxMatch(dstConn, chCtl),
+		core.Of(core.KernelSeg(s.node.Kernel, s.ctlVA, len(buf))))
+	if err != nil {
+		panic(err)
+	}
+	req.Wait(p)
+}
+
+// ctlPump handles SYN/SYN-ACK/FIN for the whole stack.
+func (s *MXStack) ctlPump(p *sim.Proc) {
+	kern := s.node.Kernel
+	bufVA, err := kern.MmapContig(256, "sockmx-ctlrx")
+	if err != nil {
+		panic(err)
+	}
+	anyCtl := core.Match{Bits: chCtl, Mask: 0xff}
+	for {
+		req, err := s.ep.Recv(p, anyCtl, core.Of(core.KernelSeg(kern, bufVA, 256)))
+		if err != nil {
+			panic(err)
+		}
+		st := req.Wait(p)
+		raw, _ := kern.ReadBytes(bufVA, st.Len)
+		if len(raw) < 9 {
+			continue
+		}
+		kind := raw[0]
+		a := binary.LittleEndian.Uint32(raw[1:])
+		b := binary.LittleEndian.Uint32(raw[5:])
+		switch kind {
+		case ctlSYN: // a = dialer's conn ID, b = port
+			l := s.listeners[Port(b)]
+			if l == nil {
+				continue // refused: dialer times out
+			}
+			c, err := s.newConn(st.Src, 0 /* set below */)
+			if err != nil {
+				continue
+			}
+			c.peerEP = s.peerEPOf(st)
+			c.peerID = a
+			c.established.Fire()
+			s.sendCtl(p, st.Src, c.peerEP, a, ctlSYNACK, c.localID, 0)
+			l.backlog.Send(c)
+		case ctlSYNACK: // addressed conn = dials entry; a = acceptor's conn ID
+			conn := uint32(st.Info >> 8)
+			c := s.dials[conn]
+			if c == nil {
+				continue
+			}
+			delete(s.dials, conn)
+			c.peerID = a
+			c.peerEP = s.peerEPOf(st)
+			c.established.Fire()
+		case ctlFIN:
+			conn := uint32(st.Info >> 8)
+			if c := s.conns[conn]; c != nil {
+				c.eof = true
+				c.eofNotify.Fire()
+			}
+		}
+	}
+}
+
+// peerEPOf recovers the sender's endpoint id. Both stacks use the same
+// endpoint number convention; SOCKETS-MX deployments use one endpoint
+// per node, so the peer's endpoint equals ours.
+func (s *MXStack) peerEPOf(st mx.Status) uint8 { return s.ep.ID() }
+
+// Send implements Conn: a system call, the thin SOCKETS-MX protocol
+// layer, then a native MX send of the user buffer itself.
+func (c *mxConn) Send(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	s := c.stack
+	s.node.CPU.Syscall(p)
+	s.node.CPU.Compute(p, s.p.SockMXOverhead)
+	req, err := s.ep.Send(p, c.peerNode, c.peerEP, mxMatch(c.peerID, chData),
+		core.Of(core.UserSeg(as, va, n)))
+	if err != nil {
+		return 0, err
+	}
+	st := req.Wait(p)
+	c.Tx.Add(n)
+	return st.Len, st.Err
+}
+
+// Recv implements Conn: drain buffered overflow first; otherwise post
+// a vectorial [user | kernel-overflow] receive so stream bytes land
+// directly in the application buffer (MX's vectorial primitives are
+// what make this possible — §4.1).
+func (c *mxConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	s := c.stack
+	s.node.CPU.Syscall(p)
+	s.node.CPU.Compute(p, s.p.SockMXOverhead)
+	if len(c.buffered) > 0 {
+		take := n
+		if take > len(c.buffered) {
+			take = len(c.buffered)
+		}
+		s.node.CPU.Copy(p, take)
+		if err := as.WriteBytes(va, c.buffered[:take]); err != nil {
+			return 0, err
+		}
+		c.buffered = c.buffered[take:]
+		c.Rx.Add(take)
+		return take, nil
+	}
+	if c.eof {
+		return 0, nil
+	}
+	req, err := s.ep.Recv(p, core.Exact(mxMatch(c.localID, chData)), core.Vector{
+		core.UserSeg(as, va, n),
+		core.KernelSeg(s.node.Kernel, c.overflowVA, overflowSize),
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Block until data or FIN.
+	for !req.Done() && !c.eof {
+		if st, ok := req.WaitTimeout(p, sim.Time(1e5)); ok {
+			return c.finishRecv(p, st, n)
+		}
+	}
+	if req.Done() {
+		st, _ := req.WaitTimeout(p, 0)
+		return c.finishRecv(p, st, n)
+	}
+	return 0, nil // EOF raced the receive
+}
+
+func (c *mxConn) finishRecv(p *sim.Proc, st mx.Status, n int) (int, error) {
+	if st.Err != nil {
+		return 0, st.Err
+	}
+	got := st.Len
+	if got > n {
+		// Overflow bytes went to the kernel buffer; stage them.
+		extra := got - n
+		raw, err := c.stack.node.Kernel.ReadBytes(c.overflowVA, extra)
+		if err != nil {
+			return 0, err
+		}
+		c.buffered = append(c.buffered, raw...)
+		got = n
+	}
+	c.Rx.Add(got)
+	return got, nil
+}
+
+// Close implements Conn.
+func (c *mxConn) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.stack.node.CPU.Syscall(p)
+	c.stack.sendCtl(p, c.peerNode, c.peerEP, c.peerID, ctlFIN, 0, 0)
+	delete(c.stack.conns, c.localID)
+	return nil
+}
+
+var _ Stack = (*MXStack)(nil)

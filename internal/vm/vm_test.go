@@ -1,0 +1,442 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newSpace(t *testing.T, kind Kind) (*mem.Memory, *AddressSpace) {
+	t.Helper()
+	m := mem.New(0)
+	return m, NewAddressSpace(m, NewIDSource(), kind, "test")
+}
+
+func TestMmapTranslateRoundtrip(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, err := as.Mmap(3*PageSize, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox")
+	if err := as.WriteBytes(base+PageSize-5, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadBytes(base+PageSize-5, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+}
+
+func TestTranslateFaultOnUnmapped(t *testing.T) {
+	_, as := newSpace(t, User)
+	if _, err := as.Translate(0xdead000); err == nil {
+		t.Fatal("expected fault on unmapped address")
+	}
+}
+
+func TestMmapFramesScattered(t *testing.T) {
+	m, as := newSpace(t, User)
+	// Fragment the allocator.
+	var junk []VirtAddr
+	for i := 0; i < 4; i++ {
+		a, _ := as.Mmap(PageSize, "junk")
+		junk = append(junk, a)
+	}
+	for _, a := range junk {
+		if err := as.Munmap(a, PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, _ := as.Mmap(4*PageSize, "buf")
+	xs, err := as.Resolve(base, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) < 2 {
+		t.Fatalf("expected scattered frames after recycling, got %d extents", len(xs))
+	}
+	_ = m
+}
+
+func TestMmapContigResolvesToOneExtent(t *testing.T) {
+	_, as := newSpace(t, Kernel)
+	base, err := as.MmapContig(8*PageSize, "bounce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := as.Resolve(base, 8*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 1 || xs[0].Len != 8*PageSize {
+		t.Fatalf("contiguous mapping resolved to %v", xs)
+	}
+}
+
+func TestResolvePartialPages(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, _ := as.Mmap(2*PageSize, "buf")
+	xs, err := as.Resolve(base+100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.TotalLen(xs) != 200 {
+		t.Fatalf("resolve length = %d, want 200", mem.TotalLen(xs))
+	}
+	xs, err = as.Resolve(base+PageSize-50, 100) // crosses page boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.TotalLen(xs) != 100 {
+		t.Fatalf("cross-page resolve length = %d", mem.TotalLen(xs))
+	}
+}
+
+func TestMunmapSplitsVMA(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, _ := as.Mmap(4*PageSize, "buf")
+	if err := as.Munmap(base+PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if as.VMACount() != 2 {
+		t.Fatalf("VMA count = %d after hole punch, want 2", as.VMACount())
+	}
+	if as.FindVMA(base) == nil || as.FindVMA(base+PageSize) != nil || as.FindVMA(base+2*PageSize) == nil {
+		t.Fatal("hole not where expected")
+	}
+	if _, err := as.Translate(base + PageSize + 4); err == nil {
+		t.Fatal("translation survived munmap")
+	}
+}
+
+func TestMunmapUnalignedRejected(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, _ := as.Mmap(PageSize, "buf")
+	if err := as.Munmap(base+1, PageSize); err == nil {
+		t.Fatal("unaligned munmap accepted")
+	}
+	if err := as.Munmap(base, 100); err == nil {
+		t.Fatal("non-page-multiple munmap accepted")
+	}
+}
+
+func TestMunmapFreesFrames(t *testing.T) {
+	m, as := newSpace(t, User)
+	base, _ := as.Mmap(5*PageSize, "buf")
+	if m.Allocated() != 5 {
+		t.Fatalf("allocated = %d, want 5", m.Allocated())
+	}
+	if err := as.Munmap(base, 5*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.Allocated() != 0 {
+		t.Fatalf("allocated = %d after munmap, want 0", m.Allocated())
+	}
+}
+
+func TestPinKeepsFrameAcrossMunmap(t *testing.T) {
+	m, as := newSpace(t, User)
+	base, _ := as.Mmap(PageSize, "buf")
+	as.WriteBytes(base, []byte("persist"))
+	pa, _ := as.Translate(base)
+	if _, err := as.Pin(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Frame must still be alive and hold the data (DMA in flight).
+	buf := make([]byte, 7)
+	m.ReadAt(pa, buf)
+	if string(buf) != "persist" {
+		t.Fatalf("pinned frame data lost: %q", buf)
+	}
+	if err := as.Unpin(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.Allocated() != 0 {
+		t.Fatalf("allocated = %d after unpin, want 0", m.Allocated())
+	}
+}
+
+func TestUnpinUnderflow(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, _ := as.Mmap(PageSize, "buf")
+	if err := as.Unpin(base, PageSize); err == nil {
+		t.Fatal("unpin without pin accepted")
+	}
+}
+
+func TestPinCountNested(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, _ := as.Mmap(PageSize, "buf")
+	as.Pin(base, PageSize)
+	as.Pin(base, PageSize)
+	if as.PinCount(base) != 2 {
+		t.Fatalf("pin count = %d, want 2", as.PinCount(base))
+	}
+	as.Unpin(base, PageSize)
+	if as.PinCount(base) != 1 {
+		t.Fatalf("pin count = %d, want 1", as.PinCount(base))
+	}
+}
+
+type recordingSpy struct {
+	invalidations []struct {
+		as     *AddressSpace
+		start  VirtAddr
+		length int
+	}
+	forks []struct{ parent, child *AddressSpace }
+	exits []*AddressSpace
+}
+
+func (r *recordingSpy) Invalidate(as *AddressSpace, start VirtAddr, length int) {
+	r.invalidations = append(r.invalidations, struct {
+		as     *AddressSpace
+		start  VirtAddr
+		length int
+	}{as, start, length})
+}
+func (r *recordingSpy) Forked(p, c *AddressSpace) {
+	r.forks = append(r.forks, struct{ parent, child *AddressSpace }{p, c})
+}
+func (r *recordingSpy) Exited(as *AddressSpace) { r.exits = append(r.exits, as) }
+
+func TestVMASpyNotifications(t *testing.T) {
+	_, as := newSpace(t, User)
+	spy := &recordingSpy{}
+	as.RegisterSpy(spy)
+	base, _ := as.Mmap(4*PageSize, "buf")
+	if err := as.Munmap(base, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if len(spy.invalidations) != 1 {
+		t.Fatalf("invalidations = %d, want 1", len(spy.invalidations))
+	}
+	inv := spy.invalidations[0]
+	if inv.start != base || inv.length != 2*PageSize {
+		t.Errorf("invalidate range %#x+%d, want %#x+%d", inv.start, inv.length, base, 2*PageSize)
+	}
+	child, err := as.Fork("child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spy.forks) != 1 || spy.forks[0].child != child {
+		t.Fatal("fork not reported to spy")
+	}
+	as.Destroy()
+	if len(spy.exits) != 1 {
+		t.Fatal("exit not reported to spy")
+	}
+}
+
+func TestSpyInvalidateBeforeTeardown(t *testing.T) {
+	// The spy must still be able to resolve the range when notified
+	// (GMKRC deregisters NIC translations using it).
+	_, as := newSpace(t, User)
+	resolved := false
+	spy := &funcSpy{onInvalidate: func(s *AddressSpace, start VirtAddr, length int) {
+		if _, err := s.Resolve(start, length); err != nil {
+			panic("range already unmapped during Invalidate: " + err.Error())
+		}
+		resolved = true
+	}}
+	as.RegisterSpy(spy)
+	base, _ := as.Mmap(PageSize, "b")
+	if err := as.Munmap(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !resolved {
+		t.Fatal("spy did not run")
+	}
+}
+
+type funcSpy struct {
+	onInvalidate func(*AddressSpace, VirtAddr, int)
+}
+
+func (f *funcSpy) Invalidate(as *AddressSpace, s VirtAddr, l int) {
+	if f.onInvalidate != nil {
+		f.onInvalidate(as, s, l)
+	}
+}
+func (f *funcSpy) Forked(p, c *AddressSpace) {}
+func (f *funcSpy) Exited(as *AddressSpace)   {}
+
+func TestUnregisterSpy(t *testing.T) {
+	_, as := newSpace(t, User)
+	spy := &recordingSpy{}
+	as.RegisterSpy(spy)
+	as.RegisterSpy(spy) // duplicate ignored
+	as.UnregisterSpy(spy)
+	base, _ := as.Mmap(PageSize, "b")
+	as.Munmap(base, PageSize)
+	if len(spy.invalidations) != 0 {
+		t.Fatal("unregistered spy still notified")
+	}
+}
+
+func TestForkCopiesData(t *testing.T) {
+	_, as := newSpace(t, User)
+	base, _ := as.Mmap(2*PageSize, "buf")
+	as.WriteBytes(base, []byte("original"))
+	child, err := as.Fork("child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same virtual address, different physical page, same contents.
+	pp, _ := as.Translate(base)
+	cp, err := child.Translate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp == cp {
+		t.Fatal("fork shares physical frames (must copy)")
+	}
+	got, _ := child.ReadBytes(base, 8)
+	if string(got) != "original" {
+		t.Fatalf("child data = %q", got)
+	}
+	// Writes diverge.
+	child.WriteBytes(base, []byte("changed!"))
+	pgot, _ := as.ReadBytes(base, 8)
+	if string(pgot) != "original" {
+		t.Fatal("child write visible in parent")
+	}
+	if as.ID() == child.ID() {
+		t.Fatal("fork reused ASID")
+	}
+}
+
+func TestDistinctSpacesOverlapVirtualAddresses(t *testing.T) {
+	// The paper's §4.2 point: the same virtual address in two spaces
+	// maps to different physical locations, so an API taking bare
+	// virtual addresses is ambiguous.
+	m := mem.New(0)
+	ids := NewIDSource()
+	a := NewAddressSpace(m, ids, User, "a")
+	b := NewAddressSpace(m, ids, User, "b")
+	va1, _ := a.Mmap(PageSize, "x")
+	va2, _ := b.Mmap(PageSize, "x")
+	if va1 != va2 {
+		t.Fatalf("expected identical base addresses, got %#x vs %#x", va1, va2)
+	}
+	p1, _ := a.Translate(va1)
+	p2, _ := b.Translate(va2)
+	if p1 == p2 {
+		t.Fatal("distinct spaces share a frame")
+	}
+}
+
+func TestDestroyedSpacePanics(t *testing.T) {
+	_, as := newSpace(t, User)
+	as.Destroy()
+	defer func() {
+		if recover() == nil {
+			t.Error("Mmap on destroyed space should panic")
+		}
+	}()
+	as.Mmap(PageSize, "x")
+}
+
+func TestGenerationBumps(t *testing.T) {
+	_, as := newSpace(t, User)
+	g0 := as.Generation()
+	base, _ := as.Mmap(PageSize, "b")
+	g1 := as.Generation()
+	as.Munmap(base, PageSize)
+	g2 := as.Generation()
+	if !(g0 < g1 && g1 < g2) {
+		t.Fatalf("generation not monotone: %d %d %d", g0, g1, g2)
+	}
+}
+
+// Property: Resolve(va, n) always returns extents totalling n bytes, each
+// extent within a page-aligned frame run, and gather(resolve) equals the
+// bytes written through WriteBytes.
+func TestResolveProperty(t *testing.T) {
+	m, as := newSpace(t, User)
+	base, _ := as.Mmap(32*PageSize, "buf")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		off := rng.Intn(20 * PageSize)
+		n := rng.Intn(10*PageSize) + 1
+		va := base + VirtAddr(off)
+		data := make([]byte, n)
+		rng.Read(data)
+		if err := as.WriteBytes(va, data); err != nil {
+			return false
+		}
+		xs, err := as.Resolve(va, n)
+		if err != nil {
+			return false
+		}
+		if mem.TotalLen(xs) != n {
+			return false
+		}
+		return bytes.Equal(m.Gather(xs), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random sequence of mmap/munmap keeps the page table and
+// VMA list consistent: every mapped VMA page translates, every address
+// outside all VMAs faults.
+func TestMapUnmapConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := mem.New(0)
+		as := NewAddressSpace(m, NewIDSource(), User, "p")
+		type region struct {
+			base VirtAddr
+			n    int
+		}
+		var live []region
+		for op := 0; op < 40; op++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				n := rng.Intn(6) + 1
+				b, err := as.Mmap(n*PageSize, "r")
+				if err != nil {
+					return false
+				}
+				live = append(live, region{b, n})
+			} else {
+				i := rng.Intn(len(live))
+				r := live[i]
+				if err := as.Munmap(r.base, r.n*PageSize); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, r := range live {
+			for pg := 0; pg < r.n; pg++ {
+				if _, err := as.Translate(r.base + VirtAddr(pg*PageSize)); err != nil {
+					return false
+				}
+			}
+			if as.FindVMA(r.base) == nil {
+				return false
+			}
+		}
+		// Frame accounting: exactly the live pages are allocated.
+		want := 0
+		for _, r := range live {
+			want += r.n
+		}
+		return m.Allocated() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package knapi is the public facade of this repository: a Go
+// reproduction of "An Efficient Network API for in-Kernel Applications
+// in Clusters" (Goglin, Glück, Vicat-Blanc Primet — IEEE Cluster 2005,
+// INRIA RR-5561).
+//
+// The library simulates, deterministically and with real data
+// movement, the paper's whole experimental platform: Myrinet
+// PCI-XD/PCI-XE networks, the GM and MX programming interfaces
+// (including the paper's kernel-interface contributions), the Linux
+// kernel pieces in-kernel applications live in (virtual memory with
+// VMA SPY, page cache, VFS), the GMKRC registration cache, the
+// ORFA/ORFS remote file system, the SOCKETS-GM/SOCKETS-MX zero-copy
+// socket layers, and a network block device.
+//
+// # Quick start
+//
+//	s := knapi.NewSim(knapi.PCIXD)
+//	a, b := s.AddNode("a"), s.AddNode("b")
+//	mxA, mxB := knapi.AttachMX(a), knapi.AttachMX(b)
+//	... open endpoints, exchange messages (see examples/quickstart) ...
+//	s.Run()
+//
+// Everything happens in virtual time on a discrete-event engine; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every figure and table of the paper.
+package knapi
+
+import (
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/gm"
+	"repro/internal/gmkrc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/mx"
+	"repro/internal/nbd"
+	"repro/internal/netpipe"
+	"repro/internal/orfa"
+	"repro/internal/orfs"
+	"repro/internal/rfsrv"
+	"repro/internal/sim"
+	"repro/internal/sockets"
+	"repro/internal/vm"
+)
+
+// Link models (Myrinet card generations).
+const (
+	// PCIXD is the 250 MB/s card of the paper's §3–§5.2 testbed.
+	PCIXD = hw.PCIXD
+	// PCIXE is the 500 MB/s two-link card of §5.3.
+	PCIXE = hw.PCIXE
+)
+
+// Re-exported core types. The simulation engine, hardware and protocol
+// models live in internal packages; these aliases are the supported
+// surface.
+type (
+	// Sim-level types.
+	Engine = sim.Engine
+	Proc   = sim.Proc
+	Time   = sim.Time
+
+	// Hardware.
+	Node      = hw.Node
+	NodeID    = hw.NodeID
+	Params    = hw.Params
+	LinkModel = hw.LinkModel
+
+	// Memory and address spaces.
+	Memory       = mem.Memory
+	Frame        = mem.Frame
+	PhysAddr     = mem.PhysAddr
+	Extent       = mem.Extent
+	AddressSpace = vm.AddressSpace
+	VirtAddr     = vm.VirtAddr
+
+	// The paper's API abstractions.
+	AddrType = core.AddrType
+	Segment  = core.Segment
+	Vector   = core.Vector
+	Match    = core.Match
+
+	// Drivers.
+	GM         = gm.GM
+	GMPort     = gm.Port
+	GMEvent    = gm.Event
+	MX         = mx.MX
+	MXEndpoint = mx.Endpoint
+	MXRequest  = mx.Request
+	MXStatus   = mx.Status
+	MXOption   = mx.Option
+	RegCache   = gmkrc.Cache
+
+	// OS substrate.
+	OS         = kernel.OS
+	File       = kernel.File
+	FileSystem = kernel.FileSystem
+	Attr       = kernel.Attr
+	DirEntry   = kernel.DirEntry
+	OpenFlag   = kernel.OpenFlag
+	MemFS      = memfs.FS
+
+	// Remote file access.
+	FileServer = rfsrv.Server
+	FSClient   = rfsrv.Client
+	MXClient   = rfsrv.MXClient
+	GMClient   = rfsrv.GMClient
+	ORFS       = orfs.FS
+	ORFA       = orfa.Lib
+
+	// Sockets.
+	Conn     = sockets.Conn
+	Listener = sockets.Listener
+	Stack    = sockets.Stack
+	SockPort = sockets.Port
+
+	// Block device.
+	NBDServer = nbd.Server
+	NBDClient = nbd.Client
+	NBDDevice = nbd.Device
+
+	// Measurement.
+	Transport = netpipe.Transport
+	Point     = netpipe.Point
+	Series    = netpipe.Series
+	Runner    = netpipe.Runner
+	Figure    = figures.Figure
+	TableData = figures.Table
+	Config    = figures.Config
+)
+
+// Address types for Vector segments (§4.2's three kinds).
+const (
+	UserVirtual   = core.UserVirtual
+	KernelVirtual = core.KernelVirtual
+	Physical      = core.Physical
+)
+
+// File open flags.
+const (
+	ORDWR   = kernel.ORDWR
+	OCreate = kernel.OCreate
+	OTrunc  = kernel.OTrunc
+	ODirect = kernel.ODirect
+)
+
+// PageSize is the simulated hosts' page size (4 KB).
+const PageSize = mem.PageSize
+
+// Segment and match constructors.
+var (
+	UserSeg   = core.UserSeg
+	KernelSeg = core.KernelSeg
+	PhysSeg   = core.PhysSeg
+	Of        = core.Of
+	Exact     = core.Exact
+	MatchAll  = core.MatchAll
+)
+
+// MX endpoint options (the Fig 6 copy-removal modes).
+var (
+	WithNoSendCopy = mx.WithNoSendCopy
+	WithNoRecvCopy = mx.WithNoRecvCopy
+)
+
+// Sim is a simulated cluster: an engine, a parameter set and a fabric.
+type Sim struct {
+	Env     *sim.Engine
+	Cluster *hw.Cluster
+}
+
+// NewSim creates a cluster simulation with the calibrated default
+// parameters and the given link model.
+func NewSim(model LinkModel) *Sim {
+	env := sim.NewEngine()
+	return &Sim{Env: env, Cluster: hw.NewCluster(env, hw.DefaultParams(), model)}
+}
+
+// NewSimWithParams creates a cluster with custom parameters.
+func NewSimWithParams(model LinkModel, p *Params) *Sim {
+	env := sim.NewEngine()
+	return &Sim{Env: env, Cluster: hw.NewCluster(env, p, model)}
+}
+
+// AddNode adds a host to the cluster.
+func (s *Sim) AddNode(name string) *Node { return s.Cluster.AddNode(name) }
+
+// Spawn starts a simulated process.
+func (s *Sim) Spawn(name string, body func(p *Proc)) *Proc { return s.Env.Spawn(name, body) }
+
+// Run executes the simulation until no events remain and returns the
+// final virtual time.
+func (s *Sim) Run() Time { return s.Env.Run(0) }
+
+// RunFor executes the simulation up to the virtual-time limit.
+func (s *Sim) RunFor(limit Time) Time { return s.Env.Run(limit) }
+
+// Driver attachment.
+var (
+	// AttachGM installs the GM driver on a node.
+	AttachGM = gm.Attach
+	// AttachMX installs the MX driver on a node.
+	AttachMX = mx.Attach
+)
+
+// NewOS creates the operating-system model for a node (VFS + page
+// cache; pageCachePages 0 = unbounded).
+func NewOS(node *Node, pageCachePages int) *OS { return kernel.NewOS(node, pageCachePages) }
+
+// NewMemFS creates a local in-memory filesystem (server backing store).
+func NewMemFS(name string, node *Node, pageCost Time) *MemFS { return memfs.New(name, node, pageCost) }
+
+// NewFileServer creates an ORFA/ORFS file server over a backing store.
+func NewFileServer(node *Node, fs rfsrv.BackingFS) *FileServer { return rfsrv.NewServer(node, fs) }
+
+// NewORFS creates the in-kernel remote filesystem client over a
+// transport (mount it with OS.Mount).
+func NewORFS(name string, cl FSClient) *ORFS { return orfs.New(name, cl) }
+
+// NewORFA creates the user-space remote file-access library.
+func NewORFA(cl FSClient, as *AddressSpace) *ORFA { return orfa.New(cl, as) }
+
+// NewMXClient creates the MX transport for ORFS (kernel) or ORFA (user).
+var NewMXClient = rfsrv.NewMXClient
+
+// NewGMClient creates the GM transport (with its GMKRC registration
+// cache) for ORFS or ORFA.
+var NewGMClient = rfsrv.NewGMClient
+
+// NewRegCache creates a standalone GMKRC registration cache over a GM
+// port (maxPages 0 disables caching).
+func NewRegCache(port *GMPort, maxPages int) *RegCache { return gmkrc.New(port, maxPages) }
+
+// Socket stacks.
+var (
+	// NewSocketsMX creates a SOCKETS-MX stack on a node.
+	NewSocketsMX = sockets.NewMXStack
+	// NewSocketsGM creates a SOCKETS-GM stack on a node.
+	NewSocketsGM = sockets.NewGMStack
+	// NewSocketsTCP creates the TCP/GigE baseline stack.
+	NewSocketsTCP = sockets.NewTCPStack
+)
+
+// Block device.
+var (
+	// NewNBDServer exports a disk of numBlocks blocks.
+	NewNBDServer = nbd.NewServer
+	// NewNBDClient connects to an NBD server.
+	NewNBDClient = nbd.NewClient
+	// NewNBDDevice adapts a client for mounting through the VFS.
+	NewNBDDevice = nbd.NewDevice
+)
+
+// DefaultParams returns the calibrated parameter set (see DESIGN.md §4).
+func DefaultParams() *Params { return hw.DefaultParams() }
+
+// DefaultConfig returns the experiment configuration used by
+// EXPERIMENTS.md.
+func DefaultConfig() Config { return figures.DefaultConfig() }
+
+// NetpipeSizes returns the classic doubling size ladder up to max.
+var NetpipeSizes = netpipe.Sizes
