@@ -212,6 +212,17 @@ func (v Vector) UserPages() int {
 	return n
 }
 
+// AllPhysical reports whether the vector is non-empty and purely
+// physical — the shape the drivers may hand to the NIC as-is.
+func (v Vector) AllPhysical() bool {
+	for _, s := range v {
+		if s.Type != Physical {
+			return false
+		}
+	}
+	return len(v) > 0
+}
+
 // Extents resolves the whole vector into merged physical extents.
 func (v Vector) Extents() ([]mem.Extent, error) {
 	var out []mem.Extent

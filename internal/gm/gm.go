@@ -338,7 +338,7 @@ func (g *GM) ack(m *hw.Message) {
 	}
 	tag := m.Tag >> portBits
 	n := len(m.Payload)
-	g.node.Cluster.Env.After(g.p.WireProp+200*nanosecond, func() {
+	g.node.Cluster.Env.AfterDetached(g.p.WireProp+200*nanosecond, func() {
 		srcPort.tokens.Release()
 		srcPort.events.Send(Event{Type: SendComplete, Tag: tag, Len: n})
 	})
@@ -486,36 +486,14 @@ func (pt *Port) deliver(m *hw.Message, pr *postedRecv, extra sim.Time) {
 		ev.Len = n
 		ev.Err = fmt.Errorf("gm: message truncated to %d bytes", pr.length)
 	}
-	pt.gm.node.Mem.Scatter(clipExtents(pr.extents, n), m.Payload[:n])
+	pt.gm.node.Mem.Scatter(mem.Clip(pr.extents, n), m.Payload[:n])
 	pt.Recvs.Add(n)
 	if extra > 0 {
 		env := pt.gm.node.Cluster.Env
-		env.After(extra, func() { pt.events.Send(ev) })
+		env.AfterDetached(extra, func() { pt.events.Send(ev) })
 		return
 	}
 	pt.events.Send(ev)
-}
-
-func clipExtents(xs []mem.Extent, n int) []mem.Extent {
-	head, _ := splitAt(xs, n)
-	return head
-}
-
-func splitAt(xs []mem.Extent, n int) (head, tail []mem.Extent) {
-	for i, x := range xs {
-		if n == 0 {
-			return head, xs[i:]
-		}
-		if x.Len <= n {
-			head = append(head, x)
-			n -= x.Len
-			continue
-		}
-		head = append(head, mem.Extent{Addr: x.Addr, Len: n})
-		tail = append(tail, mem.Extent{Addr: x.Addr + mem.PhysAddr(n), Len: x.Len - n})
-		return head, append(tail, xs[i+1:]...)
-	}
-	return head, nil
 }
 
 // PollEvent consumes the next event by busy-waiting on the queue, the
@@ -544,6 +522,19 @@ func (pt *Port) WaitEvent(p *sim.Proc) Event {
 	}
 	pt.chargeEvent(p, ev)
 	return ev
+}
+
+// TryEvent consumes the next event if one is already queued, without
+// blocking. It charges the same per-event host cost as PollEvent, minus
+// any sleep (there is none: the queue is non-empty). This is the
+// building block of batched completion delivery: after one blocking
+// wait, a consumer drains everything already queued in a single pass.
+func (pt *Port) TryEvent(p *sim.Proc) (Event, bool) {
+	ev, ok := pt.events.TryRecv()
+	if ok {
+		pt.chargeEvent(p, ev)
+	}
+	return ev, ok
 }
 
 // WaitEventTimeout is WaitEvent with a deadline.

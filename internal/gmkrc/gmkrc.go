@@ -75,6 +75,9 @@ func New(port *gm.Port, maxPages int) *Cache {
 // Pages returns the number of pages currently registered via the cache.
 func (c *Cache) Pages() int { return c.pages }
 
+// Budget returns the page budget (0 = caching disabled).
+func (c *Cache) Budget() int { return c.maxPages }
+
 // Entries returns the number of cached regions.
 func (c *Cache) Entries() int { return len(c.entries) }
 

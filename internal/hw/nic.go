@@ -245,7 +245,7 @@ func (n *NIC) linkPump(p *sim.Proc) {
 		f := n.linkq.Recv(p)
 		n.Link.Use(p, n.p.LinkTime(n.model, f.size))
 		dst := n.node.Cluster.Node(f.msg.Dst).NIC
-		env.After(n.p.WireProp, func() { dst.rxq.Send(f) })
+		env.AfterDetached(n.p.WireProp, func() { dst.rxq.Send(f) })
 	}
 }
 

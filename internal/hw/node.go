@@ -65,6 +65,12 @@ type Node struct {
 	Kernel  *vm.AddressSpace
 	IDs     *vm.IDSource
 
+	// FabricPool holds the node's shared fabric buffer pool
+	// (*fabric.Pool, stored untyped to avoid the import cycle). Keeping
+	// it on the node — not in a package-global registry — lets a
+	// finished simulation's whole object graph be collected.
+	FabricPool any
+
 	drivers map[uint8]any
 }
 

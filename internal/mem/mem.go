@@ -233,6 +233,24 @@ func (m *Memory) Scatter(xs []Extent, data []byte) {
 	}
 }
 
+// Clip returns the leading n bytes of an extent list, splitting the
+// extent that straddles the boundary.
+func Clip(xs []Extent, n int) []Extent {
+	var out []Extent
+	for _, x := range xs {
+		if n == 0 {
+			break
+		}
+		l := x.Len
+		if l > n {
+			l = n
+		}
+		out = append(out, Extent{Addr: x.Addr, Len: l})
+		n -= l
+	}
+	return out
+}
+
 // MergeExtents coalesces adjacent extents (x.End == next.Addr) into
 // maximal physically contiguous runs, preserving order.
 func MergeExtents(xs []Extent) []Extent {

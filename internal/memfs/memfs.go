@@ -348,7 +348,7 @@ func (fs *FS) ReadDirect(p *sim.Proc, id kernel.InodeID, off int64, v core.Vecto
 	if err != nil {
 		return 0, err
 	}
-	fs.node.Mem.Scatter(clip(xs, n), data)
+	fs.node.Mem.Scatter(mem.Clip(xs, n), data)
 	return n, nil
 }
 
@@ -411,22 +411,6 @@ func (fs *FS) writeBytes(ino *inode, off int64, data []byte) {
 		ino.attr.Size = end
 	}
 	ino.attr.Version++
-}
-
-func clip(xs []mem.Extent, n int) []mem.Extent {
-	var out []mem.Extent
-	for _, x := range xs {
-		if n == 0 {
-			break
-		}
-		l := x.Len
-		if l > n {
-			l = n
-		}
-		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
-		n -= l
-	}
-	return out
 }
 
 var _ kernel.FileSystem = (*FS)(nil)

@@ -342,7 +342,7 @@ func (ep *Endpoint) sendMedium(p *sim.Proc, req *Request, dst hw.NodeID, dstEp u
 // zeroCopySend reports whether a medium message may skip the bounce
 // copy on this (kernel) endpoint.
 func (ep *Endpoint) zeroCopySend(v core.Vector) bool {
-	if allPhysical(v) {
+	if v.AllPhysical() {
 		return true
 	}
 	if !ep.noSendCopy || hasUser(v) {
@@ -359,15 +359,6 @@ func hasUser(v core.Vector) bool {
 		}
 	}
 	return false
-}
-
-func allPhysical(v core.Vector) bool {
-	for _, s := range v {
-		if s.Type != core.Physical {
-			return false
-		}
-	}
-	return len(v) > 0
 }
 
 // sendLarge: rendezvous. Pin the source, send an RTS, wait for the CTS
@@ -510,7 +501,7 @@ func (ep *Endpoint) completeEager(req *Request, src hw.NodeID, info uint64, data
 		req.status.Len = n
 		req.status.Err = fmt.Errorf("mx: message truncated to %d bytes", n)
 	}
-	ep.mx.node.Mem.Scatter(clip(req.extents, n), data[:n])
+	ep.mx.node.Mem.Scatter(mem.Clip(req.extents, n), data[:n])
 	// Receive-side bounce copy, charged at Wait time. It is skipped
 	// when the message was small (PIO-sized), or when the NIC could
 	// place the data directly: physically addressed kernel receives
@@ -533,7 +524,7 @@ func (ep *Endpoint) zeroCopyRecv(req *Request) bool {
 	if !ep.kernel {
 		return false
 	}
-	if allPhysical(req.vector) {
+	if req.vector.AllPhysical() {
 		return true
 	}
 	return ep.noRecvCopy && !hasUser(req.vector) && len(req.extents) <= 1
@@ -588,7 +579,7 @@ func (m *MX) receive(p *sim.Proc, msg *hw.Message) {
 		}
 		delete(ep.rndvIn, id)
 		n := len(msg.Payload)
-		ep.mx.node.Mem.Scatter(clip(req.extents, n), msg.Payload[:n])
+		ep.mx.node.Mem.Scatter(mem.Clip(req.extents, n), msg.Payload[:n])
 		req.status.Len = n
 		if req.truncated {
 			req.status.Err = fmt.Errorf("mx: rendezvous truncated to %d bytes", n)
@@ -609,7 +600,7 @@ func (ep *Endpoint) startData(req *Request, dst hw.NodeID, dstEp uint8, id uint6
 	msg := &hw.Message{
 		Dst: dst, Proto: hw.ProtoMX, Kind: kindData, Tag: req.status.Info, Header: hdr,
 	}
-	xs := clip(req.extents, length)
+	xs := mem.Clip(req.extents, length)
 	// The flat large-message penalty (immature large-message path,
 	// §5.1) rides on the data message's firmware processing.
 	m.node.NIC.Send(&hw.TxJob{Msg: msg, Gather: xs, FwExtra: m.p.MXLargeOverhead})
@@ -637,22 +628,6 @@ func (ep *Endpoint) takePosted(info uint64) *Request {
 		}
 	}
 	return nil
-}
-
-func clip(xs []mem.Extent, n int) []mem.Extent {
-	var out []mem.Extent
-	for _, x := range xs {
-		if n == 0 {
-			break
-		}
-		l := x.Len
-		if l > n {
-			l = n
-		}
-		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
-		n -= l
-	}
-	return out
 }
 
 func put64(b []byte, v uint64) {

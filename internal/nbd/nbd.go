@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/mem"
@@ -80,15 +81,25 @@ func (s *Server) frame(i int64, allocate bool) (*mem.Frame, error) {
 	return s.blocks[i], nil
 }
 
-// ServeMX serves the block protocol on an MX kernel endpoint.
+// ServeMX serves the block protocol on an MX kernel endpoint (through
+// the unified fabric).
 func (s *Server) ServeMX(m *mx.MX, epID uint8, workers int) error {
-	ep, err := m.OpenEndpoint(epID, true)
+	t, err := fabric.NewMX(m, epID, true)
 	if err != nil {
 		return err
 	}
+	return s.Serve(t, workers)
+}
+
+// Serve starts worker processes serving the block protocol on any
+// vectorial fabric transport.
+func (s *Server) Serve(t fabric.Transport, workers int) error {
+	if caps := t.Caps(); !caps.Vectors || !caps.Physical {
+		return fmt.Errorf("nbd: server needs a vectorial transport with physical addressing")
+	}
 	for w := 0; w < workers; w++ {
 		s.node.Cluster.Env.Spawn(fmt.Sprintf("%s-nbd-%d", s.node.Name, w), func(p *sim.Proc) {
-			s.worker(p, ep)
+			s.worker(p, t)
 		})
 	}
 	return nil
@@ -113,19 +124,22 @@ func decHdr(b []byte) (kind uint8, seq uint64, block int64, ep uint8, err error)
 	return b[0], binary.LittleEndian.Uint64(b[1:]), int64(binary.LittleEndian.Uint64(b[9:])), b[17], nil
 }
 
-func (s *Server) worker(p *sim.Proc, ep *mx.Endpoint) {
+func (s *Server) worker(p *sim.Proc, t fabric.Transport) {
 	kern := s.node.Kernel
-	bounce, err := kern.MmapContig(hdrLen+BlockSize, "nbd-bounce")
+	pool := fabric.PoolOf(s.node)
+	bounceBuf, err := pool.Get(hdrLen + BlockSize)
 	if err != nil {
 		panic(err)
 	}
-	hdrVA, err := kern.MmapContig(hdrLen, "nbd-hdr")
+	hdrBuf, err := pool.Get(hdrLen)
 	if err != nil {
 		panic(err)
 	}
+	bounce, hdrVA := bounceBuf.VA(), hdrBuf.VA()
+	bounceVec := bounceBuf.KernelVec(hdrLen + BlockSize)
 	reqMatch := core.Match{Bits: 1, Mask: 1} // requests have the low bit set
 	for {
-		rr, err := ep.Recv(p, reqMatch, core.Of(core.KernelSeg(kern, bounce, hdrLen+BlockSize)))
+		rr, err := t.PostRecv(p, reqMatch, bounceVec)
 		if err != nil {
 			panic(err)
 		}
@@ -153,7 +167,7 @@ func (s *Server) worker(p *sim.Proc, ep *mx.Endpoint) {
 				core.KernelSeg(kern, hdrVA, hdrLen),
 				core.PhysSeg(f.Addr(), BlockSize),
 			}
-			if _, err := ep.Send(p, st.Src, cep, seq<<1, v); err != nil {
+			if _, err := t.Send(p, st.Src, cep, seq<<1, v); err != nil {
 				panic(err)
 			}
 		case kindWrite:
@@ -167,16 +181,17 @@ func (s *Server) worker(p *sim.Proc, ep *mx.Endpoint) {
 				copy(f.Data(), raw[hdrLen:])
 			}
 			kern.WriteBytes(hdrVA, encHdr(status, seq, block, 0))
-			if _, err := ep.Send(p, st.Src, cep, seq<<1, core.Of(core.KernelSeg(kern, hdrVA, hdrLen))); err != nil {
+			if _, err := t.Send(p, st.Src, cep, seq<<1, core.Of(core.KernelSeg(kern, hdrVA, hdrLen))); err != nil {
 				panic(err)
 			}
 		}
 	}
 }
 
-// Client is the in-kernel NBD client.
+// Client is the in-kernel NBD client, speaking the block protocol over
+// any vectorial fabric transport.
 type Client struct {
-	ep        *mx.Endpoint
+	t         fabric.Transport
 	node      *hw.Node
 	server    hw.NodeID
 	serverEP  uint8
@@ -191,18 +206,28 @@ type Client struct {
 
 // NewClient connects an NBD client on an MX kernel endpoint.
 func NewClient(m *mx.MX, epID uint8, server hw.NodeID, serverEP uint8, numBlocks int) (*Client, error) {
-	ep, err := m.OpenEndpoint(epID, true)
+	t, err := fabric.NewMX(m, epID, true)
 	if err != nil {
 		return nil, err
 	}
-	hdrVA, err := m.Node().Kernel.MmapContig(hdrLen+BlockSize, "nbd-chdr")
+	return NewFabricClient(t, server, serverEP, numBlocks)
+}
+
+// NewFabricClient connects an NBD client over an established fabric
+// transport (its header buffers come from the node's shared pool).
+func NewFabricClient(t fabric.Transport, server hw.NodeID, serverEP uint8, numBlocks int) (*Client, error) {
+	if caps := t.Caps(); !caps.Vectors || !caps.Physical {
+		return nil, fmt.Errorf("nbd: client needs a vectorial transport with physical addressing")
+	}
+	node := t.Node()
+	hdrBuf, err := fabric.PoolOf(node).Get(hdrLen + BlockSize)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{
-		ep: ep, node: m.Node(), server: server, serverEP: serverEP,
-		numBlocks: numBlocks, hdrVA: hdrVA,
-		lock: sim.NewResource(m.Node().Cluster.Env, "nbd-lock", 1),
+		t: t, node: node, server: server, serverEP: serverEP,
+		numBlocks: numBlocks, hdrVA: hdrBuf.VA(),
+		lock: sim.NewResource(node.Cluster.Env, "nbd-lock", 1),
 	}, nil
 }
 
@@ -220,7 +245,7 @@ func (c *Client) ReadBlock(p *sim.Proc, idx int64, frame *mem.Frame) error {
 	kern := c.node.Kernel
 	// Reply: header into a kernel buffer, payload straight into the
 	// caller's frame (vectorial, physically addressed).
-	rr, err := c.ep.Recv(p, core.Exact(seq<<1), core.Vector{
+	rr, err := c.t.PostRecv(p, core.Exact(seq<<1), core.Vector{
 		core.KernelSeg(kern, c.hdrVA, hdrLen),
 		core.PhysSeg(frame.Addr(), BlockSize),
 	})
@@ -257,7 +282,7 @@ func (c *Client) WriteBlock(p *sim.Proc, idx int64, frame *mem.Frame, n int) err
 	c.seq++
 	seq := c.seq
 	kern := c.node.Kernel
-	rr, err := c.ep.Recv(p, core.Exact(seq<<1), core.Of(core.KernelSeg(kern, c.hdrVA, hdrLen)))
+	rr, err := c.t.PostRecv(p, core.Exact(seq<<1), core.Of(core.KernelSeg(kern, c.hdrVA, hdrLen)))
 	if err != nil {
 		return err
 	}
@@ -282,11 +307,11 @@ func (c *Client) WriteBlock(p *sim.Proc, idx int64, frame *mem.Frame, n int) err
 func (c *Client) sendReq(p *sim.Proc, kind uint8, seq uint64, block int64, data core.Vector) error {
 	kern := c.node.Kernel
 	hdrOff := c.hdrVA + vm.VirtAddr(hdrLen) // separate request header slot
-	if err := kern.WriteBytes(hdrOff, encHdr(kind, seq, block, c.ep.ID())); err != nil {
+	if err := kern.WriteBytes(hdrOff, encHdr(kind, seq, block, c.t.LocalEP())); err != nil {
 		return err
 	}
 	v := append(core.Vector{core.KernelSeg(kern, hdrOff, hdrLen)}, data...)
-	_, err := c.ep.Send(p, c.server, c.serverEP, seq<<1|1, v)
+	_, err := c.t.Send(p, c.server, c.serverEP, seq<<1|1, v)
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/hw"
 	"repro/internal/mem"
@@ -39,110 +40,41 @@ func (m AddrMode) String() string {
 	}
 }
 
-// GMEnd is a raw-GM transport endpoint. Raw benchmarks poll the event
-// queue (gm_receive_event style), matching the paper's raw figures.
-type GMEnd struct {
-	port     *gm.Port
-	peer     hw.NodeID
-	peerPort uint8
-	mode     AddrMode
-	as       *vm.AddressSpace
-	va       vm.VirtAddr
-	xs       []mem.Extent
-	max      int
+// pingTag is the match information all ping-pong traffic uses.
+const pingTag = 1
+
+// End is the one ping-pong endpoint: a max-size buffer built per
+// AddrMode, sitting on any fabric.Transport. What used to be three
+// hand-rolled endpoint types (raw GM, raw MX, sockets) is now this
+// single type; the per-interconnect differences live in the fabric
+// adapters where they belong.
+type End struct {
+	t     fabric.Transport
+	peer  hw.NodeID
+	pEP   uint8
+	vec   core.Vector
+	max   int
+	eager bool // Caps.EagerSend: skip the send-completion wait
 }
 
-// NewGMEnd prepares one side of a raw GM ping-pong: opens the port,
-// allocates and (for virtual modes) registers a max-size buffer.
-func NewGMEnd(p *sim.Proc, g *gm.GM, portID uint8, mode AddrMode, peer hw.NodeID, peerPort uint8, maxSize int) (*GMEnd, error) {
-	kernel := mode != UserBuf
-	port, err := g.OpenPort(portID, kernel)
-	if err != nil {
-		return nil, err
+// NewEnd prepares one side of a ping-pong over t: it allocates a
+// max-size buffer in the given addressing mode (registering it where
+// the transport requires registration) and remembers the peer.
+// contiguous selects physically contiguous kernel/physical buffers
+// (the Fig 6 precondition); stream transports always use a user
+// buffer, as socket applications do. p is the process charged for
+// setup-time registration; it is required whenever t.Caps().NeedsReg
+// and the mode uses virtual buffers, and may be nil otherwise.
+func NewEnd(p *sim.Proc, t fabric.Transport, mode AddrMode, contiguous bool, peer hw.NodeID, peerEP uint8, maxSize int) (*End, error) {
+	caps := t.Caps()
+	if caps.NeedsReg && mode != PhysBuf && p == nil {
+		return nil, fmt.Errorf("netpipe: registering transport needs a process for setup registration")
 	}
-	e := &GMEnd{port: port, peer: peer, peerPort: peerPort, mode: mode, max: maxSize}
-	node := g.Node()
-	switch mode {
-	case UserBuf:
-		e.as = node.NewUserSpace("netpipe")
-		if e.va, err = e.as.Mmap(maxSize, "buf"); err != nil {
-			return nil, err
-		}
-		if _, err := port.RegisterMemory(p, e.as, e.va, maxSize); err != nil {
-			return nil, err
-		}
-	case KernelBuf:
-		e.as = node.Kernel
-		if e.va, err = e.as.Mmap(maxSize, "buf"); err != nil {
-			return nil, err
-		}
-		if _, err := port.RegisterMemory(p, e.as, e.va, maxSize); err != nil {
-			return nil, err
-		}
-	case PhysBuf:
-		// Page-cache-style frames: scattered physical pages.
-		pages := (maxSize + mem.PageSize - 1) / mem.PageSize
-		for i := 0; i < pages; i++ {
-			f, err := node.Mem.AllocFrame()
-			if err != nil {
-				return nil, err
-			}
-			e.xs = append(e.xs, mem.Extent{Addr: f.Addr(), Len: mem.PageSize})
-		}
+	e := &End{t: t, peer: peer, pEP: peerEP, max: maxSize, eager: caps.EagerSend}
+	node := t.Node()
+	if caps.Stream {
+		mode = UserBuf
 	}
-	return e, nil
-}
-
-// Ping implements Transport.
-func (e *GMEnd) Ping(p *sim.Proc, n int) error {
-	if n > e.max {
-		return fmt.Errorf("netpipe: size %d over buffer %d", n, e.max)
-	}
-	if e.mode == PhysBuf {
-		return e.port.SendPhysical(p, e.peer, e.peerPort, 1, clipXS(e.xs, n))
-	}
-	return e.port.Send(p, e.peer, e.peerPort, 1, e.as, e.va, n)
-}
-
-// Pong implements Transport.
-func (e *GMEnd) Pong(p *sim.Proc, n int) (int, error) {
-	var err error
-	if e.mode == PhysBuf {
-		err = e.port.PostRecvPhysical(p, 1, clipXS(e.xs, n))
-	} else {
-		err = e.port.PostRecv(p, 1, e.as, e.va, n)
-	}
-	if err != nil {
-		return 0, err
-	}
-	for {
-		ev := e.port.PollEvent(p)
-		if ev.Type == gm.RecvComplete {
-			return ev.Len, ev.Err
-		}
-	}
-}
-
-// MXEnd is a raw-MX transport endpoint.
-type MXEnd struct {
-	ep   *mx.Endpoint
-	peer hw.NodeID
-	pEP  uint8
-	mode AddrMode
-	vec  core.Vector // max-size vector, sliced per message
-	max  int
-}
-
-// NewMXEnd prepares one side of a raw MX ping-pong. opts configure the
-// endpoint (e.g. the Fig 6 copy-removal modes).
-func NewMXEnd(m *mx.MX, epID uint8, mode AddrMode, peer hw.NodeID, peerEP uint8, maxSize int, contiguous bool, opts ...mx.Option) (*MXEnd, error) {
-	kernel := mode != UserBuf
-	ep, err := m.OpenEndpoint(epID, kernel, opts...)
-	if err != nil {
-		return nil, err
-	}
-	e := &MXEnd{ep: ep, peer: peer, pEP: peerEP, mode: mode, max: maxSize}
-	node := m.Node()
 	switch mode {
 	case UserBuf:
 		as := node.NewUserSpace("netpipe")
@@ -150,18 +82,30 @@ func NewMXEnd(m *mx.MX, epID uint8, mode AddrMode, peer hw.NodeID, peerEP uint8,
 		if err != nil {
 			return nil, err
 		}
+		if caps.NeedsReg {
+			if err := t.Register(p, as, va, maxSize); err != nil {
+				return nil, err
+			}
+		}
 		e.vec = core.Of(core.UserSeg(as, va, maxSize))
 	case KernelBuf:
+		kern := node.Kernel
 		var va vm.VirtAddr
+		var err error
 		if contiguous {
-			va, err = node.Kernel.MmapContig(maxSize, "buf")
+			va, err = kern.MmapContig(maxSize, "buf")
 		} else {
-			va, err = node.Kernel.Mmap(maxSize, "buf")
+			va, err = kern.Mmap(maxSize, "buf")
 		}
 		if err != nil {
 			return nil, err
 		}
-		e.vec = core.Of(core.KernelSeg(node.Kernel, va, maxSize))
+		if caps.NeedsReg {
+			if err := t.Register(p, kern, va, maxSize); err != nil {
+				return nil, err
+			}
+		}
+		e.vec = core.Of(core.KernelSeg(kern, va, maxSize))
 	case PhysBuf:
 		if contiguous {
 			frames, err := node.Mem.AllocContig((maxSize + mem.PageSize - 1) / mem.PageSize)
@@ -183,77 +127,57 @@ func NewMXEnd(m *mx.MX, epID uint8, mode AddrMode, peer hw.NodeID, peerEP uint8,
 	return e, nil
 }
 
-// Ping implements Transport.
-func (e *MXEnd) Ping(p *sim.Proc, n int) error {
-	req, err := e.ep.Send(p, e.peer, e.pEP, 1, e.vec.Slice(0, n))
+// Ping implements Transport (the measurement-harness interface).
+func (e *End) Ping(p *sim.Proc, n int) error {
+	if n > e.max {
+		return fmt.Errorf("netpipe: size %d over buffer %d", n, e.max)
+	}
+	op, err := e.t.Send(p, e.peer, e.pEP, pingTag, e.vec.Slice(0, n))
 	if err != nil {
 		return err
 	}
-	st := req.Wait(p)
+	if e.eager {
+		return nil
+	}
+	st := op.Wait(p)
 	return st.Err
 }
 
 // Pong implements Transport.
-func (e *MXEnd) Pong(p *sim.Proc, n int) (int, error) {
-	req, err := e.ep.Recv(p, core.MatchAll, e.vec.Slice(0, n))
+func (e *End) Pong(p *sim.Proc, n int) (int, error) {
+	op, err := e.t.PostRecv(p, core.Exact(pingTag), e.vec.Slice(0, n))
 	if err != nil {
 		return 0, err
 	}
-	st := req.Wait(p)
+	st := op.Wait(p)
 	return st.Len, st.Err
 }
 
-// SockEnd wraps an established socket connection (any family).
-type SockEnd struct {
-	conn sockets.Conn
-	as   *vm.AddressSpace
-	va   vm.VirtAddr
-	max  int
-}
-
-// NewSockEnd wraps conn with a max-size user buffer on node.
-func NewSockEnd(node *hw.Node, conn sockets.Conn, maxSize int) (*SockEnd, error) {
-	as := node.NewUserSpace("netpipe")
-	va, err := as.Mmap(maxSize, "buf")
+// NewGMEnd prepares one side of a raw GM ping-pong: it opens the port
+// (polling the unique event queue, as the paper's raw figures do) and
+// builds a fabric endpoint in the given mode.
+func NewGMEnd(p *sim.Proc, g *gm.GM, portID uint8, mode AddrMode, peer hw.NodeID, peerPort uint8, maxSize int) (*End, error) {
+	t, err := fabric.NewGM(g, portID, mode != UserBuf, fabric.WithPolling())
 	if err != nil {
 		return nil, err
 	}
-	return &SockEnd{conn: conn, as: as, va: va, max: maxSize}, nil
+	return NewEnd(p, t, mode, false, peer, peerPort, maxSize)
 }
 
-// Ping implements Transport.
-func (e *SockEnd) Ping(p *sim.Proc, n int) error {
-	sent, err := e.conn.Send(p, e.as, e.va, n)
+// NewMXEnd prepares one side of a raw MX ping-pong. opts configure the
+// endpoint (e.g. the Fig 6 copy-removal modes).
+func NewMXEnd(m *mx.MX, epID uint8, mode AddrMode, peer hw.NodeID, peerEP uint8, maxSize int, contiguous bool, opts ...mx.Option) (*End, error) {
+	t, err := fabric.NewMX(m, epID, mode != UserBuf, opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if sent != n {
-		return fmt.Errorf("netpipe: short socket send %d/%d", sent, n)
-	}
-	return nil
+	return NewEnd(nil, t, mode, contiguous, peer, peerEP, maxSize)
 }
 
-// Pong implements Transport.
-func (e *SockEnd) Pong(p *sim.Proc, n int) (int, error) {
-	return sockets.RecvAll(p, e.conn, e.as, e.va, n)
+// NewSockEnd wraps an established socket connection (any family) with
+// a max-size user buffer on node.
+func NewSockEnd(node *hw.Node, conn sockets.Conn, maxSize int) (*End, error) {
+	return NewEnd(nil, fabric.NewStream(node, 0, conn), UserBuf, false, 0, 0, maxSize)
 }
 
-func clipXS(xs []mem.Extent, n int) []mem.Extent {
-	var out []mem.Extent
-	for _, x := range xs {
-		if n == 0 {
-			break
-		}
-		l := x.Len
-		if l > n {
-			l = n
-		}
-		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
-		n -= l
-	}
-	return out
-}
-
-var _ Transport = (*GMEnd)(nil)
-var _ Transport = (*MXEnd)(nil)
-var _ Transport = (*SockEnd)(nil)
+var _ Transport = (*End)(nil)

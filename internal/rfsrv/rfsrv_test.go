@@ -275,6 +275,33 @@ func TestWriteFromUserBuffer(t *testing.T) {
 	}
 }
 
+func TestZeroLengthWrite(t *testing.T) {
+	// A zero-byte write must complete the protocol handshake (not hang
+	// or error) on both transports — the empty-vector path through the
+	// fabric.
+	for _, transport := range []string{"mx", "gm"} {
+		t.Run(transport, func(t *testing.T) {
+			r := newRig(t)
+			r.run(t, func(p *sim.Proc) {
+				var cl rfsrv.Client
+				if transport == "mx" {
+					cl = r.mxKernelClient(t)
+				} else {
+					cl = r.gmKernelClient(t, p, 1024)
+				}
+				created, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpCreate, Ino: 0, Name: "empty"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := cl.Write(p, created.Attr.Ino, 0, nil)
+				if err != nil || resp.N != 0 {
+					t.Fatalf("zero-length write: n=%d err=%v", resp.N, err)
+				}
+			})
+		})
+	}
+}
+
 func TestORFSMountedEndToEnd(t *testing.T) {
 	// Full stack: application → VFS → page cache → ORFS → transport →
 	// server → memfs, both transports, buffered and direct.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -150,18 +151,20 @@ func (s *Server) ServeMX(m *mx.MX, epID uint8, workers int) (*mx.Endpoint, error
 
 func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint) {
 	kern := s.node.Kernel
+	pool := fabric.PoolOf(s.node)
 	bounceLen := MaxWriteChunk + HdrBufSize
-	bounce, err := kern.MmapContig(bounceLen, "rfsrv-bounce")
+	bounceBuf, err := pool.Get(bounceLen)
 	if err != nil {
 		panic(err)
 	}
-	hdrVA, err := kern.MmapContig(HdrBufSize, "rfsrv-hdr")
+	hdrBuf, err := pool.Get(HdrBufSize)
 	if err != nil {
 		panic(err)
 	}
+	bounce, hdrVA := bounceBuf.VA(), hdrBuf.VA()
 	reqMatch := core.Match{Bits: reqTag, Mask: 15}
 	for {
-		rr, err := ep.Recv(p, reqMatch, core.Of(core.KernelSeg(kern, bounce, bounceLen)))
+		rr, err := ep.Recv(p, reqMatch, bounceBuf.KernelVec(bounceLen))
 		if err != nil {
 			panic(err)
 		}
@@ -179,10 +182,7 @@ func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint) {
 			// Data first (zero-copy from the block store), then the
 			// header. A zero-length data message is still sent so the
 			// client's posted receive always completes.
-			dataVec := core.Vector{}
-			for _, x := range xs {
-				dataVec = append(dataVec, core.PhysSeg(x.Addr, x.Len))
-			}
+			dataVec := physVec(xs)
 			if len(dataVec) == 0 {
 				dataVec = core.Of(core.PhysSeg(s.zero.Addr(), 0))
 			}
@@ -236,19 +236,22 @@ func (s *Server) ServeGM(g *gm.GM, portID uint8) (*gm.Port, error) {
 
 func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 	kern := s.node.Kernel
-	reqVA, err := kern.MmapContig(4096, "rfsrv-req")
+	pool := fabric.PoolOf(s.node)
+	reqBuf, err := pool.Get(4096)
 	if err != nil {
 		panic(err)
 	}
-	reqXS, _ := kern.Resolve(reqVA, 4096)
-	bounceVA, err := kern.MmapContig(MaxWriteChunk, "rfsrv-bounce")
+	reqVA, reqXS := reqBuf.VA(), reqBuf.Extents(4096)
+	bounceBuf, err := pool.Get(MaxWriteChunk)
 	if err != nil {
 		panic(err)
 	}
-	hdrVA, err := kern.MmapContig(HdrBufSize, "rfsrv-hdr")
+	bounceVA := bounceBuf.VA()
+	hdrBuf, err := pool.Get(HdrBufSize)
 	if err != nil {
 		panic(err)
 	}
+	hdrVA := hdrBuf.VA()
 	for {
 		if err := port.PostRecvPhysical(p, reqTag, reqXS); err != nil {
 			panic(err)
@@ -281,7 +284,7 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 				s.replyGM(p, port, kern, hdrVA, ev.Src, req, &Resp{Seq: req.Seq, Status: StIO})
 				continue
 			}
-			bxs, _ := kern.Resolve(bounceVA, max(n, 1))
+			bxs := bounceBuf.Extents(max(n, 1))
 			if err := port.PostRecvPhysical(p, tag(req.Seq, req.EP, kindData), bxs); err != nil {
 				panic(err)
 			}

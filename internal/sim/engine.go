@@ -40,7 +40,8 @@ type event struct {
 	fn        func()
 	proc      *Proc
 	cancelled bool
-	index     int // heap index, maintained by eventHeap
+	pinned    bool // exposed to external holders: never recycled (Cancel stays a no-op after firing)
+	index     int  // heap index, maintained by eventHeap
 }
 
 type eventHeap []*event
@@ -78,6 +79,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event      // recycled events; the hot paths (Sleep, After, wake) reuse them
 	yield   chan struct{} // a running Proc signals here when it parks or exits
 	running bool
 	parked  int // number of live Procs currently parked
@@ -119,12 +121,56 @@ func (e *Engine) schedule(at Time, ev *event) *event {
 	return ev
 }
 
+// newEvent returns a zeroed event, recycling one from the free list if
+// possible. Events go back on the free list only once Run has popped
+// them from the heap, when no holder may cancel them any more (see
+// recycle), so reuse can never resurrect a live reference.
+func (e *Engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = event{}
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list. Events handed to
+// package-external callers (After) are pinned and never recycled, so
+// the documented "Cancel after firing is a no-op" contract holds for
+// them. Internal events are safe: wake/Sleep events are never exposed,
+// and the sync primitives (Signal.WaitTimeout, Chan.RecvTimeout)
+// cancel their timer only on the wake-up path, where the timer is
+// provably still scheduled.
+func (e *Engine) recycle(ev *event) {
+	if !ev.pinned && len(e.free) < 1024 {
+		// Drop the closure/proc references now, not at reuse: a parked
+		// free-list slot must not pin a frame payload or process alive.
+		ev.fn, ev.proc = nil, nil
+		e.free = append(e.free, ev)
+	}
+}
+
 // After schedules fn to run in scheduler context after delay d.
 // fn must not block; it may schedule further events, fire signals,
 // send on channels and spawn Procs. The returned event may be cancelled
 // with Cancel.
 func (e *Engine) After(d Time, fn func()) *event {
-	return e.schedule(e.now+d, &event{fn: fn})
+	ev := e.newEvent()
+	ev.fn = fn
+	ev.pinned = true
+	return e.schedule(e.now+d, ev)
+}
+
+// AfterDetached is After for fire-and-forget callbacks: no handle is
+// returned, the event cannot be cancelled, and its record is recycled
+// through the free list after firing. The hot per-message paths (NIC
+// frame delivery, driver acks) use this so bulk transfers allocate no
+// event records in steady state.
+func (e *Engine) AfterDetached(d Time, fn func()) {
+	ev := e.newEvent()
+	ev.fn = fn
+	e.schedule(e.now+d, ev)
 }
 
 // Cancel marks a scheduled event so it will be skipped. Cancelling an
@@ -146,7 +192,9 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 func (e *Engine) SpawnAfter(d Time, name string, body func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
 	e.procs++
-	e.schedule(e.now+d, &event{fn: func() { e.launch(p, body) }})
+	ev := e.newEvent()
+	ev.fn = func() { e.launch(p, body) }
+	e.schedule(e.now+d, ev)
 	return p
 }
 
@@ -200,13 +248,17 @@ func (e *Engine) wake(p *Proc) {
 		return
 	}
 	p.wakePending = true
-	e.schedule(e.now, &event{proc: p})
+	ev := e.newEvent()
+	ev.proc = p
+	e.schedule(e.now, ev)
 }
 
 // wakeAt schedules a control transfer to p at absolute time at, returning
 // the event so it can be cancelled (used for timeouts).
 func (e *Engine) wakeAt(at Time, p *Proc) *event {
-	return e.schedule(at, &event{proc: p})
+	ev := e.newEvent()
+	ev.proc = p
+	return e.schedule(at, ev)
 }
 
 // Run processes events until the queue drains or the virtual clock would
@@ -228,6 +280,7 @@ func (e *Engine) Run(limit Time) Time {
 		}
 		heap.Pop(&e.events)
 		if next.cancelled {
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
@@ -237,6 +290,7 @@ func (e *Engine) Run(limit Time) Time {
 		case next.fn != nil:
 			next.fn()
 		}
+		e.recycle(next)
 	}
 	return e.now
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/gm"
 	"repro/internal/hw"
 	"repro/internal/mem"
@@ -60,10 +61,11 @@ func NewGMStack(g *gm.GM, portID uint8) (*GMStack, error) {
 		dials:     make(map[uint32]*gmConn),
 		waiters:   make(map[uint64]*sim.Chan[gm.Event]),
 	}
-	if s.ctlVA, err = s.node.Kernel.MmapContig(256, "sockgm-ctl"); err != nil {
+	ctl, err := fabric.PoolOf(s.node).Get(256)
+	if err != nil {
 		return nil, err
 	}
-	s.ctlXS, _ = s.node.Kernel.Resolve(s.ctlVA, 256)
+	s.ctlVA, s.ctlXS = ctl.VA(), ctl.Extents(256)
 	s.node.Cluster.Env.Spawn(s.node.Name+"-sockgm-dispatch", s.dispatcher)
 	s.node.Cluster.Env.Spawn(s.node.Name+"-sockgm-ctl", s.ctlPump)
 	return s, nil
@@ -132,8 +134,9 @@ type gmConn struct {
 	rseq        uint64
 	pendingTag  uint64 // tag of an in-flight Recv (for FIN unblocking)
 
-	txVA, rxVA vm.VirtAddr
-	txXS, rxXS []mem.Extent
+	txVA, rxVA   vm.VirtAddr
+	txXS, rxXS   []mem.Extent
+	txBuf, rxBuf *fabric.Buffer
 
 	Tx, Rx sim.Counter
 }
@@ -156,15 +159,22 @@ func (s *GMStack) newConn(peerNode hw.NodeID) (*gmConn, error) {
 		established: sim.NewSignal(s.node.Cluster.Env),
 	}
 	s.nextConn++
-	var err error
-	if c.txVA, err = s.node.Kernel.MmapContig(gmChunk, "sockgm-tx"); err != nil {
+	// Per-connection bounce buffers come from the node's shared fabric
+	// pool: closed connections' buffers are recycled across every
+	// consumer on the node instead of leaking one mapping per dial.
+	pool := fabric.PoolOf(s.node)
+	tx, err := pool.Get(gmChunk)
+	if err != nil {
 		return nil, err
 	}
-	if c.rxVA, err = s.node.Kernel.MmapContig(gmChunk, "sockgm-rx"); err != nil {
+	rx, err := pool.Get(gmChunk)
+	if err != nil {
+		tx.Release()
 		return nil, err
 	}
-	c.txXS, _ = s.node.Kernel.Resolve(c.txVA, gmChunk)
-	c.rxXS, _ = s.node.Kernel.Resolve(c.rxVA, gmChunk)
+	c.txBuf, c.rxBuf = tx, rx
+	c.txVA, c.txXS = tx.VA(), tx.Extents(gmChunk)
+	c.rxVA, c.rxXS = rx.VA(), rx.Extents(gmChunk)
 	s.conns[c.localID] = c
 	return c, nil
 }
@@ -204,11 +214,11 @@ func (s *GMStack) sendCtl(p *sim.Proc, dst hw.NodeID, kind uint8, a, b uint32) {
 // management events handed over by the dispatcher.
 func (s *GMStack) ctlPump(p *sim.Proc) {
 	kern := s.node.Kernel
-	bufVA, err := kern.MmapContig(256, "sockgm-ctlrx")
+	buf, err := fabric.PoolOf(s.node).Get(256)
 	if err != nil {
 		panic(err)
 	}
-	bufXS, _ := kern.Resolve(bufVA, 256)
+	bufVA, bufXS := buf.VA(), buf.Extents(256)
 	for {
 		ch := s.reserve(chCtl)
 		if err := s.port.PostRecvPhysical(p, chCtl, bufXS); err != nil {
@@ -266,6 +276,10 @@ func (c *gmConn) Send(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 		return 0, ErrClosed
 	}
 	s := c.stack
+	// Pin the bounce before any charge can park this proc: a
+	// concurrent Close must not recycle it once we are committed.
+	c.txBuf.Pin()
+	defer c.txBuf.Unpin()
 	s.node.CPU.Syscall(p)
 	s.node.CPU.Compute(p, s.p.SockGMOverhead)
 	sent := 0
@@ -283,7 +297,7 @@ func (c *gmConn) Send(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 		if err := s.node.Kernel.WriteBytes(c.txVA, data); err != nil {
 			return sent, err
 		}
-		xs := clipXS(c.txXS, chunk)
+		xs := mem.Clip(c.txXS, chunk)
 		c.seq++
 		stag := gmTag(c.peerID, chData) + c.seq<<40
 		done := s.reserve(stag | sendKey)
@@ -309,6 +323,10 @@ func (c *gmConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 		return 0, ErrClosed
 	}
 	s := c.stack
+	// Pin the rx bounce against a concurrent Close recycling it while
+	// this Recv is parked (before the first charge can park us).
+	c.rxBuf.Pin()
+	defer c.rxBuf.Unpin()
 	s.node.CPU.Syscall(p)
 	s.node.CPU.Compute(p, s.p.SockGMOverhead)
 	if len(c.buffered) > 0 {
@@ -338,7 +356,11 @@ func (c *gmConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 	ev := ch.Recv(p)
 	c.pendingTag = 0
 	if ev.Len == 0 {
-		return 0, nil // FIN
+		// FIN unblocked us with a synthetic event: the receive posted
+		// above is still live in the port and may yet scatter into the
+		// rx bounce, which therefore must never be recycled.
+		c.rxBuf.Poison()
+		return 0, nil
 	}
 	// Copy bounce → user.
 	got := ev.Len
@@ -368,23 +390,12 @@ func (c *gmConn) Close(p *sim.Proc) error {
 	c.stack.node.CPU.Syscall(p)
 	c.stack.sendCtl(p, c.peerNode, ctlFIN, c.peerID, 0)
 	delete(c.stack.conns, c.localID)
+	// Hand both bounces back; the pool defers actual recycling until
+	// in-flight operations unpin, and a FIN-stale posted receive has
+	// poisoned the rx bounce for good.
+	c.txBuf.Release()
+	c.rxBuf.Release()
 	return nil
-}
-
-func clipXS(xs []mem.Extent, n int) []mem.Extent {
-	var out []mem.Extent
-	for _, x := range xs {
-		if n == 0 {
-			break
-		}
-		l := x.Len
-		if l > n {
-			l = n
-		}
-		out = append(out, mem.Extent{Addr: x.Addr, Len: l})
-		n -= l
-	}
-	return out
 }
 
 var _ Stack = (*GMStack)(nil)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/hw"
 	"repro/internal/mx"
 	"repro/internal/sim"
@@ -62,9 +63,11 @@ func NewMXStack(m *mx.MX, epID uint8) (*MXStack, error) {
 		listeners: make(map[Port]*mxListener),
 		dials:     make(map[uint32]*mxConn),
 	}
-	if s.ctlVA, err = s.node.Kernel.MmapContig(256, "sockmx-ctl"); err != nil {
+	ctl, err := fabric.PoolOf(s.node).Get(256)
+	if err != nil {
 		return nil, err
 	}
+	s.ctlVA = ctl.VA()
 	s.node.Cluster.Env.Spawn(s.node.Name+"-sockmx-ctl", s.ctlPump)
 	return s, nil
 }
@@ -94,7 +97,8 @@ type mxConn struct {
 	eofNotify   *sim.Signal // fires on FIN so blocked Recv can return
 	closed      bool
 
-	overflowVA vm.VirtAddr
+	overflowVA  vm.VirtAddr
+	overflowBuf *fabric.Buffer
 
 	// pendingRecv, when non-nil, is the in-flight posted receive (one
 	// at a time: blocking stream semantics).
@@ -121,10 +125,15 @@ func (s *MXStack) newConn(peerNode hw.NodeID, peerEP uint8) (*mxConn, error) {
 		eofNotify:   sim.NewSignal(s.node.Cluster.Env),
 	}
 	s.nextConn++
-	var err error
-	if c.overflowVA, err = s.node.Kernel.MmapContig(overflowSize, "sockmx-overflow"); err != nil {
+	// The per-connection overflow buffer (1 MB) is the expensive part
+	// of a SOCKETS-MX connection; pooling it makes dial/close cycles
+	// cheap.
+	overflow, err := fabric.PoolOf(s.node).Get(overflowSize)
+	if err != nil {
 		return nil, err
 	}
+	c.overflowBuf = overflow
+	c.overflowVA = overflow.VA()
 	s.conns[c.localID] = c
 	return c, nil
 }
@@ -162,10 +171,11 @@ func (s *MXStack) sendCtl(p *sim.Proc, dst hw.NodeID, dstEP uint8, dstConn uint3
 // ctlPump handles SYN/SYN-ACK/FIN for the whole stack.
 func (s *MXStack) ctlPump(p *sim.Proc) {
 	kern := s.node.Kernel
-	bufVA, err := kern.MmapContig(256, "sockmx-ctlrx")
+	buf, err := fabric.PoolOf(s.node).Get(256)
 	if err != nil {
 		panic(err)
 	}
+	bufVA := buf.VA()
 	anyCtl := core.Match{Bits: chCtl, Mask: 0xff}
 	for {
 		req, err := s.ep.Recv(p, anyCtl, core.Of(core.KernelSeg(kern, bufVA, 256)))
@@ -248,6 +258,11 @@ func (c *mxConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 		return 0, ErrClosed
 	}
 	s := c.stack
+	// Pin the overflow buffer before any charge can park this proc: a
+	// concurrent Close must not recycle it once we are committed to
+	// posting a receive over it.
+	c.overflowBuf.Pin()
+	defer c.overflowBuf.Unpin()
 	s.node.CPU.Syscall(p)
 	s.node.CPU.Compute(p, s.p.SockMXOverhead)
 	if len(c.buffered) > 0 {
@@ -283,7 +298,10 @@ func (c *mxConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 		st, _ := req.WaitTimeout(p, 0)
 		return c.finishRecv(p, st, n)
 	}
-	return 0, nil // EOF raced the receive
+	// EOF raced the receive: the posted receive is still live and may
+	// yet scatter into the overflow buffer — never recycle it.
+	c.overflowBuf.Poison()
+	return 0, nil
 }
 
 func (c *mxConn) finishRecv(p *sim.Proc, st mx.Status, n int) (int, error) {
@@ -314,6 +332,11 @@ func (c *mxConn) Close(p *sim.Proc) error {
 	c.stack.node.CPU.Syscall(p)
 	c.stack.sendCtl(p, c.peerNode, c.peerEP, c.peerID, ctlFIN, 0, 0)
 	delete(c.stack.conns, c.localID)
+	// Hand the 1 MB overflow buffer back; the pool defers recycling
+	// until an in-flight Recv unpins, and an EOF-raced posted receive
+	// has poisoned it for good (connection IDs are never reused, so it
+	// is otherwise quiescent).
+	c.overflowBuf.Release()
 	return nil
 }
 

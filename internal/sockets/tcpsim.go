@@ -119,7 +119,7 @@ func (c *tcpConn) Send(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) 
 	// base latency (which covers the receive-side stack+interrupt).
 	s.link.Use(p, btime(n, s.p.TCPLinkBW))
 	peer := c.peer
-	s.node.Cluster.Env.After(s.p.TCPLatency, func() { peer.inbox.Send(data) })
+	s.node.Cluster.Env.AfterDetached(s.p.TCPLatency, func() { peer.inbox.Send(data) })
 	return n, nil
 }
 
@@ -163,7 +163,7 @@ func (c *tcpConn) Close(p *sim.Proc) error {
 	c.closed = true
 	c.stack.node.CPU.Syscall(p)
 	peer := c.peer
-	c.stack.node.Cluster.Env.After(c.stack.p.TCPLatency, func() { peer.inbox.Send(nil) })
+	c.stack.node.Cluster.Env.AfterDetached(c.stack.p.TCPLatency, func() { peer.inbox.Send(nil) })
 	return nil
 }
 

@@ -27,6 +27,7 @@ package knapi
 
 import (
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/figures"
 	"repro/internal/gm"
 	"repro/internal/gmkrc"
@@ -121,6 +122,16 @@ type (
 	NBDClient = nbd.Client
 	NBDDevice = nbd.Device
 
+	// The unified fabric (see DESIGN.md §3): one transport interface
+	// over GM, MX and the socket stacks, plus the shared
+	// registered-buffer pool.
+	Fabric       = fabric.Transport
+	FabricCaps   = fabric.Caps
+	FabricOp     = fabric.Op
+	FabricStatus = fabric.Status
+	BufferPool   = fabric.Pool
+	PoolBuffer   = fabric.Buffer
+
 	// Measurement.
 	Transport = netpipe.Transport
 	Point     = netpipe.Point
@@ -203,6 +214,27 @@ var (
 	AttachGM = gm.Attach
 	// AttachMX installs the MX driver on a node.
 	AttachMX = mx.Attach
+)
+
+// Fabric constructors: the five transport adapters and the per-node
+// buffer pool.
+var (
+	// NewFabricGM wraps a raw GM port as a fabric transport.
+	NewFabricGM = fabric.NewGM
+	// NewFabricMX wraps a raw MX endpoint as a fabric transport.
+	NewFabricMX = fabric.NewMX
+	// NewFabricSocketsGM wraps an established SOCKETS-GM connection.
+	NewFabricSocketsGM = fabric.NewSocketsGM
+	// NewFabricSocketsMX wraps an established SOCKETS-MX connection.
+	NewFabricSocketsMX = fabric.NewSocketsMX
+	// NewFabricTCP wraps an established TCP/GigE connection.
+	NewFabricTCP = fabric.NewTCP
+	// FabricPoolOf returns a node's shared registered-buffer pool.
+	FabricPoolOf = fabric.PoolOf
+	// WithGMPolling makes GM completion waits spin (raw benchmarks).
+	WithGMPolling = fabric.WithPolling
+	// WithGMCachePages sizes the GM registration cache (0 disables).
+	WithGMCachePages = fabric.WithCachePages
 )
 
 // NewOS creates the operating-system model for a node (VFS + page
