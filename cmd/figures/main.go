@@ -65,6 +65,17 @@ func main() {
 		}
 		fmt.Println(t.Render())
 	}
+	if sel == "" || sel == "scalability" {
+		ran = true
+		figs, err := cfg.Scalability()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scalability: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.Render(f.Latency()))
+		}
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(1)

@@ -162,10 +162,58 @@ func (b *Buffer) Unpin() {
 	b.tryFree()
 }
 
-// Poison permanently bars the buffer from the free list — for buffers
-// a stale posted receive may still scatter into (leaking one buffer
-// is safe; recycling it would corrupt another consumer's data).
+// Poison permanently bars the buffer from the free list — the last
+// resort for a buffer some operation may still scatter into when the
+// operation cannot be withdrawn (leaking one buffer is safe; recycling
+// it would corrupt another consumer's data). In-tree consumers no
+// longer need it: stale posted receives are cancelled at the driver
+// (mx.Endpoint.CancelRecv, gm.Port.CancelRecv) so their buffers
+// recycle. CheckLeaks reports any poisoned buffer as a leak.
 func (b *Buffer) Poison() { b.poisoned = true }
+
+// Outstanding returns the number of buffers currently handed out
+// (not in the free list).
+func (p *Pool) Outstanding() int {
+	n := 0
+	for _, b := range p.all {
+		if !b.free {
+			n++
+		}
+	}
+	return n
+}
+
+// Poisoned returns the number of permanently quarantined buffers.
+func (p *Pool) Poisoned() int {
+	n := 0
+	for _, b := range p.all {
+		if b.poisoned {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckLeaks is the pool's leak-accounting assertion for tests: once
+// every consumer has released its buffers and quiesced, it returns an
+// error naming anything that can never recycle — poisoned buffers,
+// and released buffers still pinned by an operation that never
+// finished.
+func (p *Pool) CheckLeaks() error {
+	poisoned, stuck := 0, 0
+	for _, b := range p.all {
+		if b.poisoned {
+			poisoned++
+		} else if b.released && !b.free {
+			stuck++
+		}
+	}
+	if poisoned > 0 || stuck > 0 {
+		return fmt.Errorf("fabric: pool leaks: %d poisoned, %d released-but-stuck of %d buffers",
+			poisoned, stuck, len(p.all))
+	}
+	return nil
+}
 
 // Release returns the buffer to the pool once quiescent (registrations
 // are kept — the next Get of this class reuses them). With pins still

@@ -431,6 +431,26 @@ func (pt *Port) PostRecvPhysical(p *sim.Proc, tag uint64, xs []mem.Extent) error
 	return nil
 }
 
+// CancelRecv withdraws the most recently posted, still unmatched
+// receive for tag, reporting whether one was withdrawn. Once it
+// returns true the receive's buffer can never be scattered into; when
+// it returns false the receive has already matched, which in GM means
+// the NIC has already scattered the payload (delivery is synchronous
+// at match time) — either way the buffer is quiescent afterwards.
+func (pt *Port) CancelRecv(p *sim.Proc, tag uint64) bool {
+	q := pt.posted[tag]
+	if len(q) == 0 {
+		return false
+	}
+	if len(q) == 1 {
+		delete(pt.posted, tag)
+	} else {
+		pt.posted[tag] = q[:len(q)-1]
+	}
+	pt.gm.node.CPU.Compute(p, pt.gm.p.GMHostSend/2) // descriptor removal
+	return true
+}
+
 func (pt *Port) post(tag uint64, pr *postedRecv) {
 	// Check the unexpected queue first: a message may already have
 	// arrived. GM proper drops unexpected messages and relies on its

@@ -371,7 +371,9 @@ func TestCacheInvariantsProperty(t *testing.T) {
 		env.Run(0)
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(16))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -100,6 +100,16 @@ type FileSystem interface {
 	WriteDirect(p *sim.Proc, ino InodeID, off int64, v core.Vector) (int, error)
 }
 
+// Syncer is the optional write-behind barrier: a filesystem that
+// pipelines its writes (ORFS over a windowed session) implements it so
+// Fsync/Close can drain the in-flight writes after the page cache has
+// issued them all.
+type Syncer interface {
+	// Sync blocks until every write the filesystem has accepted is
+	// durable at its backing store, returning the first write error.
+	Sync(p *sim.Proc) error
+}
+
 // PageRangeReader is the optional combining extension the paper
 // predicts for Linux 2.6 ("able to combine multiple page-sized
 // accesses in a single request", §3.3) — it requires exactly the

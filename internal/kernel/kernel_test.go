@@ -419,7 +419,9 @@ func TestFileOpsMatchReferenceProperty(t *testing.T) {
 		env.Run(0)
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(13))}); err != nil {
 		t.Fatal(err)
 	}
 }

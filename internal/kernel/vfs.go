@@ -456,10 +456,17 @@ func (f *File) WriteAt(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int, 
 	return written, nil
 }
 
-// Fsync writes back all dirty pages of the file (in page order).
+// Fsync writes back all dirty pages of the file (in page order), then
+// drains any write-behind pipeline the filesystem keeps.
 func (f *File) Fsync(p *sim.Proc) error {
 	f.os.Node.CPU.Syscall(p)
-	return f.os.PC.FlushInode(p, f.fs, f.attr.Ino)
+	if err := f.os.PC.FlushInode(p, f.fs, f.attr.Ino); err != nil {
+		return err
+	}
+	if sy, ok := f.fs.(Syncer); ok {
+		return sy.Sync(p)
+	}
+	return nil
 }
 
 // Close flushes and closes the file.

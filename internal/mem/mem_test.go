@@ -226,7 +226,9 @@ func TestMergeExtentsPreservesBytes(t *testing.T) {
 		}
 		return bytes.Equal(m.Gather(merged), data)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(14))}); err != nil {
 		t.Fatal(err)
 	}
 }

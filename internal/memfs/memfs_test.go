@@ -249,7 +249,9 @@ func TestDirectIOProperty(t *testing.T) {
 		env.Run(0)
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(17))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -430,6 +430,29 @@ func (ep *Endpoint) Recv(p *sim.Proc, match core.Match, v core.Vector) (*Request
 	return req, nil
 }
 
+// CancelRecv withdraws a posted receive that has not yet matched
+// (mx_cancel): the request is removed from the match list, completes
+// with ErrCancelled, and its buffer is guaranteed never to be
+// scattered into. It returns false — and does nothing — when the
+// receive has already matched (completed, or a rendezvous whose data
+// is still in flight); the caller must then Wait it to quiescence.
+func (ep *Endpoint) CancelRecv(p *sim.Proc, req *Request) bool {
+	for i, r := range ep.posted {
+		if r == req {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.mx.node.CPU.Compute(p, ep.mx.p.MXHostSend/2) // descriptor removal
+			req.status.Err = ErrCancelled
+			req.done.Fire()
+			return true
+		}
+	}
+	return false
+}
+
+// ErrCancelled is the completion status of a receive withdrawn by
+// CancelRecv.
+var ErrCancelled = fmt.Errorf("mx: request cancelled")
+
 // WaitAny blocks until any posted receive of the endpoint completes and
 // returns it ("wait on a single or any pending request", §5.2).
 // Receives already consumed through Request.Wait are skipped.

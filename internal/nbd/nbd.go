@@ -189,7 +189,10 @@ func (s *Server) worker(p *sim.Proc, t fabric.Transport) {
 }
 
 // Client is the in-kernel NBD client, speaking the block protocol over
-// any vectorial fabric transport.
+// any vectorial fabric transport. It keeps a window of request slots
+// (one by default — the synchronous protocol); SetWindow widens it so
+// multiple block requests can be queued on the wire at once, each with
+// its own header staging, demuxed by sequence number.
 type Client struct {
 	t         fabric.Transport
 	node      *hw.Node
@@ -197,11 +200,18 @@ type Client struct {
 	serverEP  uint8
 	numBlocks int
 	seq       uint64
-	lock      *sim.Resource
-	hdrVA     vm.VirtAddr
+	window    int
+	free      *sim.Chan[*nbdSlot]
+	inFlight  int
 
 	// BlockReads/BlockWrites count issued block operations.
 	BlockReads, BlockWrites sim.Counter
+}
+
+// nbdSlot is one request's header staging: the reply header lands at
+// hdrVA, the request header stages at hdrVA+hdrLen.
+type nbdSlot struct {
+	hdrVA vm.VirtAddr
 }
 
 // NewClient connects an NBD client on an MX kernel endpoint.
@@ -220,99 +230,202 @@ func NewFabricClient(t fabric.Transport, server hw.NodeID, serverEP uint8, numBl
 		return nil, fmt.Errorf("nbd: client needs a vectorial transport with physical addressing")
 	}
 	node := t.Node()
-	hdrBuf, err := fabric.PoolOf(node).Get(hdrLen + BlockSize)
-	if err != nil {
+	c := &Client{
+		t: t, node: node, server: server, serverEP: serverEP,
+		numBlocks: numBlocks,
+		free:      sim.NewChan[*nbdSlot](node.Cluster.Env),
+	}
+	if err := c.addSlots(1); err != nil {
 		return nil, err
 	}
-	return &Client{
-		t: t, node: node, server: server, serverEP: serverEP,
-		numBlocks: numBlocks, hdrVA: hdrBuf.VA(),
-		lock: sim.NewResource(node.Cluster.Env, "nbd-lock", 1),
-	}, nil
+	c.window = 1
+	return c, nil
 }
+
+func (c *Client) addSlots(n int) error {
+	pool := fabric.PoolOf(c.node)
+	for i := 0; i < n; i++ {
+		buf, err := pool.Get(2 * hdrLen)
+		if err != nil {
+			return err
+		}
+		c.free.Send(&nbdSlot{hdrVA: buf.VA()})
+	}
+	return nil
+}
+
+// SetWindow widens the request window to w outstanding block requests
+// (w = 1 is the synchronous protocol). It can only grow the window.
+func (c *Client) SetWindow(w int) error {
+	if w < c.window {
+		return fmt.Errorf("nbd: window can only grow (%d -> %d)", c.window, w)
+	}
+	if err := c.addSlots(w - c.window); err != nil {
+		return err
+	}
+	c.window = w
+	return nil
+}
+
+// Window returns the configured request window.
+func (c *Client) Window() int { return c.window }
+
+// InFlight returns the number of outstanding block requests.
+func (c *Client) InFlight() int { return c.inFlight }
 
 // NumBlocks returns the device size in blocks.
 func (c *Client) NumBlocks() int { return c.numBlocks }
 
-// ReadBlock reads block idx into frame — the page-cache path: the
-// frame's physical address goes straight to the network layer.
-func (c *Client) ReadBlock(p *sim.Proc, idx int64, frame *mem.Frame) error {
-	c.lock.Acquire(p)
-	defer c.lock.Release()
-	c.BlockReads.Add(BlockSize)
+// PendingBlock is one in-flight block request.
+type PendingBlock struct {
+	c        *Client
+	slot     *nbdSlot
+	seq      uint64
+	idx      int64
+	wantKind uint8
+	op       fabric.Op
+	done     bool
+	err      error
+}
+
+// start issues one block request through the window, blocking while
+// the window is full. recvExtra is the reply payload destination
+// (reads), data the request payload (writes).
+func (c *Client) start(p *sim.Proc, kind uint8, idx int64, frame *mem.Frame) (*PendingBlock, error) {
+	slot := c.free.Recv(p)
+	c.inFlight++
 	c.seq++
 	seq := c.seq
 	kern := c.node.Kernel
-	// Reply: header into a kernel buffer, payload straight into the
-	// caller's frame (vectorial, physically addressed).
-	rr, err := c.t.PostRecv(p, core.Exact(seq<<1), core.Vector{
-		core.KernelSeg(kern, c.hdrVA, hdrLen),
-		core.PhysSeg(frame.Addr(), BlockSize),
-	})
+	recv := core.Vector{core.KernelSeg(kern, slot.hdrVA, hdrLen)}
+	var data core.Vector
+	wantKind := kindWriteResp
+	if kind == kindRead {
+		// Reply: header into the slot, payload straight into the
+		// caller's frame (vectorial, physically addressed).
+		recv = append(recv, core.PhysSeg(frame.Addr(), BlockSize))
+		wantKind = kindReadResp
+	} else {
+		data = core.Of(core.PhysSeg(frame.Addr(), BlockSize))
+	}
+	rr, err := c.t.PostRecv(p, core.Exact(seq<<1), recv)
 	if err != nil {
-		return err
+		c.put(slot)
+		return nil, err
 	}
-	if err := c.sendReq(p, kindRead, seq, idx, nil); err != nil {
-		return err
+	hdrOff := slot.hdrVA + vm.VirtAddr(hdrLen) // separate request header slot
+	if err := kern.WriteBytes(hdrOff, encHdr(kind, seq, idx, c.t.LocalEP())); err != nil {
+		c.put(slot)
+		return nil, err
 	}
-	st := rr.Wait(p)
+	v := append(core.Vector{core.KernelSeg(kern, hdrOff, hdrLen)}, data...)
+	if _, err := c.t.Send(p, c.server, c.serverEP, seq<<1|1, v); err != nil {
+		c.put(slot)
+		return nil, err
+	}
+	return &PendingBlock{c: c, slot: slot, seq: seq, idx: idx, wantKind: wantKind, op: rr}, nil
+}
+
+func (c *Client) put(slot *nbdSlot) {
+	c.inFlight--
+	c.free.Send(slot)
+}
+
+// Wait retires the request; requests may be waited in any order.
+func (pb *PendingBlock) Wait(p *sim.Proc) error {
+	if pb.done {
+		return pb.err
+	}
+	pb.done = true
+	defer pb.c.put(pb.slot)
+	st := pb.op.Wait(p)
 	if st.Err != nil {
-		return st.Err
+		pb.err = st.Err
+		return pb.err
 	}
-	raw, _ := kern.ReadBytes(c.hdrVA, hdrLen)
+	raw, _ := pb.c.node.Kernel.ReadBytes(pb.slot.hdrVA, hdrLen)
 	kind, rseq, _, _, err := decHdr(raw)
 	if err != nil {
+		pb.err = err
 		return err
 	}
-	if rseq != seq {
-		return fmt.Errorf("nbd: reply for seq %d, want %d", rseq, seq)
+	if rseq != pb.seq {
+		pb.err = fmt.Errorf("nbd: reply for seq %d, want %d", rseq, pb.seq)
+	} else if kind != pb.wantKind {
+		verb := "write"
+		if pb.wantKind == kindReadResp {
+			verb = "read"
+		}
+		pb.err = fmt.Errorf("nbd: %s of block %d failed", verb, pb.idx)
 	}
-	if kind != kindReadResp {
-		return fmt.Errorf("nbd: read of block %d failed", idx)
+	return pb.err
+}
+
+// StartRead queues a read of block idx into frame through the window.
+func (c *Client) StartRead(p *sim.Proc, idx int64, frame *mem.Frame) (*PendingBlock, error) {
+	c.BlockReads.Add(BlockSize)
+	return c.start(p, kindRead, idx, frame)
+}
+
+// StartWrite queues a write of frame as block idx through the window.
+func (c *Client) StartWrite(p *sim.Proc, idx int64, frame *mem.Frame) (*PendingBlock, error) {
+	c.BlockWrites.Add(BlockSize)
+	return c.start(p, kindWrite, idx, frame)
+}
+
+// ReadBlock reads block idx into frame — the page-cache path: the
+// frame's physical address goes straight to the network layer.
+func (c *Client) ReadBlock(p *sim.Proc, idx int64, frame *mem.Frame) error {
+	pb, err := c.StartRead(p, idx, frame)
+	if err != nil {
+		return err
 	}
-	return nil
+	return pb.Wait(p)
+}
+
+// ReadBlocks reads consecutive blocks starting at idx into frames,
+// keeping up to the window's worth of block requests queued — how the
+// device pipelines multi-page accesses.
+func (c *Client) ReadBlocks(p *sim.Proc, idx int64, frames []*mem.Frame) error {
+	var inflight []*PendingBlock
+	var firstErr error
+	retire := func(pb *PendingBlock) {
+		if err := pb.Wait(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i, f := range frames {
+		if len(inflight) == c.window {
+			pb := inflight[0]
+			inflight = inflight[1:]
+			retire(pb)
+			if firstErr != nil {
+				break
+			}
+		}
+		pb, err := c.StartRead(p, idx+int64(i), f)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		inflight = append(inflight, pb)
+	}
+	for _, pb := range inflight {
+		retire(pb)
+	}
+	return firstErr
 }
 
 // WriteBlock writes frame's first n bytes as block idx (rest zeroed
 // server-side only on fresh blocks).
 func (c *Client) WriteBlock(p *sim.Proc, idx int64, frame *mem.Frame, n int) error {
-	c.lock.Acquire(p)
-	defer c.lock.Release()
-	c.BlockWrites.Add(n)
-	c.seq++
-	seq := c.seq
-	kern := c.node.Kernel
-	rr, err := c.t.PostRecv(p, core.Exact(seq<<1), core.Of(core.KernelSeg(kern, c.hdrVA, hdrLen)))
+	pb, err := c.StartWrite(p, idx, frame)
 	if err != nil {
 		return err
 	}
-	if err := c.sendReq(p, kindWrite, seq, idx, core.Of(core.PhysSeg(frame.Addr(), BlockSize))); err != nil {
-		return err
-	}
-	st := rr.Wait(p)
-	if st.Err != nil {
-		return st.Err
-	}
-	raw, _ := kern.ReadBytes(c.hdrVA, hdrLen)
-	kind, rseq, _, _, err := decHdr(raw)
-	if err != nil {
-		return err
-	}
-	if rseq != seq || kind != kindWriteResp {
-		return fmt.Errorf("nbd: write of block %d failed", idx)
-	}
-	return nil
-}
-
-func (c *Client) sendReq(p *sim.Proc, kind uint8, seq uint64, block int64, data core.Vector) error {
-	kern := c.node.Kernel
-	hdrOff := c.hdrVA + vm.VirtAddr(hdrLen) // separate request header slot
-	if err := kern.WriteBytes(hdrOff, encHdr(kind, seq, block, c.t.LocalEP())); err != nil {
-		return err
-	}
-	v := append(core.Vector{core.KernelSeg(kern, hdrOff, hdrLen)}, data...)
-	_, err := c.t.Send(p, c.server, c.serverEP, seq<<1|1, v)
-	return err
+	return pb.Wait(p)
 }
 
 // Device adapts the client to kernel.FileSystem: a filesystem holding
@@ -414,6 +527,32 @@ func (d *Device) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem
 	return BlockSize, nil
 }
 
+// ReadPages implements kernel.PageRangeReader: a combined page-cache
+// fetch becomes a queue of block requests pipelined through the
+// client's window — the paper's prediction that NBD "manipulates the
+// page-cache in a similar way a distributed file system client does",
+// carried over to the windowed protocol.
+func (d *Device) ReadPages(p *sim.Proc, ino kernel.InodeID, idx int64, frames []*mem.Frame) (int, error) {
+	if ino != diskIno {
+		return 0, kernel.ErrNotFound
+	}
+	total := 0
+	for i := range frames {
+		if idx+int64(i) >= int64(d.cl.NumBlocks()) {
+			frames = frames[:i]
+			break
+		}
+		total += BlockSize
+	}
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	if err := d.cl.ReadBlocks(p, idx, frames); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
 // WritePage implements kernel.FileSystem.
 func (d *Device) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame, n int) error {
 	if ino != diskIno {
@@ -426,7 +565,9 @@ func (d *Device) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *me
 }
 
 // ReadDirect implements kernel.FileSystem: block-aligned direct reads
-// assembled from block RPCs through a bounce frame.
+// assembled from block RPCs through bounce frames. With a window above
+// one, up to window block requests are queued, so consecutive blocks
+// transfer back to back instead of paying a round trip each.
 func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
 	if ino != diskIno {
 		return 0, kernel.ErrNotFound
@@ -439,29 +580,78 @@ func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.V
 	if int64(n) > size-off {
 		n = int(size - off)
 	}
-	bounce, err := d.cl.node.Mem.AllocFrame()
-	if err != nil {
-		return 0, err
-	}
-	defer d.cl.node.Mem.Put(bounce)
 	xs, err := v.Extents()
 	if err != nil {
 		return 0, err
 	}
+	type chunkReq struct {
+		pb     *PendingBlock
+		bounce *mem.Frame
+		done   int // destination offset
+		bOff   int // offset within the block
+		chunk  int
+	}
+	var inflight []chunkReq
 	done := 0
-	for done < n {
-		idx := (off + int64(done)) / BlockSize
-		bOff := int((off + int64(done)) % BlockSize)
-		chunk := BlockSize - bOff
-		if chunk > n-done {
-			chunk = n - done
+	retire := func(cr chunkReq) error {
+		err := cr.pb.Wait(p)
+		if err == nil {
+			d.cl.node.CPU.Copy(p, cr.chunk)
+			d.cl.node.Mem.Scatter(slice(xs, cr.done, cr.chunk), cr.bounce.Data()[cr.bOff:cr.bOff+cr.chunk])
 		}
-		if err := d.cl.ReadBlock(p, idx, bounce); err != nil {
+		d.cl.node.Mem.Put(cr.bounce)
+		return err
+	}
+	for issued := 0; issued < n; {
+		idx := (off + int64(issued)) / BlockSize
+		bOff := int((off + int64(issued)) % BlockSize)
+		chunk := BlockSize - bOff
+		if chunk > n-issued {
+			chunk = n - issued
+		}
+		if len(inflight) == d.cl.window {
+			cr := inflight[0]
+			inflight = inflight[1:]
+			if err := retire(cr); err != nil {
+				for _, rest := range inflight {
+					rest.pb.Wait(p)
+					d.cl.node.Mem.Put(rest.bounce)
+				}
+				return done, err
+			}
+			done += cr.chunk
+		}
+		bounce, err := d.cl.node.Mem.AllocFrame()
+		if err != nil {
+			// Surface the allocation failure instead of silently
+			// returning a short read the caller would take for EOF.
+			for _, rest := range inflight {
+				rest.pb.Wait(p)
+				d.cl.node.Mem.Put(rest.bounce)
+			}
 			return done, err
 		}
-		d.cl.node.CPU.Copy(p, chunk)
-		d.cl.node.Mem.Scatter(slice(xs, done, chunk), bounce.Data()[bOff:bOff+chunk])
-		done += chunk
+		pb, err := d.cl.StartRead(p, idx, bounce)
+		if err != nil {
+			d.cl.node.Mem.Put(bounce)
+			for _, rest := range inflight {
+				rest.pb.Wait(p)
+				d.cl.node.Mem.Put(rest.bounce)
+			}
+			return done, err
+		}
+		inflight = append(inflight, chunkReq{pb: pb, bounce: bounce, done: issued, bOff: bOff, chunk: chunk})
+		issued += chunk
+	}
+	for i, cr := range inflight {
+		if err := retire(cr); err != nil {
+			for _, rest := range inflight[i+1:] {
+				rest.pb.Wait(p)
+				d.cl.node.Mem.Put(rest.bounce)
+			}
+			return done, err
+		}
+		done += cr.chunk
 	}
 	return done, nil
 }

@@ -252,10 +252,107 @@ func TestBlockStoreProperty(t *testing.T) {
 		env.Run(0)
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(18))}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 var _ = mem.PageSize
 var _ = vm.PageSize
+
+// TestWindowedBlockReads: with a widened window the client queues
+// multiple block requests; contents must survive and the combined
+// fetch must beat the synchronous per-block protocol.
+func TestWindowedBlockReads(t *testing.T) {
+	const blocks = 64
+	fill := func(r *rig, p *sim.Proc) {
+		out, _ := r.client.Mem.AllocFrame()
+		for i := 0; i < blocks; i++ {
+			for j := range out.Data() {
+				out.Data()[j] = byte(i + j*7)
+			}
+			if err := r.cl.WriteBlock(p, int64(i), out, nbd.BlockSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	read := func(window int) sim.Time {
+		r := newRig(t, blocks)
+		var elapsed sim.Time
+		r.run(t, func(p *sim.Proc) {
+			fill(r, p)
+			if err := r.cl.SetWindow(window); err != nil {
+				t.Fatal(err)
+			}
+			frames := make([]*mem.Frame, blocks)
+			for i := range frames {
+				frames[i], _ = r.client.Mem.AllocFrame()
+			}
+			t0 := p.Now()
+			if err := r.cl.ReadBlocks(p, 0, frames); err != nil {
+				t.Fatal(err)
+			}
+			elapsed = p.Now() - t0
+			for i, f := range frames {
+				for j, b := range f.Data() {
+					if b != byte(i+j*7) {
+						t.Fatalf("block %d byte %d corrupted under window %d", i, j, window)
+					}
+				}
+			}
+			if r.cl.InFlight() != 0 {
+				t.Fatalf("window %d: %d requests still in flight", window, r.cl.InFlight())
+			}
+		})
+		return elapsed
+	}
+	serial := read(1)
+	windowed := read(8)
+	if windowed >= serial {
+		t.Errorf("window 8 read (%v) not faster than window 1 (%v)", windowed, serial)
+	}
+}
+
+// TestDeviceCombinedPageReads: the mounted device fetches combined
+// page ranges as pipelined block requests (PageRangeReader).
+func TestDeviceCombinedPageReads(t *testing.T) {
+	const blocks = 32
+	r := newRig(t, blocks)
+	r.run(t, func(p *sim.Proc) {
+		out, _ := r.client.Mem.AllocFrame()
+		for i := 0; i < blocks; i++ {
+			for j := range out.Data() {
+				out.Data()[j] = byte(i ^ j)
+			}
+			if err := r.cl.WriteBlock(p, int64(i), out, nbd.BlockSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.cl.SetWindow(8); err != nil {
+			t.Fatal(err)
+		}
+		osys := kernel.NewOS(r.client, 0)
+		osys.SetReadChunkPages(8)
+		osys.Mount("/dev", nbd.NewDevice(r.cl))
+		as := r.client.NewUserSpace("app")
+		buf, _ := as.Mmap(blocks*nbd.BlockSize, "buf")
+		f, err := osys.Open(p, "/dev/disk", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.ReadAt(p, as, buf, blocks*nbd.BlockSize, 0)
+		if err != nil || n != blocks*nbd.BlockSize {
+			t.Fatalf("read: %d %v", n, err)
+		}
+		got, _ := as.ReadBytes(buf, n)
+		for i := 0; i < blocks; i++ {
+			for j := 0; j < nbd.BlockSize; j++ {
+				if got[i*nbd.BlockSize+j] != byte(i^j) {
+					t.Fatalf("combined read corrupted block %d byte %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -23,8 +23,17 @@ import (
 )
 
 // Lib is one process's ORFA library instance.
+//
+// Over a windowed rfsrv.Session the library pipelines what it can
+// without acquiring state the design forbids (no caches): large reads
+// split into chunks issued concurrently through the window, large
+// writes chunk through the window inside Session.Write, and
+// ReaddirAttrs packs one getattr per entry into a single combined
+// request message (the "ls -l" pattern, a full round trip per entry
+// on the synchronous protocol).
 type Lib struct {
 	cl   rfsrv.Client
+	sess *rfsrv.Session // non-nil when cl is a windowed Session
 	as   *vm.AddressSpace
 	fds  map[int]*file
 	next int
@@ -34,6 +43,9 @@ type Lib struct {
 	MetaRPCs sim.Counter
 }
 
+// readChunk is the split granularity of pipelined large reads.
+const readChunk = rfsrv.MaxWriteChunk
+
 type file struct {
 	ino  kernel.InodeID
 	off  int64
@@ -42,7 +54,11 @@ type file struct {
 
 // New creates the library for a process with address space as.
 func New(cl rfsrv.Client, as *vm.AddressSpace) *Lib {
-	return &Lib{cl: cl, as: as, fds: make(map[int]*file), next: 3}
+	l := &Lib{cl: cl, as: as, fds: make(map[int]*file), next: 3}
+	if s, ok := cl.(*rfsrv.Session); ok && s.Window() > 1 {
+		l.sess = s
+	}
+	return l
 }
 
 // walk resolves path (always from the root — no caching) to attributes.
@@ -132,11 +148,22 @@ func (l *Lib) file(fd int) (*file, error) {
 }
 
 // Read reads up to n bytes into the process buffer at va, directly from
-// the network (zero OS involvement).
+// the network (zero OS involvement). Over a windowed session, reads
+// larger than one chunk split into per-chunk requests issued
+// concurrently — each lands in its own slice of the user buffer, so
+// the transfers pipeline with zero extra copies.
 func (l *Lib) Read(p *sim.Proc, fd int, va vm.VirtAddr, n int) (int, error) {
 	f, err := l.file(fd)
 	if err != nil {
 		return 0, err
+	}
+	if l.sess != nil && n > readChunk {
+		got, err := l.readPipelined(p, f, va, n)
+		if err != nil {
+			return 0, err
+		}
+		f.off += int64(got)
+		return got, nil
 	}
 	resp, err := l.cl.Read(p, f.ino, f.off, core.Of(core.UserSeg(l.as, va, n)))
 	if err != nil {
@@ -144,6 +171,68 @@ func (l *Lib) Read(p *sim.Proc, fd int, va vm.VirtAddr, n int) (int, error) {
 	}
 	f.off += int64(resp.N)
 	return int(resp.N), nil
+}
+
+// readPipelined issues the chunks of one large read through the
+// session window and retires them in order, stopping at a short chunk
+// (EOF).
+func (l *Lib) readPipelined(p *sim.Proc, f *file, va vm.VirtAddr, n int) (int, error) {
+	type slot struct {
+		pd   *rfsrv.Pending
+		want int
+	}
+	var inflight []slot
+	total := 0
+	short := false
+	retire := func(s slot) error {
+		resp, err := s.pd.Wait(p)
+		if err != nil {
+			return err
+		}
+		if !short {
+			total += int(resp.N)
+			if int(resp.N) < s.want {
+				short = true // EOF inside this chunk; later chunks are empty
+			}
+		}
+		return nil
+	}
+	// drain retires leftover in-flight chunks on an error path, so
+	// their window slots return to the session instead of leaking.
+	drain := func(rest []slot) {
+		for _, s := range rest {
+			s.pd.Wait(p)
+		}
+	}
+	for issued := 0; issued < n; {
+		chunk := n - issued
+		if chunk > readChunk {
+			chunk = readChunk
+		}
+		if len(inflight) == l.sess.Window() {
+			s := inflight[0]
+			inflight = inflight[1:]
+			if err := retire(s); err != nil {
+				drain(inflight)
+				return total, err
+			}
+		}
+		pd, err := l.sess.StartRead(p, f.ino, f.off+int64(issued),
+			core.Of(core.UserSeg(l.as, va+vm.VirtAddr(issued), chunk)))
+		if err != nil {
+			drain(inflight)
+			return total, err
+		}
+		inflight = append(inflight, slot{pd, chunk})
+		issued += chunk
+	}
+	for i, s := range inflight {
+		if err := retire(s); err != nil {
+			drain(inflight[i+1:])
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Write writes n bytes from the process buffer at va.
@@ -199,6 +288,42 @@ func (l *Lib) Readdir(p *sim.Proc, path string) ([]kernel.DirEntry, error) {
 		return nil, err
 	}
 	return resp.Entries, nil
+}
+
+// ReaddirAttrs lists a directory and returns each entry's attributes —
+// the "ls -l" pattern. On the synchronous protocol this is one
+// round trip per entry (ORFA's §3.1 weakness); over a windowed session
+// the per-entry getattrs pack into combined request messages
+// (Session.MetaBatch), the client-side analogue of §3.3 combining.
+func (l *Lib) ReaddirAttrs(p *sim.Proc, path string) ([]kernel.DirEntry, []kernel.Attr, error) {
+	ents, err := l.Readdir(p, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := make([]kernel.Attr, len(ents))
+	if l.sess != nil {
+		reqs := make([]*rfsrv.Req, len(ents))
+		for i, e := range ents {
+			reqs[i] = &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: e.Ino}
+		}
+		l.MetaRPCs.Add(len(reqs))
+		resps, err := l.sess.MetaBatch(p, reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, r := range resps {
+			attrs[i] = r.Attr
+		}
+		return ents, attrs, nil
+	}
+	for i, e := range ents {
+		resp, err := l.meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: e.Ino})
+		if err != nil {
+			return nil, nil, err
+		}
+		attrs[i] = resp.Attr
+	}
+	return ents, attrs, nil
 }
 
 // Mkdir creates a directory.

@@ -19,6 +19,7 @@ package orfs
 
 import (
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/rfsrv"
@@ -26,21 +27,113 @@ import (
 )
 
 // FS is an ORFS mount's client state.
+//
+// Over a windowed rfsrv.Session the mount becomes asynchronous on both
+// buffered paths:
+//
+//   - Readahead: sequential ReadPage misses prefetch the following
+//     pages through the session window (up to window-1 outstanding),
+//     so the per-page round trip the paper identifies as the buffered
+//     ceiling (§3.3) overlaps with the application's consumption.
+//   - Write-behind: WritePage snapshots the page into a shadow frame
+//     and issues the write through the window without waiting; the
+//     pipeline drains at the next read/metadata operation or at
+//     Sync (wired to Fsync/Close through kernel.Syncer).
+//
+// With a plain synchronous client (or window 1) every path is
+// identical to the paper's prototype.
 type FS struct {
 	name string
 	cl   rfsrv.Client
+	sess *rfsrv.Session // non-nil only when cl is a Session with window > 1
+	node *hw.Node       // the client node (shadow frames, copy charges)
+
+	// readahead state: prefetches for the inode being streamed cover
+	// page indices [raNext, raHigh).
+	raIno  kernel.InodeID
+	raNext int64 // next sequential page index expected
+	raHigh int64 // next page index to prefetch
+	ra     map[int64]*prefetch
+
+	// write-behind state: in-flight page writes, their shadow frames,
+	// and the first deferred error (surfaced at the next barrier).
+	wb    []*wbWrite
+	wbErr error
 
 	// Ops counts RPCs issued per operation class.
 	MetaOps, ReadOps, WriteOps sim.Counter
+	// ReadaheadHits counts pages served from a completed prefetch;
+	// Prefetched counts prefetch RPCs issued.
+	ReadaheadHits, Prefetched sim.Counter
 }
 
-// New creates an ORFS client over an rfsrv transport.
+type prefetch struct {
+	pd    *rfsrv.Pending
+	frame *mem.Frame
+}
+
+type wbWrite struct {
+	pd     *rfsrv.Pending
+	shadow *mem.Frame
+}
+
+// New creates an ORFS client over an rfsrv transport. When cl is a
+// *rfsrv.Session with a window above 1, the mount pipelines buffered
+// reads (readahead) and writes (write-behind) through the window.
 func New(name string, cl rfsrv.Client) *FS {
-	return &FS{name: name, cl: cl}
+	f := &FS{name: name, cl: cl}
+	if s, ok := cl.(*rfsrv.Session); ok && s.Window() > 1 {
+		f.sess = s
+		f.node = s.Client().Transport().Node()
+		f.ra = make(map[int64]*prefetch)
+	}
+	return f
 }
 
 // Client returns the underlying transport (stats).
 func (f *FS) Client() rfsrv.Client { return f.cl }
+
+// Sync implements kernel.Syncer: drain the write-behind pipeline,
+// surfacing the first deferred write error.
+func (f *FS) Sync(p *sim.Proc) error {
+	first := f.wbErr
+	f.wbErr = nil
+	for _, w := range f.wb {
+		_, err := w.pd.Wait(p)
+		if err != nil && first == nil {
+			first = err
+		}
+		f.node.Mem.Put(w.shadow)
+	}
+	f.wb = nil
+	return first
+}
+
+// dropReadahead retires (and discards) every outstanding prefetch —
+// required before anything that could make the prefetched bytes stale
+// or free their frames while a receive is still scattering into them.
+func (f *FS) dropReadahead(p *sim.Proc) {
+	for idx, pf := range f.ra {
+		pf.pd.Wait(p)
+		f.node.Mem.Put(pf.frame)
+		delete(f.ra, idx)
+	}
+	f.raIno, f.raNext, f.raHigh = 0, 0, 0
+}
+
+// barrier orders an operation behind the asynchronous pipeline: writes
+// drain (so reads and metadata see them) and, when the operation can
+// invalidate file contents, prefetches are discarded too.
+func (f *FS) barrier(p *sim.Proc, invalidate bool) error {
+	if f.sess == nil {
+		return nil
+	}
+	err := f.Sync(p)
+	if invalidate {
+		f.dropReadahead(p)
+	}
+	return err
+}
 
 // FSName implements kernel.FileSystem.
 func (f *FS) FSName() string { return f.name }
@@ -50,6 +143,12 @@ func (f *FS) FSName() string { return f.name }
 func (f *FS) Root() kernel.InodeID { return 0 }
 
 func (f *FS) meta(p *sim.Proc, req *rfsrv.Req) (*rfsrv.Resp, error) {
+	// Metadata is ordered behind in-flight writes; operations that
+	// change file contents also discard prefetched pages.
+	invalidate := req.Op == rfsrv.OpTruncate || req.Op == rfsrv.OpUnlink
+	if err := f.barrier(p, invalidate); err != nil {
+		return nil, err
+	}
 	f.MetaOps.Add(1)
 	return f.cl.Meta(p, req)
 }
@@ -119,21 +218,108 @@ func (f *FS) Truncate(p *sim.Proc, ino kernel.InodeID, size int64) error {
 
 // ReadPage implements kernel.FileSystem: the buffered path. The frame's
 // physical address goes straight to the network layer — the paper's
-// page-cache case (§2.3.1).
+// page-cache case (§2.3.1). Over a windowed session, sequential misses
+// prefetch the following pages through the window (readahead), so the
+// next ReadPage usually finds its data already in flight or landed.
 func (f *FS) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame) (int, error) {
+	if f.sess == nil {
+		f.ReadOps.Add(mem.PageSize)
+		resp, err := f.cl.Read(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), mem.PageSize)))
+		if err != nil {
+			return 0, err
+		}
+		return int(resp.N), nil
+	}
+	if err := f.barrier(p, false); err != nil {
+		return 0, err
+	}
+	// Serve from an outstanding prefetch when the stream has one.
+	if ino == f.raIno {
+		if pf := f.ra[idx]; pf != nil {
+			delete(f.ra, idx)
+			resp, err := pf.pd.Wait(p)
+			if err != nil {
+				f.node.Mem.Put(pf.frame)
+				return 0, err
+			}
+			n := int(resp.N)
+			if n > 0 {
+				f.node.CPU.Copy(p, n)
+				copy(frame.Data()[:n], pf.frame.Data()[:n])
+			}
+			f.node.Mem.Put(pf.frame)
+			f.ReadaheadHits.Add(n)
+			f.raNext = idx + 1
+			if n < mem.PageSize {
+				f.dropReadahead(p) // EOF region: stop the stream
+			} else {
+				f.topUp(p, ino)
+			}
+			return n, nil
+		}
+	}
+	// Miss. A non-sequential jump (or a new file) resets the stream.
+	if ino != f.raIno || idx != f.raNext {
+		f.dropReadahead(p)
+		f.raIno, f.raNext, f.raHigh = ino, idx, idx+1
+	}
 	f.ReadOps.Add(mem.PageSize)
-	resp, err := f.cl.Read(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), mem.PageSize)))
+	pd, err := f.sess.StartRead(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), mem.PageSize)))
 	if err != nil {
 		return 0, err
 	}
+	f.raNext = idx + 1
+	if f.raHigh < f.raNext {
+		f.raHigh = f.raNext
+	}
+	// Launch the readahead before waiting, so the prefetches overlap
+	// this page's round trip.
+	f.topUp(p, ino)
+	resp, err := pd.Wait(p)
+	if err != nil {
+		return 0, err
+	}
+	if int(resp.N) < mem.PageSize {
+		f.dropReadahead(p)
+	}
 	return int(resp.N), nil
+}
+
+// topUp issues prefetches for the pages after raHigh until window-1
+// are outstanding, never blocking on the window.
+func (f *FS) topUp(p *sim.Proc, ino kernel.InodeID) {
+	for len(f.ra) < f.sess.Window()-1 && f.sess.InFlight() < f.sess.Window() {
+		fr, err := f.node.Mem.AllocFrame()
+		if err != nil {
+			return
+		}
+		pd, err := f.sess.StartRead(p, ino, f.raHigh*mem.PageSize, core.Of(core.PhysSeg(fr.Addr(), mem.PageSize)))
+		if err != nil {
+			f.node.Mem.Put(fr)
+			return
+		}
+		f.Prefetched.Add(mem.PageSize)
+		f.ra[f.raHigh] = &prefetch{pd: pd, frame: fr}
+		f.raHigh++
+	}
 }
 
 // ReadPages implements kernel.PageRangeReader: several consecutive
 // pages in one vectorial request — the request combining the paper
 // predicts for Linux 2.6 (§3.3), possible precisely because the
-// transport supports vectors of physical segments (§4.1).
+// transport supports vectors of physical segments (§4.1). The single
+// combined request already streams all pages in one data transfer, so
+// it is not split across the window; it just orders behind the
+// pipeline.
 func (f *FS) ReadPages(p *sim.Proc, ino kernel.InodeID, idx int64, frames []*mem.Frame) (int, error) {
+	if f.sess != nil {
+		if err := f.barrier(p, false); err != nil {
+			return 0, err
+		}
+		if ino == f.raIno {
+			f.dropReadahead(p) // combined ranges may overlap prefetches
+		}
+	}
 	v := make(core.Vector, 0, len(frames))
 	for _, fr := range frames {
 		v = append(v, core.PhysSeg(fr.Addr(), mem.PageSize))
@@ -146,16 +332,53 @@ func (f *FS) ReadPages(p *sim.Proc, ino kernel.InodeID, idx int64, frames []*mem
 	return int(resp.N), nil
 }
 
-// WritePage implements kernel.FileSystem.
+// WritePage implements kernel.FileSystem. Over a windowed session the
+// page is snapshotted into a shadow frame and the write issues through
+// the window without waiting (write-behind): page-cache writeback and
+// fsync pipelines its pages instead of paying a round trip per page.
+// Deferred errors surface at the next barrier or Sync.
 func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Frame, n int) error {
 	f.WriteOps.Add(n)
-	_, err := f.cl.Write(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), n)))
-	return err
+	if f.sess == nil {
+		_, err := f.cl.Write(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), n)))
+		return err
+	}
+	if ino == f.raIno {
+		f.dropReadahead(p) // the write supersedes prefetched contents
+	}
+	// Retire the oldest writes first when the window is full, so the
+	// StartWrite below cannot block with nobody left to drain it.
+	for f.sess.InFlight() >= f.sess.Window() && len(f.wb) > 0 {
+		w := f.wb[0]
+		f.wb = f.wb[1:]
+		if _, err := w.pd.Wait(p); err != nil && f.wbErr == nil {
+			f.wbErr = err
+		}
+		f.node.Mem.Put(w.shadow)
+	}
+	shadow, err := f.node.Mem.AllocFrame()
+	if err != nil {
+		// No shadow memory: fall back to the synchronous write.
+		_, err := f.cl.Write(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), n)))
+		return err
+	}
+	f.node.CPU.Copy(p, n)
+	copy(shadow.Data()[:n], frame.Data()[:n])
+	pd, err := f.sess.StartWrite(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(shadow.Addr(), n)))
+	if err != nil {
+		f.node.Mem.Put(shadow)
+		return err
+	}
+	f.wb = append(f.wb, &wbWrite{pd: pd, shadow: shadow})
+	return nil
 }
 
 // ReadDirect implements kernel.FileSystem: the O_DIRECT path, handing
 // the application's own vector to the transport (§2.3.2).
 func (f *FS) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
+	if err := f.barrier(p, false); err != nil {
+		return 0, err
+	}
 	f.ReadOps.Add(v.TotalLen())
 	resp, err := f.cl.Read(p, ino, off, v)
 	if err != nil {
@@ -164,8 +387,13 @@ func (f *FS) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vecto
 	return int(resp.N), nil
 }
 
-// WriteDirect implements kernel.FileSystem.
+// WriteDirect implements kernel.FileSystem. Over a windowed session a
+// transfer larger than one request is chunked and pipelined by
+// Session.Write itself.
 func (f *FS) WriteDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.Vector) (int, error) {
+	if err := f.barrier(p, ino == f.raIno); err != nil {
+		return 0, err
+	}
 	f.WriteOps.Add(v.TotalLen())
 	resp, err := f.cl.Write(p, ino, off, v)
 	if err != nil {

@@ -42,16 +42,24 @@ type FabricClient struct {
 	serverEP uint8
 	myEP     uint8
 
-	reqVA, hdrVA vm.VirtAddr
-	reqXS, hdrXS []mem.Extent // kernel side, physical transports: resolved once
-	seq          uint64
-	lock         *sim.Resource
+	ctl  ctlBufs // the sync path's request/reply control buffers
+	seq  uint64
+	lock *sim.Resource
 
 	// noPhys simulates a transport without the paper's §3.3 physical
 	// extension (stock GM): internal buffers are registered virtual,
 	// and non-user data bounces through a registered staging region.
 	noPhys    bool
 	stagingVA vm.VirtAddr
+}
+
+// ctlBufs is one set of request/reply-header staging buffers. The
+// synchronous client owns a single set; a Session owns one per window
+// slot, so several requests can be on the wire without sharing
+// staging memory.
+type ctlBufs struct {
+	reqVA, hdrVA vm.VirtAddr
+	reqXS, hdrXS []mem.Extent // kernel side, physical transports: resolved once
 }
 
 // MXClient is the fabric client over an MX endpoint (kept as a named
@@ -78,36 +86,46 @@ func NewFabricClient(p *sim.Proc, t fabric.Transport, kernelSide bool, bufAS *vm
 		server: server, serverEP: serverEP, myEP: myEP,
 		lock: sim.NewResource(node.Cluster.Env, "rfsrv-client-lock", 1),
 	}
-	alloc := bufAS.Mmap
-	if kernelSide {
-		alloc = bufAS.MmapContig
+	if err := c.newCtlBufs(p, &c.ctl); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newCtlBufs allocates (and, per the transport's capabilities,
+// resolves or registers) one set of control buffers. Called once for
+// the sync path and once per Session window slot.
+func (c *FabricClient) newCtlBufs(p *sim.Proc, b *ctlBufs) error {
+	alloc := c.as.Mmap
+	if c.kernSide {
+		alloc = c.as.MmapContig
 	}
 	var err error
-	if c.reqVA, err = alloc(4096, "rfsrv-req"); err != nil {
-		return nil, err
+	if b.reqVA, err = alloc(4096, "rfsrv-req"); err != nil {
+		return err
 	}
-	if c.hdrVA, err = alloc(HdrBufSize, "rfsrv-hdr"); err != nil {
-		return nil, err
+	if b.hdrVA, err = alloc(HdrBufSize, "rfsrv-hdr"); err != nil {
+		return err
 	}
-	caps := t.Caps()
+	caps := c.t.Caps()
 	if c.physCtl() {
 		// Kernel side on a physical-capable non-vectorial transport:
 		// address the internal buffers physically, no registration at
 		// all (the §3.3 extension at work).
-		c.reqXS, _ = bufAS.Resolve(c.reqVA, 4096)
-		c.hdrXS, _ = bufAS.Resolve(c.hdrVA, HdrBufSize)
+		b.reqXS, _ = c.as.Resolve(b.reqVA, 4096)
+		b.hdrXS, _ = c.as.Resolve(b.hdrVA, HdrBufSize)
 	} else if caps.NeedsReg {
 		// User side of a registering transport: the library registers
 		// its own buffers once at startup (the amortized case
 		// registration is designed for).
-		if err := t.Register(p, bufAS, c.reqVA, 4096); err != nil {
-			return nil, err
+		if err := c.t.Register(p, c.as, b.reqVA, 4096); err != nil {
+			return err
 		}
-		if err := t.Register(p, bufAS, c.hdrVA, HdrBufSize); err != nil {
-			return nil, err
+		if err := c.t.Register(p, c.as, b.hdrVA, HdrBufSize); err != nil {
+			return err
 		}
 	}
-	return c, nil
+	return nil
 }
 
 // NewMXClient opens MX endpoint epID (kernel or user per kernelSide)
@@ -165,14 +183,14 @@ func (c *FabricClient) DisablePhysicalAPI(p *sim.Proc) error {
 	if err := c.t.Register(p, c.as, c.stagingVA, MaxWriteChunk); err != nil {
 		return err
 	}
-	if err := c.t.Register(p, c.as, c.reqVA, 4096); err != nil {
+	if err := c.t.Register(p, c.as, c.ctl.reqVA, 4096); err != nil {
 		return err
 	}
-	if err := c.t.Register(p, c.as, c.hdrVA, HdrBufSize); err != nil {
+	if err := c.t.Register(p, c.as, c.ctl.hdrVA, HdrBufSize); err != nil {
 		return err
 	}
 	c.noPhys = true
-	c.reqXS, c.hdrXS = nil, nil
+	c.ctl.reqXS, c.ctl.hdrXS = nil, nil
 	return nil
 }
 
@@ -193,24 +211,29 @@ func (c *FabricClient) ctlVec(va vm.VirtAddr, xs []mem.Extent, n int) core.Vecto
 	return core.Of(c.seg(va, n))
 }
 
-// postHdr posts the reply-header receive for seq.
-func (c *FabricClient) postHdr(p *sim.Proc, seq uint64) (fabric.Op, error) {
-	return c.t.PostRecv(p, core.Exact(tag(seq, c.myEP, kindHdr)), c.ctlVec(c.hdrVA, c.hdrXS, HdrBufSize))
+// postHdr posts the reply-header receive for seq into b's header
+// buffer.
+func (c *FabricClient) postHdr(p *sim.Proc, b *ctlBufs, seq uint64) (fabric.Op, error) {
+	return c.t.PostRecv(p, core.Exact(tag(seq, c.myEP, kindHdr)), c.ctlVec(b.hdrVA, b.hdrXS, HdrBufSize))
 }
 
-// sendReq encodes and transmits a request. On vectorial transports
-// extra data segments ride in the same message.
-func (c *FabricClient) sendReq(p *sim.Proc, req *Req, extra core.Vector) error {
-	enc := EncodeReq(req)
-	if err := c.as.WriteBytes(c.reqVA, enc); err != nil {
+// sendReq transmits pre-encoded request bytes from b's request buffer.
+// On vectorial transports extra data segments ride in the same message.
+func (c *FabricClient) sendEnc(p *sim.Proc, b *ctlBufs, enc []byte, extra core.Vector) error {
+	if err := c.as.WriteBytes(b.reqVA, enc); err != nil {
 		return err
 	}
-	v := c.ctlVec(c.reqVA, c.reqXS, len(enc))
+	v := c.ctlVec(b.reqVA, b.reqXS, len(enc))
 	if len(extra) > 0 {
 		v = append(v, extra...)
 	}
 	_, err := c.t.Send(p, c.server, c.serverEP, reqTag, v)
 	return err
+}
+
+// sendReq encodes and transmits a request.
+func (c *FabricClient) sendReq(p *sim.Proc, b *ctlBufs, req *Req, extra core.Vector) error {
+	return c.sendEnc(p, b, EncodeReq(req), extra)
 }
 
 // postData posts the read-data receive for dst, returning the op, a
@@ -331,13 +354,14 @@ func (c *FabricClient) sendData(p *sim.Proc, seq uint64, src core.Vector) (func(
 	return release, nil
 }
 
-// finish waits for the header reply and decodes it.
-func (c *FabricClient) finish(p *sim.Proc, hdrOp fabric.Op, seq uint64) (*Resp, error) {
+// finish waits for the header reply and decodes it from b's header
+// buffer.
+func (c *FabricClient) finish(p *sim.Proc, b *ctlBufs, hdrOp fabric.Op, seq uint64) (*Resp, error) {
 	st := hdrOp.Wait(p)
 	if st.Err != nil {
 		return nil, st.Err
 	}
-	raw, err := c.as.ReadBytes(c.hdrVA, st.Len)
+	raw, err := c.as.ReadBytes(b.hdrVA, st.Len)
 	if err != nil {
 		return nil, err
 	}
@@ -356,29 +380,35 @@ func (c *FabricClient) finish(p *sim.Proc, hdrOp fabric.Op, seq uint64) (*Resp, 
 
 // Meta implements Client.
 func (c *FabricClient) Meta(p *sim.Proc, req *Req) (*Resp, error) {
+	if err := ValidateReq(req); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
 	c.lock.Acquire(p)
 	defer c.lock.Release()
 	c.seq++
 	req.Seq, req.EP = c.seq, c.myEP
-	hdrOp, err := c.postHdr(p, req.Seq)
+	hdrOp, err := c.postHdr(p, &c.ctl, req.Seq)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.sendReq(p, req, nil); err != nil {
+	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
 		return nil, err
 	}
-	return c.finish(p, hdrOp, req.Seq)
+	return c.finish(p, &c.ctl, hdrOp, req.Seq)
 }
 
 // Read implements Client: data lands directly in dst wherever the
 // transport allows it.
 func (c *FabricClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
+	if off < 0 {
+		return &Resp{Status: StInval}, ErrInval
+	}
 	c.lock.Acquire(p)
 	defer c.lock.Release()
 	c.seq++
 	seq := c.seq
 	req := &Req{Op: OpRead, Seq: seq, EP: c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
-	hdrOp, err := c.postHdr(p, seq)
+	hdrOp, err := c.postHdr(p, &c.ctl, seq)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +417,7 @@ func (c *FabricClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 		return nil, err
 	}
 	defer release()
-	if err := c.sendReq(p, req, nil); err != nil {
+	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
 		return nil, err
 	}
 	st := dataOp.Wait(p)
@@ -397,13 +427,16 @@ func (c *FabricClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 	if fixup != nil {
 		fixup(p, st.Len)
 	}
-	return c.finish(p, hdrOp, seq)
+	return c.finish(p, &c.ctl, hdrOp, seq)
 }
 
 // Write implements Client: on vectorial transports write data rides in
 // the request message itself; otherwise it follows as its own message.
 // Either way it is chunked at MaxWriteChunk.
 func (c *FabricClient) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
+	if off < 0 {
+		return &Resp{Status: StInval}, ErrInval
+	}
 	c.lock.Acquire(p)
 	defer c.lock.Release()
 	vectors := c.t.Caps().Vectors
@@ -418,24 +451,24 @@ func (c *FabricClient) Write(p *sim.Proc, ino kernel.InodeID, off int64, src cor
 		c.seq++
 		seq := c.seq
 		req := &Req{Op: OpWrite, Seq: seq, EP: c.myEP, Ino: ino, Off: off + int64(written), Len: uint32(chunk)}
-		hdrOp, err := c.postHdr(p, seq)
+		hdrOp, err := c.postHdr(p, &c.ctl, seq)
 		if err != nil {
 			return nil, err
 		}
 		release := func() {}
 		if vectors {
-			if err := c.sendReq(p, req, src.Slice(written, chunk)); err != nil {
+			if err := c.sendReq(p, &c.ctl, req, src.Slice(written, chunk)); err != nil {
 				return nil, err
 			}
 		} else {
-			if err := c.sendReq(p, req, nil); err != nil {
+			if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
 				return nil, err
 			}
 			if release, err = c.sendData(p, seq, src.Slice(written, chunk)); err != nil {
 				return nil, err
 			}
 		}
-		resp, err := c.finish(p, hdrOp, seq)
+		resp, err := c.finish(p, &c.ctl, hdrOp, seq)
 		release()
 		if err != nil {
 			return resp, err

@@ -24,6 +24,7 @@ package rfsrv
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/kernel"
@@ -76,6 +77,32 @@ type Req struct {
 // reqFixed is the fixed-size prefix of an encoded request.
 const reqFixed = 1 + 8 + 1 + 8 + 8 + 4 + 2
 
+// MaxNameLen is the longest name one request can carry: a component
+// must fit the 4 KB request buffer alongside the fixed header. Clients
+// validate at the API boundary (ValidateReq) so an oversized name
+// surfaces as StNameTooLong instead of a panic deep in Encode.
+const MaxNameLen = 4096 - reqFixed
+
+// Client-boundary validation errors (each maps to a wire status).
+var (
+	ErrNameTooLong = errors.New("rfsrv: name too long")
+	ErrInval       = errors.New("rfsrv: invalid argument")
+)
+
+// ValidateReq checks a request at the client API boundary: oversized
+// names and negative offsets are protocol violations that must be
+// reported as statuses, not crash the simulation in EncodeReq or be
+// shipped to the server to clip silently.
+func ValidateReq(r *Req) error {
+	if len(r.Name) > MaxNameLen {
+		return ErrNameTooLong
+	}
+	if r.Off < 0 {
+		return ErrInval
+	}
+	return nil
+}
+
 // EncodeReq serializes a request.
 func EncodeReq(r *Req) []byte {
 	if len(r.Name) > 1<<15 {
@@ -125,6 +152,8 @@ const (
 	StNotEmpty
 	StBadOffset
 	StIO
+	StNameTooLong
+	StInval
 )
 
 // StatusOf maps a filesystem error to a wire status.
@@ -144,6 +173,10 @@ func StatusOf(err error) int32 {
 		return StNotEmpty
 	case kernel.ErrBadOffset:
 		return StBadOffset
+	case ErrNameTooLong:
+		return StNameTooLong
+	case ErrInval:
+		return StInval
 	default:
 		return StIO
 	}
@@ -166,6 +199,10 @@ func ErrOf(st int32) error {
 		return kernel.ErrNotEmpty
 	case StBadOffset:
 		return kernel.ErrBadOffset
+	case StNameTooLong:
+		return ErrNameTooLong
+	case StInval:
+		return ErrInval
 	default:
 		return fmt.Errorf("rfsrv: remote I/O error (status %d)", st)
 	}
@@ -255,8 +292,10 @@ func DecodeResp(b []byte) (*Resp, error) {
 }
 
 // Client is the transport-specific RPC engine used by ORFA and ORFS.
-// Implementations are synchronous and single-threaded (one outstanding
-// request), like the paper's prototypes.
+// FabricClient is the paper-faithful synchronous implementation (one
+// outstanding request, like the prototypes); Session layers a sliding
+// window of in-flight requests on top of it and satisfies the same
+// interface, so consumers pick their concurrency by construction.
 type Client interface {
 	// Meta performs a metadata operation (no bulk data).
 	Meta(p *sim.Proc, req *Req) (*Resp, error)

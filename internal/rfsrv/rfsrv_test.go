@@ -616,7 +616,9 @@ func TestORFSMatchesLocalReferenceProperty(t *testing.T) {
 		r.env.Run(0)
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(12))}); err != nil {
 		t.Fatal(err)
 	}
 }

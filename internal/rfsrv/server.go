@@ -29,8 +29,34 @@ type Server struct {
 	fs   BackingFS
 	zero *mem.Frame // shared zero page for holes
 
-	// Requests counts served operations.
-	Requests sim.Counter
+	// sessions is the per-client protocol state: one entry per (node,
+	// endpoint) pair that has sent a request, tracking that client's
+	// sliding window as seen from the server.
+	sessions map[clientKey]*ClientSession
+
+	// Requests counts served operations; Batched counts requests that
+	// arrived packed behind another in one message (§3.3-style
+	// combining, client side).
+	Requests, Batched sim.Counter
+}
+
+type clientKey struct {
+	node hw.NodeID
+	ep   uint8
+}
+
+// ClientSession is the server-side record of one client endpoint:
+// how many of its requests are in the server right now (queued or
+// being served) and the deepest window it has kept open. Workers use
+// it for accounting; tests use it to verify pipelining reached the
+// server.
+type ClientSession struct {
+	Node hw.NodeID
+	EP   uint8
+
+	Outstanding    int
+	MaxOutstanding int
+	Served         sim.Counter
 }
 
 // NewServer creates a server for fs on node.
@@ -39,7 +65,27 @@ func NewServer(node *hw.Node, fs BackingFS) *Server {
 	if err != nil {
 		panic(err)
 	}
-	return &Server{node: node, fs: fs, zero: zero}
+	return &Server{node: node, fs: fs, zero: zero, sessions: make(map[clientKey]*ClientSession)}
+}
+
+// session returns (creating on first contact) the per-client state.
+func (s *Server) session(src hw.NodeID, ep uint8) *ClientSession {
+	k := clientKey{src, ep}
+	cs := s.sessions[k]
+	if cs == nil {
+		cs = &ClientSession{Node: src, EP: ep}
+		s.sessions[k] = cs
+	}
+	return cs
+}
+
+// Sessions returns the per-client session records (stats, tests).
+func (s *Server) Sessions() []*ClientSession {
+	out := make([]*ClientSession, 0, len(s.sessions))
+	for _, cs := range s.sessions {
+		out = append(out, cs)
+	}
+	return out
 }
 
 // handleMeta executes a metadata request against the backing store.
@@ -66,7 +112,11 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 	case OpRmdir:
 		err = s.fs.Rmdir(p, ino, req.Name)
 	case OpTruncate:
-		err = s.fs.Truncate(p, ino, req.Off)
+		if req.Off < 0 {
+			err = ErrInval // a negative size would corrupt the block map
+		} else {
+			err = s.fs.Truncate(p, ino, req.Off)
+		}
 	default:
 		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
 	}
@@ -79,6 +129,13 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 // EOF. It returns the response and the extents to transmit.
 func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
 	resp := &Resp{Seq: req.Seq}
+	// A negative or overflowing range is a protocol violation, not a
+	// short read: reject it outright instead of clipping silently (the
+	// clip below assumes a well-formed [Off, Off+Len) window).
+	if req.Off < 0 || req.Off+int64(req.Len) < req.Off {
+		resp.Status = StInval
+		return resp, nil
+	}
 	attr, err := s.fs.Getattr(p, req.Ino)
 	if err != nil {
 		resp.Status = StatusOf(err)
@@ -117,6 +174,10 @@ func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
 // transport's bounce buffer, described by src).
 func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 	resp := &Resp{Seq: req.Seq}
+	if req.Off < 0 || req.Off+int64(req.Len) < req.Off {
+		resp.Status = StInval
+		return resp
+	}
 	n, err := s.fs.WriteDirect(p, req.Ino, req.Off, src)
 	resp.Status = StatusOf(err)
 	resp.N = uint32(n)
@@ -130,55 +191,93 @@ func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 
 // ---- MX transport ----
 
-// ServeMX starts worker processes serving the protocol on MX kernel
-// endpoint epID. Each worker owns a bounce buffer for incoming
-// requests (with inline write data) and replies zero-copy from the
-// block store.
+// mxWork is one received request message on its way from the receive
+// dispatcher to the worker pool: the decoded leading request, the raw
+// message (which may carry inline write data, or further packed
+// metadata requests), and the pooled bounce buffer the message landed
+// in (released once the worker is done with it).
+type mxWork struct {
+	req      *Req
+	src      hw.NodeID
+	raw      []byte
+	consumed int
+	buf      *fabric.Buffer
+	sess     *ClientSession
+}
+
+// ServeMX serves the protocol on MX kernel endpoint epID: one receive
+// dispatcher keeps a request receive posted and feeds a shared queue
+// that `workers` worker processes drain. Replacing the former
+// one-synchronous-loop-per-worker shape, the dispatcher can accept a
+// pipelined client's next request while every worker is still busy —
+// the server half of the protocol's sliding window.
 func (s *Server) ServeMX(m *mx.MX, epID uint8, workers int) (*mx.Endpoint, error) {
 	ep, err := m.OpenEndpoint(epID, true)
 	if err != nil {
 		return nil, err
 	}
 	env := s.node.Cluster.Env
+	queue := sim.NewChan[*mxWork](env)
+	env.Spawn(fmt.Sprintf("%s-rfsrv-mx-rx", s.node.Name), func(p *sim.Proc) {
+		s.mxDispatch(p, ep, queue)
+	})
 	for w := 0; w < workers; w++ {
 		w := w
 		env.Spawn(fmt.Sprintf("%s-rfsrv-mx-%d", s.node.Name, w), func(p *sim.Proc) {
-			s.mxWorker(p, ep)
+			s.mxWorker(p, ep, queue)
 		})
 	}
 	return ep, nil
 }
 
-func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint) {
+// mxDispatch receives request messages into pooled bounce buffers and
+// queues them for the workers. Each outstanding request holds its own
+// buffer (returned to the pool when its worker finishes), so the
+// queue depth is bounded only by the clients' aggregate window.
+func (s *Server) mxDispatch(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWork]) {
 	kern := s.node.Kernel
 	pool := fabric.PoolOf(s.node)
 	bounceLen := MaxWriteChunk + HdrBufSize
-	bounceBuf, err := pool.Get(bounceLen)
-	if err != nil {
-		panic(err)
-	}
-	hdrBuf, err := pool.Get(HdrBufSize)
-	if err != nil {
-		panic(err)
-	}
-	bounce, hdrVA := bounceBuf.VA(), hdrBuf.VA()
 	reqMatch := core.Match{Bits: reqTag, Mask: 15}
 	for {
-		rr, err := ep.Recv(p, reqMatch, bounceBuf.KernelVec(bounceLen))
+		buf, err := pool.Get(bounceLen)
+		if err != nil {
+			panic(err)
+		}
+		rr, err := ep.Recv(p, reqMatch, buf.KernelVec(bounceLen))
 		if err != nil {
 			panic(err)
 		}
 		st := rr.Wait(p)
-		raw, _ := kern.ReadBytes(bounce, st.Len)
+		raw, _ := kern.ReadBytes(buf.VA(), st.Len)
 		req, consumed, err := DecodeReq(raw)
 		if err != nil {
+			buf.Release()
 			continue // malformed: drop
 		}
 		s.Requests.Add(st.Len)
+		sess := s.session(st.Src, req.EP)
+		sess.Outstanding++
+		if sess.Outstanding > sess.MaxOutstanding {
+			sess.MaxOutstanding = sess.Outstanding
+		}
+		queue.Send(&mxWork{req: req, src: st.Src, raw: raw, consumed: consumed, buf: buf, sess: sess})
+	}
+}
+
+func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWork]) {
+	kern := s.node.Kernel
+	hdrBuf, err := fabric.PoolOf(s.node).Get(HdrBufSize)
+	if err != nil {
+		panic(err)
+	}
+	hdrVA := hdrBuf.VA()
+	for {
+		w := queue.Recv(p)
 		s.node.CPU.VFS(p) // request dispatch
-		switch req.Op {
+		switch w.req.Op {
 		case OpRead:
-			resp, xs := s.readExtents(p, req)
+			resp, xs := s.readExtents(p, w.req)
 			// Data first (zero-copy from the block store), then the
 			// header. A zero-length data message is still sent so the
 			// client's posted receive always completes.
@@ -186,19 +285,46 @@ func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint) {
 			if len(dataVec) == 0 {
 				dataVec = core.Of(core.PhysSeg(s.zero.Addr(), 0))
 			}
-			if _, err := ep.Send(p, st.Src, req.EP, tag(req.Seq, req.EP, kindData), dataVec); err != nil {
+			if _, err := ep.Send(p, w.src, w.req.EP, tag(w.req.Seq, w.req.EP, kindData), dataVec); err != nil {
 				panic(err)
 			}
-			s.replyMX(p, ep, kern, hdrVA, st.Src, req, resp)
+			s.replyMX(p, ep, kern, hdrVA, w.src, w.req, resp)
 		case OpWrite:
-			src := core.Of(core.KernelSeg(kern, bounce+vm.VirtAddr(consumed), int(st.Len)-consumed))
-			resp := s.handleWrite(p, req, src)
-			s.replyMX(p, ep, kern, hdrVA, st.Src, req, resp)
+			src := core.Of(core.KernelSeg(kern, w.buf.VA()+vm.VirtAddr(w.consumed), len(w.raw)-w.consumed))
+			resp := s.handleWrite(p, w.req, src)
+			s.replyMX(p, ep, kern, hdrVA, w.src, w.req, resp)
 		default:
-			resp := s.handleMeta(p, req)
-			s.replyMX(p, ep, kern, hdrVA, st.Src, req, resp)
+			resp := s.handleMeta(p, w.req)
+			s.replyMX(p, ep, kern, hdrVA, w.src, w.req, resp)
+			// Trailing bytes after a metadata request are further
+			// packed requests (client-side combining): answer each.
+			for _, extra := range s.unpack(w.raw[w.consumed:]) {
+				s.Batched.Add(1)
+				w.sess.Served.Add(1)
+				resp := s.handleMeta(p, extra)
+				s.replyMX(p, ep, kern, hdrVA, w.src, extra, resp)
+			}
 		}
+		w.sess.Served.Add(1)
+		w.sess.Outstanding--
+		w.buf.Release()
 	}
+}
+
+// unpack decodes the metadata requests packed behind the first one in
+// a combined message. A decode error drops the remainder (malformed
+// trailing bytes), like any other malformed request.
+func (s *Server) unpack(raw []byte) []*Req {
+	var out []*Req
+	for len(raw) >= reqFixed {
+		req, consumed, err := DecodeReq(raw)
+		if err != nil || req.Op == OpRead || req.Op == OpWrite {
+			break
+		}
+		out = append(out, req)
+		raw = raw[consumed:]
+	}
+	return out
 }
 
 func (s *Server) replyMX(p *sim.Proc, ep *mx.Endpoint, kern *vm.AddressSpace, hdrVA vm.VirtAddr, dst hw.NodeID, req *Req, resp *Resp) {
@@ -221,7 +347,11 @@ func (s *Server) replyMX(p *sim.Proc, ep *mx.Endpoint, kern *vm.AddressSpace, hd
 // portID. GM offers no vectors and a single event queue, so the server
 // (like the client) juggles separate header and data messages and
 // filters its completions out of the unique queue — the per-request
-// overhead §5.2 blames for the ORFS/GM gap.
+// overhead §5.2 blames for the ORFS/GM gap. The same unique queue is
+// why GM keeps the ordered single-worker loop instead of the MX
+// dispatcher/worker-pool split: completions must be drained by one
+// consumer, so requests are served in arrival order (pipelined
+// clients still overlap their requests' transfers with its work).
 func (s *Server) ServeGM(g *gm.GM, portID uint8) (*gm.Port, error) {
 	port, err := g.OpenPort(portID, true)
 	if err != nil {
@@ -232,6 +362,40 @@ func (s *Server) ServeGM(g *gm.GM, portID uint8) (*gm.Port, error) {
 		s.gmWorker(p, port)
 	})
 	return port, nil
+}
+
+// gmReplies tracks reply-header buffers whose send is still in the
+// NIC: GM gathers the payload at DMA time, so a header buffer cannot
+// be reused (or recycled) until its SendComplete event arrives. Each
+// reply stages in its own pooled buffer; the event drain loop releases
+// them. Without this, back-to-back replies to a pipelined client would
+// overwrite one another's staging — the shared-buffer bug the
+// synchronous protocol could never hit.
+type gmReplies struct {
+	pending map[uint64][]*fabric.Buffer // hdr send tag → staged buffers, FIFO
+}
+
+// sent records a reply buffer as in-flight under its send tag.
+func (t *gmReplies) sent(tag uint64, buf *fabric.Buffer) {
+	t.pending[tag] = append(t.pending[tag], buf)
+}
+
+// event releases the oldest staged buffer for a completed header send
+// (same-tag sends complete in FIFO order on the NIC's transmit path).
+func (t *gmReplies) event(ev gm.Event) {
+	if ev.Type != gm.SendComplete {
+		return
+	}
+	q := t.pending[ev.Tag]
+	if len(q) == 0 {
+		return
+	}
+	q[0].Release()
+	if len(q) == 1 {
+		delete(t.pending, ev.Tag)
+	} else {
+		t.pending[ev.Tag] = q[1:]
+	}
 }
 
 func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
@@ -247,22 +411,23 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 		panic(err)
 	}
 	bounceVA := bounceBuf.VA()
-	hdrBuf, err := pool.Get(HdrBufSize)
-	if err != nil {
-		panic(err)
-	}
-	hdrVA := hdrBuf.VA()
+	replies := &gmReplies{pending: make(map[uint64][]*fabric.Buffer)}
 	for {
 		if err := port.PostRecvPhysical(p, reqTag, reqXS); err != nil {
 			panic(err)
 		}
-		ev := s.gmWaitRecv(p, port, reqTag)
+		ev := s.gmWaitRecv(p, port, replies, reqTag)
 		raw, _ := kern.ReadBytes(reqVA, ev.Len)
-		req, _, err := DecodeReq(raw)
+		req, consumed, err := DecodeReq(raw)
 		if err != nil {
 			continue
 		}
 		s.Requests.Add(ev.Len)
+		sess := s.session(ev.Src, req.EP)
+		sess.Outstanding++
+		if sess.Outstanding > sess.MaxOutstanding {
+			sess.MaxOutstanding = sess.Outstanding
+		}
 		s.node.CPU.VFS(p)
 		switch req.Op {
 		case OpRead:
@@ -274,53 +439,72 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 			if err := port.SendPhysical(p, ev.Src, req.EP, tag(req.Seq, req.EP, kindData), xs); err != nil {
 				panic(err)
 			}
-			s.replyGM(p, port, kern, hdrVA, ev.Src, req, resp)
+			s.replyGM(p, port, kern, replies, ev.Src, req, resp)
 		case OpWrite:
 			// The data message follows the request; post the bounce now
 			// (it has usually already arrived and sits in the
 			// unexpected queue — GM's eager staging).
 			n := int(req.Len)
 			if n > MaxWriteChunk {
-				s.replyGM(p, port, kern, hdrVA, ev.Src, req, &Resp{Seq: req.Seq, Status: StIO})
+				s.replyGM(p, port, kern, replies, ev.Src, req, &Resp{Seq: req.Seq, Status: StIO})
+				sess.Served.Add(1)
+				sess.Outstanding--
 				continue
 			}
 			bxs := bounceBuf.Extents(max(n, 1))
 			if err := port.PostRecvPhysical(p, tag(req.Seq, req.EP, kindData), bxs); err != nil {
 				panic(err)
 			}
-			s.gmWaitRecv(p, port, tag(req.Seq, req.EP, kindData))
+			s.gmWaitRecv(p, port, replies, tag(req.Seq, req.EP, kindData))
 			resp := s.handleWrite(p, req, core.Of(core.KernelSeg(kern, bounceVA, n)))
-			s.replyGM(p, port, kern, hdrVA, ev.Src, req, resp)
+			s.replyGM(p, port, kern, replies, ev.Src, req, resp)
 		default:
 			resp := s.handleMeta(p, req)
-			s.replyGM(p, port, kern, hdrVA, ev.Src, req, resp)
+			s.replyGM(p, port, kern, replies, ev.Src, req, resp)
+			for _, extra := range s.unpack(raw[consumed:]) {
+				s.Batched.Add(1)
+				sess.Served.Add(1)
+				resp := s.handleMeta(p, extra)
+				s.replyGM(p, port, kern, replies, ev.Src, extra, resp)
+			}
 		}
+		sess.Served.Add(1)
+		sess.Outstanding--
 	}
 }
 
 // gmWaitRecv blocks on the unique event queue until the receive with
 // the given tag completes, consuming (and paying for) the unrelated
 // send completions that share the queue.
-func (s *Server) gmWaitRecv(p *sim.Proc, port *gm.Port, want uint64) gm.Event {
+func (s *Server) gmWaitRecv(p *sim.Proc, port *gm.Port, replies *gmReplies, want uint64) gm.Event {
 	for {
 		ev := port.WaitEvent(p)
+		replies.event(ev) // recycle reply staging whose send completed
 		if ev.Type == gm.RecvComplete && ev.Tag == want {
 			return ev
 		}
 	}
 }
 
-func (s *Server) replyGM(p *sim.Proc, port *gm.Port, kern *vm.AddressSpace, hdrVA vm.VirtAddr, dst hw.NodeID, req *Req, resp *Resp) {
+func (s *Server) replyGM(p *sim.Proc, port *gm.Port, kern *vm.AddressSpace, replies *gmReplies, dst hw.NodeID, req *Req, resp *Resp) {
 	hdr, err := EncodeResp(resp)
 	if err != nil {
 		resp = &Resp{Seq: req.Seq, Status: StIO}
 		hdr, _ = EncodeResp(resp)
 	}
-	if err := kern.WriteBytes(hdrVA, hdr); err != nil {
+	// Each reply stages in its own pooled buffer: GM gathers the
+	// payload at DMA time, so the buffer stays reserved until its
+	// SendComplete comes back through the event queue.
+	buf, err := fabric.PoolOf(s.node).Get(HdrBufSize)
+	if err != nil {
 		panic(err)
 	}
-	xs, _ := kern.Resolve(hdrVA, len(hdr))
-	if err := port.SendPhysical(p, dst, req.EP, tag(req.Seq, req.EP, kindHdr), xs); err != nil {
+	if err := kern.WriteBytes(buf.VA(), hdr); err != nil {
 		panic(err)
 	}
+	hdrTag := tag(req.Seq, req.EP, kindHdr)
+	if err := port.SendPhysical(p, dst, req.EP, hdrTag, buf.Extents(len(hdr))); err != nil {
+		panic(err)
+	}
+	replies.sent(hdrTag, buf)
 }

@@ -1,0 +1,432 @@
+package rfsrv
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Session layers a sliding window of in-flight requests over a
+// FabricClient, turning the paper's synchronous one-outstanding
+// protocol into a pipelined one.
+//
+// Each window slot owns its own request/reply staging buffers, so up
+// to Window requests can be on the wire at once. Completion matching
+// is by sequence number: every request posts its reply-header receive
+// tagged (seq, endpoint) before the request leaves, so replies demux
+// to the right slot no matter the order they come back in. On MX the
+// per-request waits complete out of order; on GM every completion
+// funnels through the port's unique event queue, so waits effectively
+// drain in arrival order — the fabric adapter routes each drained
+// event to its operation, making out-of-order Wait calls safe there
+// too (they find their completion already delivered).
+//
+// A Session is used from one simulated process at a time, like the
+// underlying client.
+type Session struct {
+	c      *FabricClient
+	window int
+	free   *sim.Chan[*ctlBufs]
+
+	inFlight, maxInFlight int
+
+	// Issued/Completed count requests through the window; Batched
+	// counts metadata requests that shared a fabric send (MetaBatch).
+	Issued, Completed, Batched sim.Counter
+}
+
+// NewSession prepares a window of in-flight request slots over c.
+// window is the number of requests that may be outstanding at once;
+// window = 1 degenerates to the synchronous protocol with unchanged
+// timing. p may be nil when the transport needs no registration work
+// (each slot's buffers are registered like the client's own).
+func NewSession(p *sim.Proc, c *FabricClient, window int) (*Session, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("rfsrv: session window %d < 1", window)
+	}
+	if c.noPhys {
+		// The stock-GM ablation stages all non-user data through the
+		// client's single registered staging buffer; pipelining over it
+		// would interleave stagings.
+		return nil, fmt.Errorf("rfsrv: sessions need the physical API (DisablePhysicalAPI client)")
+	}
+	s := &Session{
+		c:      c,
+		window: window,
+		free:   sim.NewChan[*ctlBufs](c.t.Node().Cluster.Env),
+	}
+	for i := 0; i < window; i++ {
+		b := new(ctlBufs)
+		if err := c.newCtlBufs(p, b); err != nil {
+			return nil, err
+		}
+		s.free.Send(b)
+	}
+	return s, nil
+}
+
+// Window returns the configured window size.
+func (s *Session) Window() int { return s.window }
+
+// Client returns the underlying synchronous client.
+func (s *Session) Client() *FabricClient { return s.c }
+
+// InFlight returns the number of requests currently in the window.
+func (s *Session) InFlight() int { return s.inFlight }
+
+// MaxInFlight returns the high-water mark of concurrently outstanding
+// requests (tests use it to verify backpressure).
+func (s *Session) MaxInFlight() int { return s.maxInFlight }
+
+// acquire takes a window slot, blocking while the window is full —
+// the protocol's backpressure.
+func (s *Session) acquire(p *sim.Proc) *ctlBufs {
+	b := s.free.Recv(p)
+	s.inFlight++
+	if s.inFlight > s.maxInFlight {
+		s.maxInFlight = s.inFlight
+	}
+	return b
+}
+
+func (s *Session) put(b *ctlBufs) {
+	s.inFlight--
+	s.free.Send(b)
+}
+
+// Pending is one in-flight request. Wait retires it; requests of one
+// session may be waited in any order.
+type Pending struct {
+	s       *Session
+	bufs    *ctlBufs
+	seq     uint64
+	hdrOp   fabric.Op
+	dataOp  fabric.Op
+	release func()
+	fixup   func(p *sim.Proc, n int)
+	issued  sim.Time
+
+	done bool
+	resp *Resp
+	err  error
+}
+
+// Issued returns the virtual time the request entered the window
+// (latency accounting for the scalability figures).
+func (pd *Pending) Issued() sim.Time { return pd.issued }
+
+// StartMeta issues a metadata request through the window, blocking
+// only while the window is full.
+func (s *Session) StartMeta(p *sim.Proc, req *Req) (*Pending, error) {
+	if err := ValidateReq(req); err != nil {
+		return nil, err
+	}
+	b := s.acquire(p)
+	s.c.seq++
+	req.Seq, req.EP = s.c.seq, s.c.myEP
+	hdrOp, err := s.c.postHdr(p, b, req.Seq)
+	if err != nil {
+		s.put(b)
+		return nil, err
+	}
+	if err := s.c.sendReq(p, b, req, nil); err != nil {
+		s.put(b)
+		return nil, err
+	}
+	s.Issued.Add(1)
+	return &Pending{s: s, bufs: b, seq: req.Seq, hdrOp: hdrOp, issued: p.Now()}, nil
+}
+
+// StartRead issues a read through the window; data lands directly in
+// dst when the transport allows it, exactly like the sync client.
+func (s *Session) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Pending, error) {
+	if off < 0 {
+		return nil, ErrInval
+	}
+	b := s.acquire(p)
+	s.c.seq++
+	seq := s.c.seq
+	req := &Req{Op: OpRead, Seq: seq, EP: s.c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
+	hdrOp, err := s.c.postHdr(p, b, seq)
+	if err != nil {
+		s.put(b)
+		return nil, err
+	}
+	dataOp, release, fixup, err := s.c.postData(p, seq, dst)
+	if err != nil {
+		s.put(b)
+		return nil, err
+	}
+	if err := s.c.sendReq(p, b, req, nil); err != nil {
+		release()
+		s.put(b)
+		return nil, err
+	}
+	s.Issued.Add(1)
+	return &Pending{
+		s: s, bufs: b, seq: seq, hdrOp: hdrOp, dataOp: dataOp,
+		release: release, fixup: fixup, issued: p.Now(),
+	}, nil
+}
+
+// StartWrite issues one write request through the window. src must not
+// exceed MaxWriteChunk (one protocol request); Write chunks larger
+// transfers across the window.
+func (s *Session) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Pending, error) {
+	if off < 0 {
+		return nil, ErrInval
+	}
+	n := src.TotalLen()
+	if n > MaxWriteChunk {
+		return nil, fmt.Errorf("rfsrv: StartWrite of %d bytes exceeds one %d-byte request", n, MaxWriteChunk)
+	}
+	b := s.acquire(p)
+	s.c.seq++
+	seq := s.c.seq
+	req := &Req{Op: OpWrite, Seq: seq, EP: s.c.myEP, Ino: ino, Off: off, Len: uint32(n)}
+	hdrOp, err := s.c.postHdr(p, b, seq)
+	if err != nil {
+		s.put(b)
+		return nil, err
+	}
+	release := func() {}
+	if s.c.t.Caps().Vectors {
+		if err := s.c.sendReq(p, b, req, src); err != nil {
+			s.put(b)
+			return nil, err
+		}
+	} else {
+		if err := s.c.sendReq(p, b, req, nil); err != nil {
+			s.put(b)
+			return nil, err
+		}
+		if release, err = s.c.sendData(p, seq, src); err != nil {
+			s.put(b)
+			return nil, err
+		}
+	}
+	s.Issued.Add(1)
+	return &Pending{s: s, bufs: b, seq: seq, hdrOp: hdrOp, release: release, issued: p.Now()}, nil
+}
+
+// Wait retires the request: data completion first (reads), then the
+// header reply, then the slot returns to the window. Waiting twice
+// returns the memoized result.
+func (pd *Pending) Wait(p *sim.Proc) (*Resp, error) {
+	if pd.done {
+		return pd.resp, pd.err
+	}
+	var dataErr error
+	var dataLen int
+	if pd.dataOp != nil {
+		st := pd.dataOp.Wait(p)
+		dataErr, dataLen = st.Err, st.Len
+	}
+	if pd.fixup != nil && dataErr == nil {
+		pd.fixup(p, dataLen)
+	}
+	// Always consume the header reply — even after a data error — so
+	// the slot's posted receive is quiescent before the slot is reused.
+	resp, err := pd.s.c.finish(p, pd.bufs, pd.hdrOp, pd.seq)
+	if dataErr != nil {
+		err = dataErr
+	}
+	if pd.release != nil {
+		pd.release()
+	}
+	pd.resp, pd.err, pd.done = resp, err, true
+	pd.s.Completed.Add(1)
+	pd.s.put(pd.bufs)
+	return resp, err
+}
+
+// ---- the synchronous Client interface over the window ----
+
+// Meta implements Client.
+func (s *Session) Meta(p *sim.Proc, req *Req) (*Resp, error) {
+	pd, err := s.StartMeta(p, req)
+	if err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	return pd.Wait(p)
+}
+
+// Read implements Client: one request, issue-and-wait (identical
+// timing to the sync client at any window).
+func (s *Session) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
+	pd, err := s.StartRead(p, ino, off, dst)
+	if err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	return pd.Wait(p)
+}
+
+// drain retires the given pendings, discarding results — the error
+// path of every pipelined loop. Without it an early return would
+// abandon in-flight requests, leaking their window slots and
+// deadlocking the session's next acquire.
+func (s *Session) drain(p *sim.Proc, pds []*Pending) {
+	for _, pd := range pds {
+		pd.Wait(p)
+	}
+}
+
+// Write implements Client: transfers larger than MaxWriteChunk are
+// split into per-chunk requests pipelined through the window (the
+// sync client serializes them — one round trip per chunk).
+func (s *Session) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
+	total := src.TotalLen()
+	if total <= MaxWriteChunk {
+		pd, err := s.StartWrite(p, ino, off, src)
+		if err != nil {
+			return &Resp{Status: StatusOf(err)}, err
+		}
+		return pd.Wait(p)
+	}
+	var inflight []*Pending
+	want := make(map[*Pending]int)
+	written := 0
+	var last *Resp
+	retire := func(pd *Pending) error {
+		resp, err := pd.Wait(p)
+		if err != nil {
+			return err
+		}
+		// Chunks were issued at fixed offsets, so a partial chunk
+		// leaves a hole before the chunks already sent after it:
+		// anything short is an error here, unlike the sync client,
+		// which recomputes each offset from the cumulative count.
+		if int(resp.N) != want[pd] {
+			return fmt.Errorf("rfsrv: short write (%d of %d) at %d", resp.N, want[pd], written)
+		}
+		written += int(resp.N)
+		last = resp
+		return nil
+	}
+	for issued := 0; issued < total; {
+		chunk := total - issued
+		if chunk > MaxWriteChunk {
+			chunk = MaxWriteChunk
+		}
+		if len(inflight) == s.window {
+			pd := inflight[0]
+			inflight = inflight[1:]
+			if err := retire(pd); err != nil {
+				s.drain(p, inflight)
+				return last, err
+			}
+		}
+		pd, err := s.StartWrite(p, ino, off+int64(issued), src.Slice(issued, chunk))
+		if err != nil {
+			s.drain(p, inflight)
+			return last, err
+		}
+		want[pd] = chunk
+		inflight = append(inflight, pd)
+		issued += chunk
+	}
+	for i, pd := range inflight {
+		if err := retire(pd); err != nil {
+			s.drain(p, inflight[i+1:])
+			return last, err
+		}
+	}
+	if last == nil {
+		last = &Resp{}
+	}
+	last.N = uint32(written)
+	return last, nil
+}
+
+// MetaBatch issues several metadata requests in ONE fabric send — the
+// client-side analogue of the paper's §3.3 request combining: the
+// encoded requests travel back to back in a single message, the server
+// unpacks and answers each under its own sequence number, and the
+// replies demux to per-request header receives posted up front.
+// Batches larger than the window (or the request buffer) are split
+// transparently. Read/write operations cannot be batched.
+func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
+	// Validate everything before acquiring any window slot, so a bad
+	// request cannot abandon slots already holding posted receives.
+	for _, r := range reqs {
+		if r.Op == OpRead || r.Op == OpWrite {
+			return nil, fmt.Errorf("rfsrv: MetaBatch cannot carry %v", r.Op)
+		}
+		if err := ValidateReq(r); err != nil {
+			return nil, err
+		}
+	}
+	resps := make([]*Resp, 0, len(reqs))
+	for start := 0; start < len(reqs); {
+		// One flight: up to window requests whose encodings fit the
+		// 4 KB request buffer.
+		var (
+			bufs   []*ctlBufs
+			hdrs   []fabric.Op
+			seqs   []uint64
+			packed []byte
+		)
+		// abort returns every slot of the aborted flight. Their posted
+		// header receives are dead but benign: each is tagged with a
+		// sequence number that was never sent and is never reused, so
+		// nothing can ever scatter through them.
+		abort := func() {
+			for _, b := range bufs {
+				s.put(b)
+			}
+		}
+		end := start
+		for end < len(reqs) && end-start < s.window {
+			r := reqs[end]
+			s.c.seq++
+			r.Seq, r.EP = s.c.seq, s.c.myEP
+			enc := EncodeReq(r)
+			if len(packed)+len(enc) > 4096 && end > start {
+				s.c.seq-- // undo; goes in the next flight
+				break
+			}
+			b := s.acquire(p)
+			hdrOp, err := s.c.postHdr(p, b, r.Seq)
+			if err != nil {
+				s.put(b)
+				abort()
+				return resps, err
+			}
+			bufs = append(bufs, b)
+			hdrs = append(hdrs, hdrOp)
+			seqs = append(seqs, r.Seq)
+			packed = append(packed, enc...)
+			end++
+		}
+		// The packed message stages through the first slot's request
+		// buffer and is matched by the server like any other request.
+		if err := s.c.sendEnc(p, bufs[0], packed, nil); err != nil {
+			abort()
+			return resps, err
+		}
+		s.Issued.Add(len(seqs))
+		if len(seqs) > 1 {
+			s.Batched.Add(len(seqs) - 1)
+		}
+		var firstErr error
+		for i := range seqs {
+			resp, err := s.c.finish(p, bufs[i], hdrs[i], seqs[i])
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			resps = append(resps, resp)
+			s.Completed.Add(1)
+			s.put(bufs[i])
+		}
+		if firstErr != nil {
+			return resps, firstErr
+		}
+		start = end
+	}
+	return resps, nil
+}
+
+var _ Client = (*Session)(nil)

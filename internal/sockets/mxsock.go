@@ -298,10 +298,17 @@ func (c *mxConn) Recv(p *sim.Proc, as *vm.AddressSpace, va vm.VirtAddr, n int) (
 		st, _ := req.WaitTimeout(p, 0)
 		return c.finishRecv(p, st, n)
 	}
-	// EOF raced the receive: the posted receive is still live and may
-	// yet scatter into the overflow buffer — never recycle it.
-	c.overflowBuf.Poison()
-	return 0, nil
+	// EOF raced the receive. Withdraw the posted receive so it can
+	// never scatter into the overflow buffer after the connection
+	// releases it — the one-buffer leak Poison used to paper over.
+	if s.ep.CancelRecv(p, req) {
+		return 0, nil
+	}
+	// The receive matched concurrently (e.g. a rendezvous whose data
+	// is still in flight): completion is bounded, so consume it and
+	// deliver the data rather than dropping it at EOF.
+	st := req.Wait(p)
+	return c.finishRecv(p, st, n)
 }
 
 func (c *mxConn) finishRecv(p *sim.Proc, st mx.Status, n int) (int, error) {

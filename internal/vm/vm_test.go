@@ -384,7 +384,9 @@ func TestResolveProperty(t *testing.T) {
 		}
 		return bytes.Equal(m.Gather(xs), data)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(15))}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -436,7 +438,9 @@ func TestMapUnmapConsistencyProperty(t *testing.T) {
 		}
 		return m.Allocated() == want
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	// Fixed seed: the repo's determinism claim extends to test inputs
+	// (Go >= 1.20 auto-seeds the global source otherwise).
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(15))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -111,6 +111,14 @@ type (
 	ORFS       = orfs.FS
 	ORFA       = orfa.Lib
 
+	// Pipelined sessions: a sliding window of in-flight requests over
+	// a protocol client (Session satisfies FSClient; window 1 is the
+	// paper's synchronous protocol).
+	FSSession       = rfsrv.Session
+	FSPending       = rfsrv.Pending
+	ServerSession   = rfsrv.ClientSession
+	NBDPendingBlock = nbd.PendingBlock
+
 	// Sockets.
 	Conn     = sockets.Conn
 	Listener = sockets.Listener
@@ -260,6 +268,12 @@ var NewMXClient = rfsrv.NewMXClient
 // NewGMClient creates the GM transport (with its GMKRC registration
 // cache) for ORFS or ORFA.
 var NewGMClient = rfsrv.NewGMClient
+
+// NewFSSession layers a sliding window of in-flight requests over a
+// protocol client: readahead, write-behind and combined metadata
+// requests for ORFS/ORFA, ablations beyond the paper's synchronous
+// prototypes.
+var NewFSSession = rfsrv.NewSession
 
 // NewRegCache creates a standalone GMKRC registration cache over a GM
 // port (maxPages 0 disables caching).
