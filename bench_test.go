@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (see DESIGN.md §5 for the experiment index and
+// evaluation (see DESIGN.md §6 for the experiment index and
 // EXPERIMENTS.md for recorded paper-vs-measured results).
 //
 // Each benchmark runs the corresponding experiment b.N times and

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1)")
+	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver)")
 	flag.Parse()
 
 	cfg := figures.Config{Iters: *iters, Warmup: 2}
@@ -70,6 +70,17 @@ func main() {
 		figs, err := cfg.Scalability()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scalability: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.Render(f.Latency()))
+		}
+	}
+	if sel == "" || sel == "multiserver" {
+		ran = true
+		figs, err := cfg.MultiServer()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "multiserver: %v\n", err)
 			os.Exit(1)
 		}
 		for _, f := range figs {

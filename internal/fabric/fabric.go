@@ -131,5 +131,8 @@ type Transport interface {
 // blocking calls finish before returning).
 type completedOp struct{ st Status }
 
-func (o completedOp) Done() bool              { return true }
+// Done implements Op (always complete).
+func (o completedOp) Done() bool { return true }
+
+// Wait implements Op: the stored outcome, no blocking, no charge.
 func (o completedOp) Wait(p *sim.Proc) Status { return o.st }

@@ -1,5 +1,9 @@
 package fabric
 
+// This file is the GM adapter: a Transport over one raw GM port. It
+// batches the port's unique event queue, routing each drained
+// completion to the Op it belongs to, and backs Acquire with the GMKRC
+// registration cache.
 import (
 	"fmt"
 

@@ -1,5 +1,8 @@
 package fabric
 
+// This file is the MX adapter: a Transport over one MX endpoint —
+// vectorial, address-typed, registration-free, with per-operation
+// waits (the paper's kernel API, §4).
 import (
 	"repro/internal/core"
 	"repro/internal/hw"

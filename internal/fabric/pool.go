@@ -1,5 +1,8 @@
 package fabric
 
+// This file is the shared buffer pool: physically contiguous kernel
+// bounce buffers recycled across every consumer on a node, each
+// buffer's per-transport registrations cached so they travel with it.
 import (
 	"fmt"
 

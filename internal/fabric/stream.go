@@ -1,5 +1,8 @@
 package fabric
 
+// This file adapts the byte-stream stacks (SOCKETS-GM, SOCKETS-MX,
+// TCP) to the Transport interface: matching is ignored, message
+// boundaries are not preserved, and operations complete synchronously.
 import (
 	"fmt"
 

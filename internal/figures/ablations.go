@@ -1,5 +1,8 @@
 package figures
 
+// This file holds the ablations beyond the paper's figures: §3.3
+// request combining (AblationCombining) and the GM physical-address
+// extension (AblationPhysicalAPI).
 import (
 	"fmt"
 

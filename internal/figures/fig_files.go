@@ -1,5 +1,9 @@
 package figures
 
+// This file holds the file-access figures: a shared ORFA/ORFS
+// workload harness (fileAccessOnce) parameterized over transport,
+// user/kernel space and direct/buffered mode, feeding Fig 3(b),
+// Fig 4(b) and Fig 7(a)/7(b).
 import (
 	"fmt"
 

@@ -1,5 +1,9 @@
 package figures
 
+// This file holds the ping-pong figures measured by the netpipe
+// harness: Fig 1(b) registration-vs-copy, Fig 4(a) physical vs
+// registered-virtual GM, Fig 5(a)/5(b) GM-vs-MX latency and bandwidth,
+// Fig 6 medium-message copy removal, and Fig 8(a)/8(b) sockets.
 import (
 	"fmt"
 

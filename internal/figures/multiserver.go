@@ -1,0 +1,286 @@
+package figures
+
+// This file holds the striped multi-server suite: the axis PR 2 could
+// not move. Pipelining saturated ONE server's 250 MB/s link; here the
+// same workloads stripe their data across 1..8 rfsrv (or NBD) servers
+// through rfsrv.Cluster / nbd.NewStripedDevice, with enough concurrent
+// clients that aggregate throughput is limited by server links, not by
+// a single client NIC. Three scenarios, as in the scalability suite:
+//
+//   - orfs-direct:   64 KB O_DIRECT chunk reads through the striped
+//     cluster's windows (one chunk = one stripe, chunks round-robin
+//     across servers);
+//   - orfs-buffered: page-cache reads with ORFS readahead prefetching
+//     through the cluster's aggregate window;
+//   - nbd:           buffered reads of a block-striped device, the
+//     page cache combining enough pages per miss to span every server.
+//
+// Every point runs at the scalability suite's best window (8 per
+// server) with a fixed client count, so the single moving variable is
+// the server count. The one-server configuration is the cluster code
+// path end to end, and is bit-identical to driving a plain Session
+// (rfsrv.TestClusterOneServerMatchesSession guards the client layer,
+// TestMultiServerOneServerMatchesScalability the whole harness).
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/memfs"
+	"repro/internal/mx"
+	"repro/internal/nbd"
+	"repro/internal/netpipe"
+	"repro/internal/orfs"
+	"repro/internal/rfsrv"
+	"repro/internal/sim"
+)
+
+const (
+	// msWindow is the per-server window: the best window from the PR 2
+	// scalability sweep (window 8 saturates one link).
+	msWindow = 8
+	// msStripe is the stripe width: one application chunk, so direct
+	// reads map one-to-one onto stripes.
+	msStripe = rfsrv.DefaultStripeSize
+	// msClients is the fixed client count: enough client NICs that
+	// 8 server links can in principle be kept busy (each link is
+	// 250 MB/s on both sides).
+	msClients = 8
+)
+
+// msServersAxis is the swept server count.
+var msServersAxis = []int{1, 2, 4, 8}
+
+// msScenarios names the three workloads.
+var msScenarios = []string{"orfs-direct", "orfs-buffered", "nbd"}
+
+// msSeedRfsrv replicates the namespace onto every server the way the
+// cluster client would (same creation order everywhere → same inode
+// numbers) and writes each file's stripes onto their owners at their
+// global offsets, then extends every server's copy to the full size —
+// the on-disk layout a cluster client's own writes would produce,
+// seeded server-side so setup cost stays out of the measurement.
+func msSeedRfsrv(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients int) ([]kernel.InodeID, error) {
+	inos := make([]kernel.InodeID, clients)
+	stripes := scalFilePerCli / msStripe
+	for j, fs := range serverFS {
+		seedVA, err := servers[j].Kernel.Mmap(msStripe, "seed")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < clients; i++ {
+			attr, err := fs.Create(p, fs.Root(), fmt.Sprintf("f%d", i))
+			if err != nil {
+				return nil, err
+			}
+			if j == 0 {
+				inos[i] = attr.Ino
+			} else if attr.Ino != inos[i] {
+				return nil, fmt.Errorf("figures: seed inode divergence (%d vs %d)", attr.Ino, inos[i])
+			}
+			for k := 0; k < stripes; k++ {
+				if k%len(serverFS) != j {
+					continue
+				}
+				off := int64(k) * msStripe
+				if _, err := fs.WriteDirect(p, attr.Ino, off, vecKernel(servers[j].Kernel, seedVA, msStripe)); err != nil {
+					return nil, err
+				}
+			}
+			if err := fs.Truncate(p, attr.Ino, scalFilePerCli); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inos, nil
+}
+
+// msCluster wires one client node to every server: one kernel-side MX
+// fabric client per server on its own endpoint, one session per
+// server, assembled into a striped cluster.
+func msCluster(p *sim.Proc, node *hw.Node, servers []hw.NodeID, window int) (*rfsrv.Cluster, error) {
+	m := mx.Attach(node)
+	sessions := make([]*rfsrv.Session, len(servers))
+	for j, sid := range servers {
+		fc, err := rfsrv.NewMXClient(m, uint8(10+j), true, node.Kernel, sid, 1)
+		if err != nil {
+			return nil, err
+		}
+		if sessions[j], err = rfsrv.NewSession(p, fc, window); err != nil {
+			return nil, err
+		}
+	}
+	return rfsrv.NewCluster(p, sessions, msStripe)
+}
+
+// msRun executes one scenario at one (servers, clients) point on a
+// fresh simulated cluster and returns aggregate throughput plus
+// per-request latency percentiles.
+func (c Config) msRun(scenario string, servers, clients int) (scalResult, error) {
+	env := sim.NewEngine()
+	if c.Trace != nil {
+		env.SetTrace(c.Trace)
+	}
+	cl := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+
+	var (
+		serverNodes []*hw.Node
+		serverIDs   []hw.NodeID
+		serverFS    []*memfs.FS
+	)
+	for j := 0; j < servers; j++ {
+		n := cl.AddNode(fmt.Sprintf("server%d", j))
+		serverNodes = append(serverNodes, n)
+		serverIDs = append(serverIDs, n.ID)
+		switch scenario {
+		case "nbd":
+			srv, err := nbd.NewServer(n, clients*scalFilePerCli/nbd.BlockSize)
+			if err != nil {
+				return scalResult{}, err
+			}
+			if err := srv.ServeMX(mx.Attach(n), 1, 4); err != nil {
+				return scalResult{}, err
+			}
+		default:
+			fs := memfs.New(fmt.Sprintf("backing%d", j), n, 0)
+			serverFS = append(serverFS, fs)
+			if _, err := rfsrv.NewServer(n, fs).ServeMX(mx.Attach(n), 1, 4); err != nil {
+				return scalResult{}, err
+			}
+		}
+	}
+
+	var (
+		failure  error
+		samples  []sim.Time
+		started  sim.Time
+		finished sim.Time
+		done     int
+	)
+	env.Spawn("seed", func(p *sim.Proc) {
+		var inos []kernel.InodeID
+		if scenario != "nbd" {
+			var err error
+			if inos, err = msSeedRfsrv(p, serverFS, serverNodes, clients); err != nil {
+				failure = err
+				return
+			}
+		}
+		started = p.Now()
+		for i := 0; i < clients; i++ {
+			i := i
+			node := cl.AddNode(fmt.Sprintf("client%d", i))
+			env.Spawn(fmt.Sprintf("cl%d", i), func(p *sim.Proc) {
+				lat, err := c.msClient(p, scenario, node, serverIDs, inos, i, clients)
+				if err != nil && failure == nil {
+					failure = err
+					return
+				}
+				samples = append(samples, lat...)
+				if p.Now() > finished {
+					finished = p.Now()
+				}
+				done++
+			})
+		}
+	})
+	env.Run(0)
+	if failure != nil {
+		return scalResult{}, failure
+	}
+	if done != clients {
+		return scalResult{}, fmt.Errorf("figures: %d/%d multiserver clients finished (%s s=%d)", done, clients, scenario, servers)
+	}
+	return summarize(samples, clients*scalFilePerCli, finished-started), nil
+}
+
+// msClient runs one client's workload against the striped servers and
+// returns its latency samples.
+func (c Config) msClient(p *sim.Proc, scenario string, node *hw.Node, servers []hw.NodeID, inos []kernel.InodeID, i, clients int) ([]sim.Time, error) {
+	switch scenario {
+	case "orfs-direct":
+		cluster, err := msCluster(p, node, servers, msWindow)
+		if err != nil {
+			return nil, err
+		}
+		return scalDirectReads(p, node, cluster, inos[i])
+
+	case "orfs-buffered":
+		cluster, err := msCluster(p, node, servers, msWindow)
+		if err != nil {
+			return nil, err
+		}
+		osys := kernel.NewOS(node, 0)
+		osys.Mount("/mnt", orfs.New("orfs", cluster))
+		return scalBufferedReads(p, node, osys, fmt.Sprintf("/mnt/f%d", i), 0)
+
+	case "nbd":
+		m := mx.Attach(node)
+		totalBlocks := clients * scalFilePerCli / nbd.BlockSize
+		cls := make([]*nbd.Client, len(servers))
+		for j, sid := range servers {
+			bc, err := nbd.NewClient(m, uint8(10+j), sid, 1, totalBlocks)
+			if err != nil {
+				return nil, err
+			}
+			if err := bc.SetWindow(msWindow); err != nil {
+				return nil, err
+			}
+			cls[j] = bc
+		}
+		dev, err := nbd.NewStripedDevice(cls)
+		if err != nil {
+			return nil, err
+		}
+		osys := kernel.NewOS(node, 0)
+		// Combine enough device pages per miss that the resulting block
+		// queue spans every server's window.
+		osys.SetReadChunkPages(msWindow * len(servers))
+		osys.Mount("/dev", dev)
+		return scalBufferedReads(p, node, osys, "/dev/disk", int64(i)*scalFilePerCli)
+	}
+	return nil, fmt.Errorf("figures: unknown multiserver scenario %q", scenario)
+}
+
+// MultiServer runs the whole suite and returns two figures: aggregate
+// throughput and p50/p99 request latency against the server count,
+// with the window and client count fixed.
+func (c Config) MultiServer() ([]*Figure, error) {
+	var bwSeries, latSeries []netpipe.Series
+	for _, scen := range msScenarios {
+		var bw netpipe.Series
+		var p50s, p99s netpipe.Series
+		bw.Label = scen
+		p50s.Label, p99s.Label = scen+" p50", scen+" p99"
+		for _, s := range msServersAxis {
+			r, err := c.msRun(scen, s, msClients)
+			if err != nil {
+				return nil, err
+			}
+			bw.Points = append(bw.Points, netpipe.Point{Size: s, MBps: r.mbps})
+			p50s.Points = append(p50s.Points, netpipe.Point{Size: s, OneWay: r.p50})
+			p99s.Points = append(p99s.Points, netpipe.Point{Size: s, OneWay: r.p99})
+		}
+		bwSeries = append(bwSeries, bw)
+		latSeries = append(latSeries, p50s, p99s)
+	}
+	bwFig := &Figure{
+		ID:     "multiserver",
+		Title:  fmt.Sprintf("Aggregate striped-read throughput vs server count (%d clients, window %d, %d KB stripes)", msClients, msWindow, msStripe/1024),
+		XLabel: "servers (data striped across)", YLabel: "aggregate throughput (MB/s)",
+		Series: bwSeries,
+		Expected: "beyond the paper: its platform serves every client from one node; " +
+			"striping should scale aggregate bandwidth with the server count until " +
+			"client links saturate",
+	}
+	latFig := &Figure{
+		ID:     "multiserver-lat",
+		Title:  "Striped-read request latency vs server count",
+		XLabel: "servers (data striped across)", YLabel: "latency p50/p99 (µs)",
+		Series: latSeries,
+		Expected: "more servers drain the same per-client window faster, so request " +
+			"latency falls as the cluster widens",
+	}
+	return []*Figure{bwFig, latFig}, nil
+}

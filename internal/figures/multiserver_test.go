@@ -1,0 +1,70 @@
+package figures
+
+// Tests for the striped multi-server suite: the PR's scaling
+// acceptance bar and the one-server/plain-session harness equality.
+
+import "testing"
+
+// TestMultiServerScaling is the acceptance bar: aggregate ORFS-direct
+// throughput at 4 servers must be at least 2.5x the 1-server
+// configuration, at the PR 2 best window, with the fixed client count.
+func TestMultiServerScaling(t *testing.T) {
+	c := DefaultConfig()
+	base, err := c.msRun("orfs-direct", 1, msClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := c.msRun("orfs-direct", 4, msClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.mbps < base.mbps*2.5 {
+		t.Errorf("4 servers = %.1f MB/s, want >= 2.5x 1 server (%.1f MB/s)", wide.mbps, base.mbps)
+	}
+	t.Logf("orfs-direct: 1 server = %.1f MB/s, 4 servers = %.1f MB/s (%.2fx)",
+		base.mbps, wide.mbps, wide.mbps/base.mbps)
+}
+
+// TestMultiServerOneServerMatchesScalability ties the new harness to
+// the PR 2 one: a 1-server multiserver point drives the whole cluster
+// code path, and must reproduce the plain-session scalability result
+// bit-identically (same workload, same window, same client count).
+func TestMultiServerOneServerMatchesScalability(t *testing.T) {
+	c := DefaultConfig()
+	viaCluster, err := c.msRun("orfs-direct", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSession, err := c.scalRun("orfs-direct", 1, msWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCluster.mbps != viaSession.mbps {
+		t.Errorf("1-server cluster harness %.6f MB/s != session harness %.6f MB/s", viaCluster.mbps, viaSession.mbps)
+	}
+	if viaCluster.p50 != viaSession.p50 || viaCluster.p99 != viaSession.p99 {
+		t.Errorf("latency percentiles differ: cluster p50/p99 %v/%v, session %v/%v",
+			viaCluster.p50, viaCluster.p99, viaSession.p50, viaSession.p99)
+	}
+}
+
+// TestMultiServerNBDAndBufferedScale: the other two scenarios must
+// also gain from added servers (block striping and readahead across
+// the aggregate window).
+func TestMultiServerNBDAndBufferedScale(t *testing.T) {
+	for _, scen := range []string{"nbd", "orfs-buffered"} {
+		c := DefaultConfig()
+		base, err := c.msRun(scen, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := c.msRun(scen, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide.mbps <= base.mbps {
+			t.Errorf("%s: 4 servers = %.1f MB/s not above 1 server = %.1f MB/s", scen, wide.mbps, base.mbps)
+		}
+		t.Logf("%s: 1 server = %.1f MB/s, 4 servers = %.1f MB/s", scen, base.mbps, wide.mbps)
+	}
+}

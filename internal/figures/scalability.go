@@ -200,10 +200,14 @@ func (c Config) scalClient(p *sim.Proc, scenario string, node *hw.Node, server h
 	return nil, fmt.Errorf("figures: unknown scalability scenario %q", scenario)
 }
 
-// scalDirectReads issues the file's chunks through the session window
+// scalDirectReads issues the file's chunks through the client's window
 // (sliding, retired in order), one buffer per window slot so transfers
-// never share staging.
-func scalDirectReads(p *sim.Proc, node *hw.Node, sess *rfsrv.Session, ino kernel.InodeID) ([]sim.Time, error) {
+// never share staging. It takes any Async client — a Session drives
+// one server, a Cluster stripes the same chunk stream across several
+// (each 64 KB chunk is exactly one stripe, so chunks round-robin) —
+// pacing issues with CanStart so a full per-server window retires the
+// oldest chunk instead of blocking the pipeline.
+func scalDirectReads(p *sim.Proc, node *hw.Node, sess rfsrv.Async, ino kernel.InodeID) ([]sim.Time, error) {
 	window := sess.Window()
 	bufs := make([]vm.VirtAddr, window)
 	for j := range bufs {
@@ -213,12 +217,13 @@ func scalDirectReads(p *sim.Proc, node *hw.Node, sess *rfsrv.Session, ino kernel
 		}
 		bufs[j] = va
 	}
-	type inflight struct{ pd *rfsrv.Pending }
+	type inflight struct{ pd rfsrv.PendingOp }
 	var q []inflight
 	var samples []sim.Time
 	reads := scalFilePerCli / scalChunk
 	for issued := 0; issued < reads; issued++ {
-		if len(q) == window {
+		off := int64(issued) * scalChunk
+		for len(q) > 0 && (len(q) == window || !sess.CanStart(off, scalChunk)) {
 			pd := q[0].pd
 			q = q[1:]
 			if _, err := pd.Wait(p); err != nil {
@@ -226,7 +231,6 @@ func scalDirectReads(p *sim.Proc, node *hw.Node, sess *rfsrv.Session, ino kernel
 			}
 			samples = append(samples, p.Now()-pd.Issued())
 		}
-		off := int64(issued) * scalChunk
 		pd, err := sess.StartRead(p, ino, off,
 			core.Of(core.KernelSeg(node.Kernel, bufs[issued%window], scalChunk)))
 		if err != nil {

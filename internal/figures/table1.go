@@ -1,5 +1,7 @@
 package figures
 
+// This file regenerates Table 1, the paper's summary comparison of
+// every mechanism, from the individually reproduced figures.
 import (
 	"fmt"
 

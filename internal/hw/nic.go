@@ -1,5 +1,8 @@
 package hw
 
+// This file models the NIC: firmware processors, DMA engines, the
+// fragment pipeline that moves real bytes between host memory and the
+// link, and the translation table backing registered virtual memory.
 import (
 	"fmt"
 

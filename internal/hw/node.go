@@ -1,5 +1,7 @@
 package hw
 
+// This file models a node: CPUs with syscall/copy/VFS cost models,
+// physical memory, the kernel address space, and the per-node NIC.
 import (
 	"fmt"
 

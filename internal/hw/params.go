@@ -153,7 +153,7 @@ type Params struct {
 }
 
 // DefaultParams returns the calibrated parameter set described in
-// DESIGN.md §4.
+// DESIGN.md §5.
 func DefaultParams() *Params {
 	const (
 		us = time.Microsecond

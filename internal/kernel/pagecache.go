@@ -1,5 +1,8 @@
 package kernel
 
+// This file is the page cache: per-(filesystem, inode, page) frames
+// with LRU eviction, busy pinning, dirty tracking and writeback, plus
+// the chunked fill path that models Linux 2.6-style read combining.
 import (
 	"container/list"
 	"fmt"

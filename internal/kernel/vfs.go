@@ -1,5 +1,8 @@
 package kernel
 
+// This file is the VFS: the mount table, dentry/attribute caches,
+// open-file API (buffered and O_DIRECT paths) and the shared
+// inode-size table that keeps every open description agreeing on EOF.
 import (
 	"fmt"
 	"strings"

@@ -428,15 +428,54 @@ func (c *Client) WriteBlock(p *sim.Proc, idx int64, frame *mem.Frame, n int) err
 	return pb.Wait(p)
 }
 
-// Device adapts the client to kernel.FileSystem: a filesystem holding
-// the single file "disk" of the device's size, so the VFS page cache
-// sits on top exactly as it would on a block special file.
+// Device adapts one or more clients to kernel.FileSystem: a filesystem
+// holding the single file "disk" of the device's size, so the VFS page
+// cache sits on top exactly as it would on a block special file.
+//
+// With several clients the device is striped at block granularity:
+// block b is served by client b mod M (each backend stores its blocks
+// at their global indices, sparse), so consecutive blocks of a
+// combined page-cache fetch fan out round-robin across servers and the
+// aggregate bandwidth grows with the server count — the block-device
+// face of the same idea rfsrv.Cluster applies to files. One client
+// degenerates to the plain single-server device, request for request.
 type Device struct {
-	cl *Client
+	cls    []*Client
+	node   *hw.Node
+	blocks int // device size: smallest backend (fixed at construction)
 }
 
 // NewDevice wraps a client for mounting.
-func NewDevice(cl *Client) *Device { return &Device{cl: cl} }
+func NewDevice(cl *Client) *Device {
+	return &Device{cls: []*Client{cl}, node: cl.node, blocks: cl.NumBlocks()}
+}
+
+// NewStripedDevice builds a block-striped device over one client per
+// server. All clients must live on the same node; the device size is
+// the smallest backend size (every block must have a home).
+func NewStripedDevice(cls []*Client) (*Device, error) {
+	if len(cls) == 0 {
+		return nil, fmt.Errorf("nbd: striped device needs at least one client")
+	}
+	blocks := cls[0].NumBlocks()
+	for _, c := range cls[1:] {
+		if c.node != cls[0].node {
+			return nil, fmt.Errorf("nbd: striped device clients must share one node")
+		}
+		if c.NumBlocks() < blocks {
+			blocks = c.NumBlocks()
+		}
+	}
+	return &Device{cls: cls, node: cls[0].node, blocks: blocks}, nil
+}
+
+// cl returns the client owning block idx.
+func (d *Device) cl(idx int64) *Client {
+	return d.cls[int(idx%int64(len(d.cls)))]
+}
+
+// numBlocks returns the device size in blocks.
+func (d *Device) numBlocks() int { return d.blocks }
 
 const diskIno kernel.InodeID = 2
 
@@ -453,7 +492,7 @@ func (d *Device) rootAttr() kernel.Attr {
 func (d *Device) diskAttr() kernel.Attr {
 	return kernel.Attr{
 		Ino: diskIno, Kind: kernel.RegularFile,
-		Size: int64(d.cl.NumBlocks()) * BlockSize, Version: 1,
+		Size: int64(d.numBlocks()) * BlockSize, Version: 1,
 	}
 }
 
@@ -518,10 +557,10 @@ func (d *Device) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem
 	if ino != diskIno {
 		return 0, kernel.ErrNotFound
 	}
-	if idx >= int64(d.cl.NumBlocks()) {
+	if idx >= int64(d.numBlocks()) {
 		return 0, nil
 	}
-	if err := d.cl.ReadBlock(p, idx, frame); err != nil {
+	if err := d.cl(idx).ReadBlock(p, idx, frame); err != nil {
 		return 0, err
 	}
 	return BlockSize, nil
@@ -537,8 +576,9 @@ func (d *Device) ReadPages(p *sim.Proc, ino kernel.InodeID, idx int64, frames []
 		return 0, kernel.ErrNotFound
 	}
 	total := 0
+	nb := int64(d.numBlocks())
 	for i := range frames {
-		if idx+int64(i) >= int64(d.cl.NumBlocks()) {
+		if idx+int64(i) >= nb {
 			frames = frames[:i]
 			break
 		}
@@ -547,10 +587,54 @@ func (d *Device) ReadPages(p *sim.Proc, ino kernel.InodeID, idx int64, frames []
 	if len(frames) == 0 {
 		return 0, nil
 	}
-	if err := d.cl.ReadBlocks(p, idx, frames); err != nil {
+	if err := d.readBlocks(p, idx, frames); err != nil {
 		return 0, err
 	}
 	return total, nil
+}
+
+// readBlocks reads consecutive blocks starting at idx into frames,
+// routing each block to its owning client and keeping every owner's
+// window full — the striped generalization of Client.ReadBlocks (one
+// client reduces to the identical request sequence).
+func (d *Device) readBlocks(p *sim.Proc, idx int64, frames []*mem.Frame) error {
+	var inflight []*PendingBlock
+	var firstErr error
+	retire := func(pb *PendingBlock) {
+		if err := pb.Wait(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i, f := range frames {
+		b := idx + int64(i)
+		owner := d.cl(b)
+		// Retire oldest-first until the owner can queue one more; the
+		// oldest request frees a slot somewhere, and blocks round-robin
+		// uniformly, so the owner's slot frees within len(cls) retires.
+		for len(inflight) > 0 && owner.InFlight() >= owner.Window() {
+			pb := inflight[0]
+			inflight = inflight[1:]
+			retire(pb)
+			if firstErr != nil {
+				break
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+		pb, err := owner.StartRead(p, b, f)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		inflight = append(inflight, pb)
+	}
+	for _, pb := range inflight {
+		retire(pb)
+	}
+	return firstErr
 }
 
 // WritePage implements kernel.FileSystem.
@@ -558,10 +642,10 @@ func (d *Device) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *me
 	if ino != diskIno {
 		return kernel.ErrNotFound
 	}
-	if idx >= int64(d.cl.NumBlocks()) {
+	if idx >= int64(d.numBlocks()) {
 		return kernel.ErrBadOffset
 	}
-	return d.cl.WriteBlock(p, idx, frame, n)
+	return d.cl(idx).WriteBlock(p, idx, frame, n)
 }
 
 // ReadDirect implements kernel.FileSystem: block-aligned direct reads
@@ -573,7 +657,7 @@ func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.V
 		return 0, kernel.ErrNotFound
 	}
 	n := v.TotalLen()
-	size := int64(d.cl.NumBlocks()) * BlockSize
+	size := int64(d.numBlocks()) * BlockSize
 	if off >= size {
 		return 0, nil
 	}
@@ -596,10 +680,10 @@ func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.V
 	retire := func(cr chunkReq) error {
 		err := cr.pb.Wait(p)
 		if err == nil {
-			d.cl.node.CPU.Copy(p, cr.chunk)
-			d.cl.node.Mem.Scatter(slice(xs, cr.done, cr.chunk), cr.bounce.Data()[cr.bOff:cr.bOff+cr.chunk])
+			d.node.CPU.Copy(p, cr.chunk)
+			d.node.Mem.Scatter(slice(xs, cr.done, cr.chunk), cr.bounce.Data()[cr.bOff:cr.bOff+cr.chunk])
 		}
-		d.cl.node.Mem.Put(cr.bounce)
+		d.node.Mem.Put(cr.bounce)
 		return err
 	}
 	for issued := 0; issued < n; {
@@ -609,34 +693,35 @@ func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.V
 		if chunk > n-issued {
 			chunk = n - issued
 		}
-		if len(inflight) == d.cl.window {
+		owner := d.cl(idx)
+		for len(inflight) > 0 && owner.InFlight() >= owner.Window() {
 			cr := inflight[0]
 			inflight = inflight[1:]
 			if err := retire(cr); err != nil {
 				for _, rest := range inflight {
 					rest.pb.Wait(p)
-					d.cl.node.Mem.Put(rest.bounce)
+					d.node.Mem.Put(rest.bounce)
 				}
 				return done, err
 			}
 			done += cr.chunk
 		}
-		bounce, err := d.cl.node.Mem.AllocFrame()
+		bounce, err := d.node.Mem.AllocFrame()
 		if err != nil {
 			// Surface the allocation failure instead of silently
 			// returning a short read the caller would take for EOF.
 			for _, rest := range inflight {
 				rest.pb.Wait(p)
-				d.cl.node.Mem.Put(rest.bounce)
+				d.node.Mem.Put(rest.bounce)
 			}
 			return done, err
 		}
-		pb, err := d.cl.StartRead(p, idx, bounce)
+		pb, err := owner.StartRead(p, idx, bounce)
 		if err != nil {
-			d.cl.node.Mem.Put(bounce)
+			d.node.Mem.Put(bounce)
 			for _, rest := range inflight {
 				rest.pb.Wait(p)
-				d.cl.node.Mem.Put(rest.bounce)
+				d.node.Mem.Put(rest.bounce)
 			}
 			return done, err
 		}
@@ -647,7 +732,7 @@ func (d *Device) ReadDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.V
 		if err := retire(cr); err != nil {
 			for _, rest := range inflight[i+1:] {
 				rest.pb.Wait(p)
-				d.cl.node.Mem.Put(rest.bounce)
+				d.node.Mem.Put(rest.bounce)
 			}
 			return done, err
 		}
@@ -662,15 +747,15 @@ func (d *Device) WriteDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.
 		return 0, kernel.ErrNotFound
 	}
 	n := v.TotalLen()
-	size := int64(d.cl.NumBlocks()) * BlockSize
+	size := int64(d.numBlocks()) * BlockSize
 	if off >= size || int64(n) > size-off {
 		return 0, kernel.ErrBadOffset
 	}
-	bounce, err := d.cl.node.Mem.AllocFrame()
+	bounce, err := d.node.Mem.AllocFrame()
 	if err != nil {
 		return 0, err
 	}
-	defer d.cl.node.Mem.Put(bounce)
+	defer d.node.Mem.Put(bounce)
 	xs, err := v.Extents()
 	if err != nil {
 		return 0, err
@@ -683,16 +768,17 @@ func (d *Device) WriteDirect(p *sim.Proc, ino kernel.InodeID, off int64, v core.
 		if chunk > n-done {
 			chunk = n - done
 		}
+		owner := d.cl(idx)
 		if bOff != 0 || chunk != BlockSize {
 			// Read-modify-write for partial blocks.
-			if err := d.cl.ReadBlock(p, idx, bounce); err != nil {
+			if err := owner.ReadBlock(p, idx, bounce); err != nil {
 				return done, err
 			}
 		}
-		data := d.cl.node.Mem.Gather(slice(xs, done, chunk))
-		d.cl.node.CPU.Copy(p, chunk)
+		data := d.node.Mem.Gather(slice(xs, done, chunk))
+		d.node.CPU.Copy(p, chunk)
 		copy(bounce.Data()[bOff:], data)
-		if err := d.cl.WriteBlock(p, idx, bounce, BlockSize); err != nil {
+		if err := owner.WriteBlock(p, idx, bounce, BlockSize); err != nil {
 			return done, err
 		}
 		done += chunk

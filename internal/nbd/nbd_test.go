@@ -356,3 +356,170 @@ func TestDeviceCombinedPageReads(t *testing.T) {
 		}
 	})
 }
+
+// stripedRig builds S servers and one client node holding one Client
+// per server (distinct endpoints), assembled into a striped Device.
+type stripedRig struct {
+	env     *sim.Engine
+	client  *hw.Node
+	servers []*hw.Node
+	cls     []*nbd.Client
+	dev     *nbd.Device
+}
+
+func newStripedRig(t *testing.T, nServers, blocks, window int) *stripedRig {
+	t.Helper()
+	env := sim.NewEngine()
+	c := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	r := &stripedRig{env: env, client: c.AddNode("client")}
+	clientMX := mx.Attach(r.client)
+	for i := 0; i < nServers; i++ {
+		n := c.AddNode("server")
+		srv, err := nbd.NewServer(n, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.ServeMX(mx.Attach(n), 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := nbd.NewClient(clientMX, uint8(10+i), n.ID, 1, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SetWindow(window); err != nil {
+			t.Fatal(err)
+		}
+		r.servers = append(r.servers, n)
+		r.cls = append(r.cls, cl)
+	}
+	var err error
+	if r.dev, err = nbd.NewStripedDevice(r.cls); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *stripedRig) run(t *testing.T, body func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	r.env.Spawn("test", func(p *sim.Proc) {
+		body(p)
+		done = true
+	})
+	r.env.Run(0)
+	if !done {
+		t.Fatal("deadlock")
+	}
+}
+
+// TestStripedDeviceRoundtrip writes a multi-block pattern through the
+// striped device's VFS mount, reads it back buffered and direct, and
+// verifies each backend served only its own blocks.
+func TestStripedDeviceRoundtrip(t *testing.T) {
+	const servers, blocks = 3, 32
+	r := newStripedRig(t, servers, blocks, 4)
+	r.run(t, func(p *sim.Proc) {
+		osys := kernel.NewOS(r.client, 0)
+		osys.SetReadChunkPages(8)
+		osys.Mount("/dev", r.dev)
+		as := r.client.NewUserSpace("app")
+		const n = 20 * nbd.BlockSize
+		va, err := as.Mmap(n, "buf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*13 + 7)
+		}
+		if err := as.WriteBytes(va, data); err != nil {
+			t.Fatal(err)
+		}
+		f, err := osys.Open(p, "/dev/disk", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := f.WriteAt(p, as, va, n, 0); err != nil || got != n {
+			t.Fatalf("write: %d %v", got, err)
+		}
+		if err := f.Fsync(p); err != nil {
+			t.Fatal(err)
+		}
+		rva, _ := as.Mmap(n, "rbuf")
+		if got, err := f.ReadAt(p, as, rva, n, 0); err != nil || got != n {
+			t.Fatalf("buffered read: %d %v", got, err)
+		}
+		got, _ := as.ReadBytes(rva, n)
+		if !bytes.Equal(got, data) {
+			t.Fatal("buffered striped roundtrip corrupted data")
+		}
+		// Direct path too (bypasses the cache, per-block RPCs).
+		fd, err := osys.Open(p, "/dev/disk", kernel.ODirect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dva, _ := as.Mmap(n, "dbuf")
+		if got, err := fd.ReadAt(p, as, dva, n-2*nbd.BlockSize, 3*nbd.BlockSize/2); err == nil {
+			raw, _ := as.ReadBytes(dva, got)
+			if !bytes.Equal(raw, data[3*nbd.BlockSize/2:3*nbd.BlockSize/2+got]) {
+				t.Fatal("direct striped read corrupted data")
+			}
+		} else {
+			t.Fatal(err)
+		}
+		// Placement: every client saw only its share of the block reads.
+		for i, cl := range r.cls {
+			if cl.BlockReads.N == 0 || cl.BlockWrites.N == 0 {
+				t.Errorf("backend %d served no traffic (reads=%d writes=%d)", i, cl.BlockReads.N, cl.BlockWrites.N)
+			}
+		}
+	})
+}
+
+// TestStripedDeviceOneClientMatchesPlain: a one-client striped device
+// must behave request-for-request like NewDevice over the same client
+// — same virtual finish time for the same workload.
+func TestStripedDeviceOneClientMatchesPlain(t *testing.T) {
+	workload := func(striped bool) sim.Time {
+		r := newRig(t, 64)
+		if err := r.cl.SetWindow(4); err != nil {
+			t.Fatal(err)
+		}
+		var end sim.Time
+		r.run(t, func(p *sim.Proc) {
+			dev := nbd.NewDevice(r.cl)
+			if striped {
+				var err error
+				if dev, err = nbd.NewStripedDevice([]*nbd.Client{r.cl}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			osys := kernel.NewOS(r.client, 0)
+			osys.SetReadChunkPages(4)
+			osys.Mount("/dev", dev)
+			as := r.client.NewUserSpace("app")
+			const n = 48 * nbd.BlockSize
+			va, _ := as.Mmap(n, "buf")
+			f, err := osys.Open(p, "/dev/disk", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := f.WriteAt(p, as, va, n, 0); err != nil || got != n {
+				t.Fatalf("write: %d %v", got, err)
+			}
+			if err := f.Fsync(p); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := f.ReadAt(p, as, va, n, 0); err != nil || got != n {
+				t.Fatalf("read: %d %v", got, err)
+			}
+			end = p.Now()
+		})
+		return end
+	}
+	plain := workload(false)
+	striped := workload(true)
+	if plain != striped {
+		t.Errorf("one-client striped device finished at %v, plain at %v", striped, plain)
+	}
+}

@@ -1,5 +1,8 @@
 package netpipe
 
+// This file holds the harness's transport endpoints: one generic
+// fabric End parameterized by address mode (user/kernel/physical),
+// with constructors for raw GM, raw MX and the socket stacks.
 import (
 	"fmt"
 

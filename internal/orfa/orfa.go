@@ -33,7 +33,7 @@ import (
 // on the synchronous protocol).
 type Lib struct {
 	cl   rfsrv.Client
-	sess *rfsrv.Session // non-nil when cl is a windowed Session
+	sess rfsrv.Async // non-nil when cl pipelines with window > 1
 	as   *vm.AddressSpace
 	fds  map[int]*file
 	next int
@@ -55,7 +55,7 @@ type file struct {
 // New creates the library for a process with address space as.
 func New(cl rfsrv.Client, as *vm.AddressSpace) *Lib {
 	l := &Lib{cl: cl, as: as, fds: make(map[int]*file), next: 3}
-	if s, ok := cl.(*rfsrv.Session); ok && s.Window() > 1 {
+	if s, ok := cl.(rfsrv.Async); ok && s.Window() > 1 {
 		l.sess = s
 	}
 	return l
@@ -178,7 +178,7 @@ func (l *Lib) Read(p *sim.Proc, fd int, va vm.VirtAddr, n int) (int, error) {
 // (EOF).
 func (l *Lib) readPipelined(p *sim.Proc, f *file, va vm.VirtAddr, n int) (int, error) {
 	type slot struct {
-		pd   *rfsrv.Pending
+		pd   rfsrv.PendingOp
 		want int
 	}
 	var inflight []slot
@@ -209,7 +209,12 @@ func (l *Lib) readPipelined(p *sim.Proc, f *file, va vm.VirtAddr, n int) (int, e
 		if chunk > readChunk {
 			chunk = readChunk
 		}
-		if len(inflight) == l.sess.Window() {
+		// Retire oldest-first until the chunk's target window(s) have
+		// room — over a striped cluster one chunk may span several
+		// servers, and blocking inside StartRead with retired slots in
+		// our own hands would deadlock the pipeline.
+		for len(inflight) > 0 &&
+			(len(inflight) == l.sess.Window() || !l.sess.CanStart(f.off+int64(issued), chunk)) {
 			s := inflight[0]
 			inflight = inflight[1:]
 			if err := retire(s); err != nil {

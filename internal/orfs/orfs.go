@@ -45,8 +45,8 @@ import (
 type FS struct {
 	name string
 	cl   rfsrv.Client
-	sess *rfsrv.Session // non-nil only when cl is a Session with window > 1
-	node *hw.Node       // the client node (shadow frames, copy charges)
+	sess rfsrv.Async // non-nil only when cl pipelines with window > 1
+	node *hw.Node    // the client node (shadow frames, copy charges)
 
 	// readahead state: prefetches for the inode being streamed cover
 	// page indices [raNext, raHigh).
@@ -68,23 +68,24 @@ type FS struct {
 }
 
 type prefetch struct {
-	pd    *rfsrv.Pending
+	pd    rfsrv.PendingOp
 	frame *mem.Frame
 }
 
 type wbWrite struct {
-	pd     *rfsrv.Pending
+	pd     rfsrv.PendingOp
 	shadow *mem.Frame
 }
 
 // New creates an ORFS client over an rfsrv transport. When cl is a
-// *rfsrv.Session with a window above 1, the mount pipelines buffered
-// reads (readahead) and writes (write-behind) through the window.
+// pipelined client (a *rfsrv.Session or a striped *rfsrv.Cluster) with
+// a window above 1, the mount pipelines buffered reads (readahead) and
+// writes (write-behind) through the window.
 func New(name string, cl rfsrv.Client) *FS {
 	f := &FS{name: name, cl: cl}
-	if s, ok := cl.(*rfsrv.Session); ok && s.Window() > 1 {
+	if s, ok := cl.(rfsrv.Async); ok && s.Window() > 1 {
 		f.sess = s
-		f.node = s.Client().Transport().Node()
+		f.node = s.Node()
 		f.ra = make(map[int64]*prefetch)
 	}
 	return f
@@ -263,6 +264,14 @@ func (f *FS) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fra
 		f.dropReadahead(p)
 		f.raIno, f.raNext, f.raHigh = ino, idx, idx+1
 	}
+	// Never block the miss read behind our own prefetches: if the
+	// page's server has no free slot (possible over a striped cluster,
+	// whose aggregate window the readahead cap is measured against),
+	// retire the readahead we hold instead of deadlocking on it.
+	if !f.sess.CanStart(idx*mem.PageSize, mem.PageSize) {
+		f.dropReadahead(p)
+		f.raIno, f.raNext, f.raHigh = ino, idx, idx+1
+	}
 	f.ReadOps.Add(mem.PageSize)
 	pd, err := f.sess.StartRead(p, ino, idx*mem.PageSize, core.Of(core.PhysSeg(frame.Addr(), mem.PageSize)))
 	if err != nil {
@@ -286,9 +295,11 @@ func (f *FS) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fra
 }
 
 // topUp issues prefetches for the pages after raHigh until window-1
-// are outstanding, never blocking on the window.
+// are outstanding, never blocking on the window (CanStart consults
+// exactly the server that would receive the next prefetch, so striped
+// clusters fill per-server windows without stalling the caller).
 func (f *FS) topUp(p *sim.Proc, ino kernel.InodeID) {
-	for len(f.ra) < f.sess.Window()-1 && f.sess.InFlight() < f.sess.Window() {
+	for len(f.ra) < f.sess.Window()-1 && f.sess.CanStart(f.raHigh*mem.PageSize, mem.PageSize) {
 		fr, err := f.node.Mem.AllocFrame()
 		if err != nil {
 			return
@@ -346,15 +357,21 @@ func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fr
 	if ino == f.raIno {
 		f.dropReadahead(p) // the write supersedes prefetched contents
 	}
-	// Retire the oldest writes first when the window is full, so the
-	// StartWrite below cannot block with nobody left to drain it.
-	for f.sess.InFlight() >= f.sess.Window() && len(f.wb) > 0 {
+	// Retire the oldest writes first when the target's window is full,
+	// so the StartWrite below cannot block with nobody left to drain it.
+	for !f.sess.CanStart(idx*mem.PageSize, n) && len(f.wb) > 0 {
 		w := f.wb[0]
 		f.wb = f.wb[1:]
 		if _, err := w.pd.Wait(p); err != nil && f.wbErr == nil {
 			f.wbErr = err
 		}
 		f.node.Mem.Put(w.shadow)
+	}
+	// Over a striped cluster the blocking slots may be prefetches
+	// rather than writes (another inode's stream can fill one server's
+	// window); they are ours too — retire them rather than deadlock.
+	if !f.sess.CanStart(idx*mem.PageSize, n) {
+		f.dropReadahead(p)
 	}
 	shadow, err := f.node.Mem.AllocFrame()
 	if err != nil {

@@ -1,0 +1,819 @@
+package rfsrv
+
+// This file is the striped cluster client: one rfsrv.Client that
+// shards file data across several servers, each reached through its
+// own Session. It is the repository's answer to the single-link
+// ceiling PR 2 ran into — one server's 250 MB/s link caps aggregate
+// throughput no matter how deep the window — and the first step toward
+// the ROADMAP's aggregate-capacity north star.
+//
+// Layout. File bytes are split into fixed-size stripes (64 KiB by
+// default) placed round-robin: stripe k of every file lives on server
+// k mod N, *at its global offset* (server files are sparse — each
+// server's copy holds only the stripes it owns, with its local size
+// covering the bytes it has seen). Reads and writes split into
+// per-server contiguous runs, issue in parallel through each server's
+// session window, and merge completions through the existing
+// seq-tagged demux — the cluster adds no new wire mechanism.
+//
+// Metadata. The namespace is replicated: every mutation (create,
+// mkdir, unlink, rmdir, truncate, extend) fans out to all servers in
+// server order, and because the backing filesystems allocate inode
+// numbers deterministically, the same mutation stream yields the same
+// inode numbers everywhere (the cluster verifies this and reports
+// divergence as an I/O error). Read-only metadata (lookup, getattr,
+// readdir) is served by a single *home* server chosen by hashing the
+// path component (directory inode + name) or the inode, spreading
+// metadata load without a directory service.
+//
+// Size reconciliation. A write's tail may land away from a file's
+// metadata home, leaving the home's (and other data servers') local
+// size short of the true end of file. After each synchronous Write
+// that extends a file, the cluster replays a grow-only OpExtend to
+// every other server, so any server's local size — and thus any homed
+// getattr, and the EOF clipping of any striped read — reflects the
+// true size. Asynchronous StartWrite skips this reconciliation (its
+// callers, like ORFS write-behind, track EOF themselves); the
+// metadata-home-vs-data-server tests pin down what is and is not
+// guaranteed.
+//
+// Ordering and failure semantics. A Cluster is used from one simulated
+// process at a time, like the Session it is built from. Metadata
+// travels on each server's synchronous control path, never a window
+// slot, so it can always proceed while striped data operations hold
+// every slot (the cluster analogue of the session's one-free-slot
+// discipline). Operations return when every fanned-out part has
+// completed; the first error wins and the rest are drained, so window
+// slots never leak. A striped
+// read's byte count is the contiguous prefix served before the first
+// server-clipped (EOF) part; bytes past it are undefined, exactly like
+// a short read on the plain protocol.
+//
+// With one server the cluster degenerates exactly: every stripe is one
+// contiguous run on server 0, every metadata route resolves to server
+// 0, and no reconciliation traffic is sent, so the issued RPC sequence
+// — and therefore the simulated timing — is bit-identical to driving
+// the underlying Session directly (guarded by
+// TestClusterOneServerMatchesSession).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// DefaultStripeSize is the stripe width used when NewCluster is given
+// none: 64 KiB, the application chunk size of the scalability suites
+// (so one figure-harness read maps to exactly one stripe).
+const DefaultStripeSize = 64 * 1024
+
+// Cluster stripes file data across several rfsrv servers, one Session
+// per server, and replicates the namespace to all of them. It
+// implements Client and Async, so every consumer of a Session — ORFS
+// mounts, the ORFA library, the figures harness — runs over a server
+// cluster unchanged.
+type Cluster struct {
+	sessions []*Session
+	stripe   int64
+	node     *hw.Node
+
+	// sizes caches the highest end-of-file this client has established
+	// per inode, so overwrites below the known size skip the OpExtend
+	// reconciliation round.
+	sizes map[kernel.InodeID]int64
+
+	// StripeReads and StripeWrites count data bytes issued per
+	// direction; MetaFanout counts replicated metadata requests beyond
+	// the first server; Extends counts OpExtend reconciliation
+	// requests.
+	StripeReads, StripeWrites, MetaFanout, Extends sim.Counter
+}
+
+// NewCluster builds a striped cluster client over one Session per
+// server. All sessions must live on the same client node and use
+// distinct local endpoints (replies are demultiplexed by (seq,
+// endpoint), so shared endpoints would cross-scatter). stripe is the
+// stripe width in bytes — 0 selects DefaultStripeSize; it must be
+// page-aligned (so page-granular consumers never split a page across
+// servers) and at most MaxWriteChunk (so one stripe is one request).
+func NewCluster(p *sim.Proc, sessions []*Session, stripe int) (*Cluster, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("rfsrv: cluster needs at least one session")
+	}
+	if stripe == 0 {
+		stripe = DefaultStripeSize
+	}
+	if stripe <= 0 || stripe%mem.PageSize != 0 {
+		return nil, fmt.Errorf("rfsrv: stripe size %d is not a positive page multiple", stripe)
+	}
+	if stripe > MaxWriteChunk {
+		return nil, fmt.Errorf("rfsrv: stripe size %d exceeds one %d-byte request", stripe, MaxWriteChunk)
+	}
+	node := sessions[0].Node()
+	eps := make(map[uint8]bool)
+	for _, s := range sessions {
+		if s.Node() != node {
+			return nil, fmt.Errorf("rfsrv: cluster sessions must share one client node")
+		}
+		ep := s.Client().myEP
+		if eps[ep] {
+			return nil, fmt.Errorf("rfsrv: cluster sessions share local endpoint %d", ep)
+		}
+		eps[ep] = true
+	}
+	return &Cluster{
+		sessions: sessions,
+		stripe:   int64(stripe),
+		node:     node,
+		sizes:    make(map[kernel.InodeID]int64),
+	}, nil
+}
+
+// NumServers returns the number of servers data is striped across.
+func (cl *Cluster) NumServers() int { return len(cl.sessions) }
+
+// StripeSize returns the stripe width in bytes.
+func (cl *Cluster) StripeSize() int { return int(cl.stripe) }
+
+// Sessions returns the per-server sessions in server order (stats,
+// tests).
+func (cl *Cluster) Sessions() []*Session { return cl.sessions }
+
+// Node implements Async: the client node.
+func (cl *Cluster) Node() *hw.Node { return cl.node }
+
+// Window implements Async: the aggregate window over all servers.
+func (cl *Cluster) Window() int {
+	n := 0
+	for _, s := range cl.sessions {
+		n += s.Window()
+	}
+	return n
+}
+
+// InFlight implements Async: outstanding requests over all servers.
+func (cl *Cluster) InFlight() int {
+	n := 0
+	for _, s := range cl.sessions {
+		n += s.InFlight()
+	}
+	return n
+}
+
+// CanStart implements Async: whether a data operation covering
+// [off, off+n) could issue right now without blocking on window slots
+// held by OTHER operations. It checks, per server, that the window has
+// room for the range's runs — capped at the window size, because an
+// operation needing more same-server slots than the window exists
+// makes progress by retiring its own earlier runs (see StartRead), so
+// what it requires from the caller is only that everyone else's slots
+// are free.
+func (cl *Cluster) CanStart(off int64, n int) bool {
+	need := make([]int, len(cl.sessions))
+	for _, r := range cl.runs(off, n) {
+		need[r.owner]++
+	}
+	for i, s := range cl.sessions {
+		if need[i] == 0 {
+			continue
+		}
+		if need[i] > s.Window() {
+			need[i] = s.Window()
+		}
+		if s.InFlight()+need[i] > s.Window() {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- placement ----
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed hash for
+// home-server selection.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ownerIdx returns the server index owning the stripe containing off.
+func (cl *Cluster) ownerIdx(off int64) int {
+	return int((off / cl.stripe) % int64(len(cl.sessions)))
+}
+
+// homeIdx returns the metadata home of an inode.
+func (cl *Cluster) homeIdx(ino kernel.InodeID) int {
+	return int(mix(uint64(ino)) % uint64(len(cl.sessions)))
+}
+
+// pathHomeIdx returns the metadata home of a path component: the hash
+// chains the directory's inode with the name (FNV-1a over the
+// component), so sibling entries spread across servers.
+func (cl *Cluster) pathHomeIdx(dir kernel.InodeID, name string) int {
+	h := mix(uint64(dir))
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return int(h % uint64(len(cl.sessions)))
+}
+
+// OwnerServer returns the index of the server owning the stripe that
+// contains byte offset off (stats, tests, placement-aware callers).
+func (cl *Cluster) OwnerServer(off int64) int { return cl.ownerIdx(off) }
+
+// HomeServer returns the index of the metadata home of an inode.
+func (cl *Cluster) HomeServer(ino kernel.InodeID) int { return cl.homeIdx(ino) }
+
+// run is one contiguous byte range owned by a single server.
+type run struct {
+	owner int
+	off   int64 // global file offset
+	n     int
+}
+
+// runs splits [off, off+n) into maximal contiguous same-owner ranges,
+// in offset order. With one server the whole range is a single run;
+// with several, each stripe (fragment) is its own run.
+func (cl *Cluster) runs(off int64, n int) []run {
+	var out []run
+	end := off + int64(n)
+	for off < end {
+		owner := cl.ownerIdx(off)
+		cur := off
+		for cur < end {
+			stripeEnd := (cur/cl.stripe + 1) * cl.stripe
+			if stripeEnd >= end {
+				cur = end
+				break
+			}
+			cur = stripeEnd
+			if cl.ownerIdx(cur) != owner {
+				break
+			}
+		}
+		out = append(out, run{owner: owner, off: off, n: int(cur - off)})
+		off = cur
+	}
+	return out
+}
+
+// ---- data path ----
+
+// part is one per-server request of a striped operation.
+type part struct {
+	pd   *Pending
+	r    run
+	want int // expected byte count (writes)
+	resp *Resp
+	err  error
+	done bool
+}
+
+// retire waits the part once and memoizes its outcome.
+func (pt *part) retire(p *sim.Proc) {
+	if pt.done {
+		return
+	}
+	pt.resp, pt.err = pt.pd.Wait(p)
+	pt.done = true
+}
+
+// makeRoom retires outstanding parts oldest-first until session s can
+// accept one more request — the cross-server analogue of Session's
+// window backpressure. parts complete out of order on the wire, so
+// waiting the oldest always makes progress.
+func makeRoom(p *sim.Proc, s *Session, parts []*part) {
+	for _, pt := range parts {
+		if s.InFlight() < s.Window() {
+			return
+		}
+		pt.retire(p)
+	}
+}
+
+// mergeAttr picks the authoritative attributes out of per-server
+// responses: the largest size wins (a data server that holds the tail
+// stripe knows more of the file than one that does not).
+func mergeAttr(parts []*part) kernel.Attr {
+	var attr kernel.Attr
+	for _, pt := range parts {
+		if pt.resp != nil && (attr.Ino == 0 || pt.resp.Attr.Size > attr.Size) {
+			attr = pt.resp.Attr
+		}
+	}
+	return attr
+}
+
+// firstError returns the first per-server failure in offset order.
+func firstError(parts []*part) error {
+	for _, pt := range parts {
+		if pt.err != nil {
+			return pt.err
+		}
+	}
+	return nil
+}
+
+// Read implements Client: the range splits into per-server runs issued
+// in parallel through each server's window; data lands directly in the
+// caller's vector (each run scatters into its own slice of dst, so
+// striping adds no copies). The merged byte count is the contiguous
+// prefix before the first server-clipped (EOF) run.
+func (cl *Cluster) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
+	if off < 0 {
+		return &Resp{Status: StInval}, ErrInval
+	}
+	total := dst.TotalLen()
+	if total == 0 {
+		// Degenerate read: one attr-only round trip to the offset's owner.
+		return cl.sessions[cl.ownerIdx(off)].Read(p, ino, off, dst)
+	}
+	var parts []*part
+	for _, r := range cl.runs(off, total) {
+		s := cl.sessions[r.owner]
+		makeRoom(p, s, parts)
+		cl.StripeReads.Add(r.n)
+		pd, err := s.startRead(p, ino, r.off, dst.Slice(int(r.off-off), r.n))
+		if err != nil {
+			drainParts(p, parts)
+			return &Resp{Status: StatusOf(err)}, err
+		}
+		parts = append(parts, &part{pd: pd, r: r})
+	}
+	for _, pt := range parts {
+		pt.retire(p)
+	}
+	if err := firstError(parts); err != nil {
+		return &Resp{Status: StatusOf(err), Attr: mergeAttr(parts)}, err
+	}
+	return mergeRead(parts), nil
+}
+
+// mergeRead folds per-run read responses into one: byte count is the
+// contiguous prefix, attributes are the authoritative merge.
+func mergeRead(parts []*part) *Resp {
+	n := 0
+	for _, pt := range parts {
+		n += int(pt.resp.N)
+		if int(pt.resp.N) < pt.r.n {
+			break // EOF inside this run; later runs are past the end
+		}
+	}
+	return &Resp{Status: StOK, Attr: mergeAttr(parts), N: uint32(n)}
+}
+
+// drainParts retires every part, discarding results — the error path.
+// Without it an early return would leak window slots.
+func drainParts(p *sim.Proc, parts []*part) {
+	for _, pt := range parts {
+		pt.retire(p)
+	}
+}
+
+// Write implements Client: runs are chunked at MaxWriteChunk and
+// pipelined across the per-server windows; after a write that extends
+// the file, grow-only OpExtend requests reconcile every other server's
+// local size (see the package comment on size reconciliation).
+func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
+	if off < 0 {
+		return &Resp{Status: StInval}, ErrInval
+	}
+	total := src.TotalLen()
+	if total == 0 {
+		return cl.sessions[cl.ownerIdx(off)].Write(p, ino, off, src)
+	}
+	var parts []*part
+	fail := func(err error) (*Resp, error) {
+		drainParts(p, parts)
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	tailOwner := 0
+	for _, r := range cl.runs(off, total) {
+		s := cl.sessions[r.owner]
+		tailOwner = r.owner
+		// Runs longer than one request (only possible with a single
+		// server, where all stripes merge) chunk exactly like
+		// Session.Write does.
+		for done := 0; done < r.n; {
+			chunk := r.n - done
+			if chunk > MaxWriteChunk {
+				chunk = MaxWriteChunk
+			}
+			makeRoom(p, s, parts)
+			cl.StripeWrites.Add(chunk)
+			at := r.off + int64(done)
+			pd, err := s.startWrite(p, ino, at, src.Slice(int(at-off), chunk))
+			if err != nil {
+				return fail(err)
+			}
+			parts = append(parts, &part{pd: pd, r: run{owner: r.owner, off: at, n: chunk}, want: chunk})
+			done += chunk
+		}
+	}
+	written := 0
+	for _, pt := range parts {
+		pt.retire(p)
+	}
+	if err := firstError(parts); err != nil {
+		return &Resp{Status: StatusOf(err), Attr: mergeAttr(parts)}, err
+	}
+	for _, pt := range parts {
+		// Chunks were issued at fixed offsets (like Session.Write's
+		// pipelined path), so any short chunk is a hole, not a prefix.
+		if int(pt.resp.N) != pt.want {
+			r := mergeRead(parts)
+			r.Status = StIO
+			return r, fmt.Errorf("rfsrv: short striped write (%d of %d) at %d", pt.resp.N, pt.want, pt.r.off)
+		}
+		written += int(pt.resp.N)
+	}
+	if err := cl.extendTo(p, ino, off+int64(total), tailOwner); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	resp := &Resp{Status: StOK, Attr: mergeAttr(parts), N: uint32(written)}
+	return resp, nil
+}
+
+// extendTo reconciles file size after a write ending at end: every
+// server except the tail chunk's owner (whose local size already
+// reaches end) gets a grow-only OpExtend. Skipped entirely when this
+// client has already established a size >= end, and always a no-op on
+// a one-server cluster.
+func (cl *Cluster) extendTo(p *sim.Proc, ino kernel.InodeID, end int64, tailOwner int) error {
+	if cl.sizes[ino] >= end {
+		return nil
+	}
+	var flights []*syncMetaFlight
+	var firstErr error
+	for i, s := range cl.sessions {
+		if i == tailOwner {
+			continue
+		}
+		cl.Extends.Add(1)
+		fl, err := startSyncMeta(p, s, &Req{Op: OpExtend, Ino: ino, Off: end})
+		if err != nil {
+			firstErr = err
+			break
+		}
+		flights = append(flights, fl)
+	}
+	for _, fl := range flights {
+		if _, err := fl.wait(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	cl.sizes[ino] = end
+	return nil
+}
+
+// ---- pipelined data path (Async) ----
+
+// clusterPending is one striped in-flight operation: the per-server
+// parts of a single logical read or write.
+type clusterPending struct {
+	parts  []*part
+	want   int // expected total (writes; -1 for reads)
+	issued sim.Time
+
+	done bool
+	resp *Resp
+	err  error
+}
+
+// Wait implements PendingOp: retires every part and merges.
+func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
+	if cp.done {
+		return cp.resp, cp.err
+	}
+	cp.done = true
+	for _, pt := range cp.parts {
+		pt.retire(p)
+	}
+	if err := firstError(cp.parts); err != nil {
+		cp.resp, cp.err = &Resp{Status: StatusOf(err), Attr: mergeAttr(cp.parts)}, err
+		return cp.resp, cp.err
+	}
+	cp.resp = mergeRead(cp.parts)
+	if cp.want >= 0 && int(cp.resp.N) != cp.want {
+		cp.resp.Status = StIO
+		cp.err = fmt.Errorf("rfsrv: short striped write (%d of %d)", cp.resp.N, cp.want)
+	}
+	return cp.resp, cp.err
+}
+
+// Issued implements PendingOp: the time the first per-server request
+// entered its window — the same instant a Session would report for the
+// same operation, keeping latency accounting bit-identical in the
+// one-server configuration.
+func (cp *clusterPending) Issued() sim.Time {
+	if len(cp.parts) > 0 {
+		return cp.parts[0].pd.issued
+	}
+	return cp.issued
+}
+
+// StartRead implements Async: the striped read issues without waiting.
+// Callers holding unretired pendings must consult CanStart first (see
+// the Async contract) — the per-server issues here block on their own
+// windows.
+func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (PendingOp, error) {
+	if off < 0 {
+		return nil, ErrInval
+	}
+	total := dst.TotalLen()
+	cp := &clusterPending{want: -1, issued: p.Now()}
+	if total == 0 {
+		// Zero-length read: one attr-only request to the offset's
+		// owner, like the synchronous Read path.
+		pd, err := cl.sessions[cl.ownerIdx(off)].startRead(p, ino, off, dst)
+		if err != nil {
+			return nil, err
+		}
+		cp.parts = append(cp.parts, &part{pd: pd, r: run{owner: cl.ownerIdx(off), off: off}})
+		return cp, nil
+	}
+	for _, r := range cl.runs(off, total) {
+		s := cl.sessions[r.owner]
+		// An operation spanning more same-server stripes than that
+		// server's window retires its own earlier runs to make room —
+		// it must never depend on the caller, who cannot retire a
+		// pending it has not been handed yet.
+		makeRoom(p, s, cp.parts)
+		cl.StripeReads.Add(r.n)
+		pd, err := s.startRead(p, ino, r.off, dst.Slice(int(r.off-off), r.n))
+		if err != nil {
+			drainParts(p, cp.parts)
+			return nil, err
+		}
+		cp.parts = append(cp.parts, &part{pd: pd, r: r})
+	}
+	return cp, nil
+}
+
+// StartWrite implements Async: one striped write request of at most
+// MaxWriteChunk, issued without waiting. Unlike the synchronous Write
+// it does not reconcile sizes across servers — asynchronous writers
+// (ORFS write-behind) track EOF themselves and their dirty data is
+// re-readable from the servers that own it.
+func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (PendingOp, error) {
+	if off < 0 {
+		return nil, ErrInval
+	}
+	total := src.TotalLen()
+	if total > MaxWriteChunk {
+		return nil, fmt.Errorf("rfsrv: StartWrite of %d bytes exceeds one %d-byte request", total, MaxWriteChunk)
+	}
+	cp := &clusterPending{want: total, issued: p.Now()}
+	for _, r := range cl.runs(off, total) {
+		s := cl.sessions[r.owner]
+		makeRoom(p, s, cp.parts)
+		cl.StripeWrites.Add(r.n)
+		pd, err := s.startWrite(p, ino, r.off, src.Slice(int(r.off-off), r.n))
+		if err != nil {
+			drainParts(p, cp.parts)
+			return nil, err
+		}
+		cp.parts = append(cp.parts, &part{pd: pd, r: r, want: r.n})
+	}
+	// The size cache is deliberately NOT updated here: sizes[ino]
+	// records "every server reconciled to this size", and an async
+	// write extends only the servers its runs touch. The next
+	// synchronous Write past this end runs extendTo as usual.
+	return cp, nil
+}
+
+// ---- metadata path ----
+
+// cloneReq copies a request so per-server sequence stamping never
+// mutates a caller's (or a sibling server's) request.
+func cloneReq(req *Req) *Req {
+	r := *req
+	return &r
+}
+
+// syncMetaFlight is one in-flight metadata request on a server's
+// synchronous control path.
+type syncMetaFlight struct {
+	c     *FabricClient
+	hdrOp fabric.Op
+	seq   uint64
+}
+
+// startSyncMeta issues a metadata request through s's underlying
+// synchronous client — its private control buffers, NOT a window slot.
+// This is what makes cluster metadata deadlock-free: a consumer whose
+// striped reads or writes hold every window slot of some server
+// (ORFS readahead can legitimately do this) can still look up, stat
+// and reconcile, because metadata never waits on the data windows.
+func startSyncMeta(p *sim.Proc, s *Session, req *Req) (*syncMetaFlight, error) {
+	c := s.c
+	c.lock.Acquire(p)
+	c.seq++
+	req.Seq, req.EP = c.seq, c.myEP
+	hdrOp, err := c.postHdr(p, &c.ctl, req.Seq)
+	if err != nil {
+		c.lock.Release()
+		return nil, err
+	}
+	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
+		c.lock.Release()
+		return nil, err
+	}
+	return &syncMetaFlight{c: c, hdrOp: hdrOp, seq: req.Seq}, nil
+}
+
+// wait retires the flight and releases the control path.
+func (fl *syncMetaFlight) wait(p *sim.Proc) (*Resp, error) {
+	defer fl.c.lock.Release()
+	return fl.c.finish(p, &fl.c.ctl, fl.hdrOp, fl.seq)
+}
+
+// syncMeta is one synchronous metadata round trip to server idx.
+func (cl *Cluster) syncMeta(p *sim.Proc, idx int, req *Req) (*Resp, error) {
+	fl, err := startSyncMeta(p, cl.sessions[idx], req)
+	if err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	return fl.wait(p)
+}
+
+// Meta implements Client. Read-only operations go to the home server;
+// mutations replicate to every server in server order, and the
+// per-server answers must agree (same status, same inode) or the
+// cluster reports namespace divergence.
+func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
+	if err := ValidateReq(req); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	switch req.Op {
+	case OpRead, OpWrite:
+		return &Resp{Status: StInval}, ErrInval
+	case OpLookup:
+		// Read-only answers deliberately do NOT feed the size cache:
+		// sizes[ino] means "every server reconciled to this size", and a
+		// single server's view (e.g. the home after an async StartWrite
+		// that extended only its own stripes) cannot establish that —
+		// caching it would silently disable the next write's extendTo.
+		return cl.syncMeta(p, cl.pathHomeIdx(req.Ino, req.Name), req)
+	case OpGetattr, OpReaddir:
+		return cl.syncMeta(p, cl.homeIdx(req.Ino), req)
+	default:
+		return cl.fanout(p, req)
+	}
+}
+
+// fanout replicates a namespace mutation to every server in parallel
+// (each server's synchronous control path; see startSyncMeta) and
+// verifies the answers agree. With one server it is exactly one
+// synchronous metadata round trip.
+func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
+	if len(cl.sessions) == 1 {
+		resp, err := cl.syncMeta(p, 0, req)
+		cl.noteMutation(req, resp, err)
+		return resp, err
+	}
+	flights := make([]*syncMetaFlight, 0, len(cl.sessions))
+	var firstErr error
+	for i, s := range cl.sessions {
+		if i > 0 {
+			cl.MetaFanout.Add(1)
+		}
+		fl, err := startSyncMeta(p, s, cloneReq(req))
+		if err != nil {
+			firstErr = err
+			break
+		}
+		flights = append(flights, fl)
+	}
+	resps := make([]*Resp, len(flights))
+	for i, fl := range flights {
+		var err error
+		resps[i], err = fl.wait(p)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(resps) == 0 {
+		return &Resp{Status: StatusOf(firstErr)}, firstErr
+	}
+	base := resps[0]
+	for _, r := range resps[1:] {
+		if r == nil || base == nil {
+			continue
+		}
+		if r.Status != base.Status || r.Attr.Ino != base.Attr.Ino {
+			err := fmt.Errorf("rfsrv: cluster namespace diverged on %v %q (status %d/ino %d vs %d/%d)",
+				req.Op, req.Name, base.Status, base.Attr.Ino, r.Status, r.Attr.Ino)
+			return &Resp{Status: StIO}, err
+		}
+	}
+	cl.noteMutation(req, base, firstErr)
+	return base, firstErr
+}
+
+// noteMutation updates the size cache after a replicated mutation.
+func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
+	if err != nil || resp == nil {
+		return
+	}
+	switch req.Op {
+	case OpCreate:
+		cl.sizes[resp.Attr.Ino] = resp.Attr.Size
+	case OpTruncate:
+		cl.sizes[req.Ino] = req.Off // exact: truncate may shrink
+	case OpExtend:
+		if req.Off > cl.sizes[req.Ino] {
+			cl.sizes[req.Ino] = req.Off
+		}
+	}
+}
+
+// MetaBatch implements Async: requests route like Meta (read-only to
+// their homes, mutations to every server) and each server's share is
+// issued as one combined batch in original order, so the §3.3-style
+// combining survives striping. Server batches run one server at a
+// time; with one server this is exactly Session.MetaBatch. Unlike
+// Meta, batches flow through the per-server windows (that is what
+// combines them), so callers must not hold unretired data pendings
+// across a MetaBatch call.
+func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
+	for _, r := range reqs {
+		if r.Op == OpRead || r.Op == OpWrite {
+			return nil, fmt.Errorf("rfsrv: MetaBatch cannot carry %v", r.Op)
+		}
+		if err := ValidateReq(r); err != nil {
+			return nil, err
+		}
+	}
+	if len(cl.sessions) == 1 {
+		return cl.sessions[0].MetaBatch(p, reqs)
+	}
+	type share struct {
+		idx  []int // original positions
+		reqs []*Req
+	}
+	shares := make([]share, len(cl.sessions))
+	mutation := make([]bool, len(reqs))
+	for i, r := range reqs {
+		switch r.Op {
+		case OpLookup:
+			h := cl.pathHomeIdx(r.Ino, r.Name)
+			shares[h].idx = append(shares[h].idx, i)
+			shares[h].reqs = append(shares[h].reqs, r)
+		case OpGetattr, OpReaddir:
+			h := cl.homeIdx(r.Ino)
+			shares[h].idx = append(shares[h].idx, i)
+			shares[h].reqs = append(shares[h].reqs, r)
+		default:
+			mutation[i] = true
+			for s := range cl.sessions {
+				if s > 0 {
+					cl.MetaFanout.Add(1)
+				}
+				shares[s].idx = append(shares[s].idx, i)
+				shares[s].reqs = append(shares[s].reqs, cloneReq(r))
+			}
+		}
+	}
+	out := make([]*Resp, len(reqs))
+	for s, sh := range shares {
+		if len(sh.reqs) == 0 {
+			continue
+		}
+		resps, err := cl.sessions[s].MetaBatch(p, sh.reqs)
+		for i, r := range resps {
+			pos := sh.idx[i]
+			if out[pos] == nil {
+				out[pos] = r
+			} else if r != nil && (r.Status != out[pos].Status || r.Attr.Ino != out[pos].Attr.Ino) {
+				return out, fmt.Errorf("rfsrv: cluster namespace diverged in batch at %d", pos)
+			}
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	// Apply cache updates in request order: a batch may carry several
+	// mutations of one inode (extend then truncate), and the LAST one
+	// must win, exactly as the servers applied them.
+	for pos, r := range reqs {
+		if mutation[pos] && out[pos] != nil {
+			cl.noteMutation(r, out[pos], nil)
+		}
+	}
+	return out, nil
+}
+
+var _ Client = (*Cluster)(nil)

@@ -48,14 +48,23 @@ const (
 	OpTruncate
 	OpRead
 	OpWrite
+	// OpExtend grows a file to at least Off bytes (size = max(size,
+	// Off)) and returns the resulting attributes. Unlike OpTruncate it
+	// never shrinks, so it is idempotent and safe to replay in any
+	// order — the property the striped cluster client relies on when it
+	// reconciles file sizes across servers after a write whose tail
+	// stripe landed away from the metadata home (see Cluster).
+	OpExtend
 )
 
 var opNames = map[Op]string{
 	OpLookup: "lookup", OpGetattr: "getattr", OpReaddir: "readdir",
 	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
 	OpRmdir: "rmdir", OpTruncate: "truncate", OpRead: "read", OpWrite: "write",
+	OpExtend: "extend",
 }
 
+// String returns the protocol name of the operation.
 func (o Op) String() string {
 	if s, ok := opNames[o]; ok {
 		return s

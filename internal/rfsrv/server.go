@@ -117,6 +117,15 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		} else {
 			err = s.fs.Truncate(p, ino, req.Off)
 		}
+	case OpExtend:
+		// Grow-only truncate: size = max(size, Off). Idempotent, so the
+		// cluster client can replay it against any subset of servers.
+		resp.Attr, err = s.fs.Getattr(p, ino)
+		if err == nil && req.Off > resp.Attr.Size {
+			if err = s.fs.Truncate(p, ino, req.Off); err == nil {
+				resp.Attr, err = s.fs.Getattr(p, ino)
+			}
+		}
 	default:
 		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 )
@@ -74,8 +75,16 @@ func (s *Session) Window() int { return s.window }
 // Client returns the underlying synchronous client.
 func (s *Session) Client() *FabricClient { return s.c }
 
+// Node implements Async: the client node.
+func (s *Session) Node() *hw.Node { return s.c.t.Node() }
+
 // InFlight returns the number of requests currently in the window.
 func (s *Session) InFlight() int { return s.inFlight }
+
+// CanStart implements Async: whether one more request fits the window
+// right now. A session talks to a single server, so the byte range is
+// irrelevant.
+func (s *Session) CanStart(off int64, n int) bool { return s.inFlight < s.window }
 
 // MaxInFlight returns the high-water mark of concurrently outstanding
 // requests (tests use it to verify backpressure).
@@ -120,7 +129,15 @@ func (pd *Pending) Issued() sim.Time { return pd.issued }
 
 // StartMeta issues a metadata request through the window, blocking
 // only while the window is full.
-func (s *Session) StartMeta(p *sim.Proc, req *Req) (*Pending, error) {
+func (s *Session) StartMeta(p *sim.Proc, req *Req) (PendingOp, error) {
+	pd, err := s.startMeta(p, req)
+	if err != nil {
+		return nil, err
+	}
+	return pd, nil
+}
+
+func (s *Session) startMeta(p *sim.Proc, req *Req) (*Pending, error) {
 	if err := ValidateReq(req); err != nil {
 		return nil, err
 	}
@@ -142,7 +159,15 @@ func (s *Session) StartMeta(p *sim.Proc, req *Req) (*Pending, error) {
 
 // StartRead issues a read through the window; data lands directly in
 // dst when the transport allows it, exactly like the sync client.
-func (s *Session) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Pending, error) {
+func (s *Session) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (PendingOp, error) {
+	pd, err := s.startRead(p, ino, off, dst)
+	if err != nil {
+		return nil, err
+	}
+	return pd, nil
+}
+
+func (s *Session) startRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Pending, error) {
 	if off < 0 {
 		return nil, ErrInval
 	}
@@ -175,7 +200,15 @@ func (s *Session) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 // StartWrite issues one write request through the window. src must not
 // exceed MaxWriteChunk (one protocol request); Write chunks larger
 // transfers across the window.
-func (s *Session) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Pending, error) {
+func (s *Session) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (PendingOp, error) {
+	pd, err := s.startWrite(p, ino, off, src)
+	if err != nil {
+		return nil, err
+	}
+	return pd, nil
+}
+
+func (s *Session) startWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Pending, error) {
 	if off < 0 {
 		return nil, ErrInval
 	}
@@ -247,7 +280,7 @@ func (pd *Pending) Wait(p *sim.Proc) (*Resp, error) {
 
 // Meta implements Client.
 func (s *Session) Meta(p *sim.Proc, req *Req) (*Resp, error) {
-	pd, err := s.StartMeta(p, req)
+	pd, err := s.startMeta(p, req)
 	if err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
@@ -257,7 +290,7 @@ func (s *Session) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 // Read implements Client: one request, issue-and-wait (identical
 // timing to the sync client at any window).
 func (s *Session) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
-	pd, err := s.StartRead(p, ino, off, dst)
+	pd, err := s.startRead(p, ino, off, dst)
 	if err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
@@ -280,7 +313,7 @@ func (s *Session) drain(p *sim.Proc, pds []*Pending) {
 func (s *Session) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
 	total := src.TotalLen()
 	if total <= MaxWriteChunk {
-		pd, err := s.StartWrite(p, ino, off, src)
+		pd, err := s.startWrite(p, ino, off, src)
 		if err != nil {
 			return &Resp{Status: StatusOf(err)}, err
 		}
@@ -319,7 +352,7 @@ func (s *Session) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vec
 				return last, err
 			}
 		}
-		pd, err := s.StartWrite(p, ino, off+int64(issued), src.Slice(issued, chunk))
+		pd, err := s.startWrite(p, ino, off+int64(issued), src.Slice(issued, chunk))
 		if err != nil {
 			s.drain(p, inflight)
 			return last, err

@@ -194,7 +194,7 @@ func TestSessionStressNoCrossTalk(t *testing.T) {
 					bufs[j] = core.Of(core.KernelSeg(kern, va, chunk))
 				}
 				type slot struct {
-					pd  *rfsrv.Pending
+					pd  rfsrv.PendingOp
 					buf int
 				}
 				var q []slot

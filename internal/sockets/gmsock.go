@@ -1,5 +1,7 @@
 package sockets
 
+// This file is SOCKETS-GM: the stream stack over GM ports, paying
+// GM's registration and event-queue costs on every transfer.
 import (
 	"encoding/binary"
 	"fmt"

@@ -1,5 +1,7 @@
 package sockets
 
+// This file is SOCKETS-MX: the stream stack over MX endpoints, whose
+// rendezvous transfers lift large-message bandwidth (Fig 8(b)).
 import (
 	"encoding/binary"
 	"fmt"

@@ -1,5 +1,7 @@
 package sockets
 
+// This file is the TCP/GigE stack: the commodity baseline the paper
+// compares the Myrinet stacks against.
 import (
 	"fmt"
 

@@ -116,8 +116,15 @@ type (
 	// paper's synchronous protocol).
 	FSSession       = rfsrv.Session
 	FSPending       = rfsrv.Pending
+	FSPendingOp     = rfsrv.PendingOp
+	FSAsync         = rfsrv.Async
 	ServerSession   = rfsrv.ClientSession
 	NBDPendingBlock = nbd.PendingBlock
+
+	// Striped cluster: file data sharded round-robin across several
+	// servers, one session per server (Cluster satisfies FSClient and
+	// FSAsync; one server degenerates to the plain session).
+	FSCluster = rfsrv.Cluster
 
 	// Sockets.
 	Conn     = sockets.Conn
@@ -275,6 +282,10 @@ var NewGMClient = rfsrv.NewGMClient
 // prototypes.
 var NewFSSession = rfsrv.NewSession
 
+// NewFSCluster stripes file data across several servers, one session
+// per server (stripe 0 selects the 64 KB default).
+var NewFSCluster = rfsrv.NewCluster
+
 // NewRegCache creates a standalone GMKRC registration cache over a GM
 // port (maxPages 0 disables caching).
 func NewRegCache(port *GMPort, maxPages int) *RegCache { return gmkrc.New(port, maxPages) }
@@ -297,9 +308,12 @@ var (
 	NewNBDClient = nbd.NewClient
 	// NewNBDDevice adapts a client for mounting through the VFS.
 	NewNBDDevice = nbd.NewDevice
+	// NewStripedNBDDevice adapts one client per server into a
+	// block-striped device.
+	NewStripedNBDDevice = nbd.NewStripedDevice
 )
 
-// DefaultParams returns the calibrated parameter set (see DESIGN.md §4).
+// DefaultParams returns the calibrated parameter set (see DESIGN.md §5).
 func DefaultParams() *Params { return hw.DefaultParams() }
 
 // DefaultConfig returns the experiment configuration used by

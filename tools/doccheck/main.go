@@ -1,0 +1,155 @@
+// Command doccheck enforces the repository's godoc discipline: every
+// exported identifier in the packages named on the command line must
+// carry a doc comment, and every package must have a package comment.
+// It is the missing-doc gate run by the CI docs job (the stand-in for
+// `revive -rule exported`, implemented with the standard library so the
+// container needs no extra tools).
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/rfsrv ./internal/fabric
+//
+// Exit status is non-zero if any exported identifier is undocumented;
+// each offender is printed as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir>...")
+		os.Exit(2)
+	}
+	bad, broken := 0, false
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			broken = true
+		}
+		bad += n
+	}
+	if broken {
+		os.Exit(2) // parse/usage failure, not an audit finding
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded — their helpers
+// are not API) and reports undocumented exported declarations. A parse
+// failure is returned as an error, distinct from audit findings.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		if !hasPackageComment(pkg) {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		// Deterministic output order.
+		sort.Strings(files)
+		for _, name := range files {
+			bad += checkFile(fset, pkg.Files[name])
+		}
+	}
+	return bad, nil
+}
+
+// hasPackageComment reports whether any file of the package carries a
+// package doc comment.
+func hasPackageComment(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(f.Doc.List) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFile reports undocumented exported top-level declarations of one
+// file: funcs, methods (on exported or unexported receivers alike —
+// an exported method is API either way through interfaces), types, and
+// const/var specs.
+func checkFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, what, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				name := d.Name.Name
+				if d.Recv != nil {
+					name = recvName(d.Recv) + "." + name
+				}
+				complain(d.Pos(), "function", name)
+			}
+		case *ast.GenDecl:
+			// A doc comment on the grouped decl covers all its specs
+			// (the `const ( ... )` block idiom).
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+						complain(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if groupDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							complain(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// recvName renders a method receiver's type name.
+func recvName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return "?"
+	}
+	t := fl.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "?"
+}
