@@ -21,7 +21,7 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver)")
+	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver, degraded)")
 	flag.Parse()
 
 	cfg := figures.Config{Iters: *iters, Warmup: 2}
@@ -86,6 +86,15 @@ func main() {
 		for _, f := range figs {
 			fmt.Println(f.Render(f.Latency()))
 		}
+	}
+	if sel == "" || sel == "degraded" {
+		ran = true
+		tbl, err := cfg.Degraded()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "degraded: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Render())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)

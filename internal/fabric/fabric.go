@@ -37,11 +37,36 @@
 package fabric
 
 import (
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
+
+// Fault errors: transport-level failures, distinguishable from every
+// application-level status so consumers (the striped cluster's
+// failover, the degraded-operation experiments) can tell a dead server
+// from a full disk. Both satisfy IsFault.
+var (
+	// ErrPeerDead reports a send addressed to a node whose NIC is dead —
+	// the fabric analogue of a driver's dead-peer detection (GM's send
+	// timeouts), delivered synchronously so callers fail over instead of
+	// filling a window with doomed requests.
+	ErrPeerDead = errors.New("fabric: peer unreachable (NIC dead)")
+	// ErrTimeout reports a timed wait that expired before the operation
+	// completed — the only way to observe a peer that died after
+	// accepting a request.
+	ErrTimeout = errors.New("fabric: operation timed out")
+)
+
+// IsFault reports whether err is a transport fault (dead peer or
+// timeout) rather than an application-level failure. Errors wrapped
+// with %w are recognized.
+func IsFault(err error) bool {
+	return errors.Is(err, ErrPeerDead) || errors.Is(err, ErrTimeout)
+}
 
 // Caps describes what a transport can do; consumers branch on it
 // instead of on concrete adapter types.
@@ -125,6 +150,48 @@ type Transport interface {
 	PostRecv(p *sim.Proc, match core.Match, v core.Vector) (Op, error)
 	// Close tears the endpoint down, deregistering what it registered.
 	Close(p *sim.Proc) error
+}
+
+// TimedOp is implemented by Ops whose completion can be awaited with a
+// deadline (the message transports). ok is false — and the operation
+// is still in flight — when d elapsed first; the Status returned then
+// carries ErrTimeout and nothing else.
+type TimedOp interface {
+	Op
+	// WaitTimeout is Wait with a deadline of d from now.
+	WaitTimeout(p *sim.Proc, d sim.Time) (Status, bool)
+}
+
+// CancelableOp is implemented by receive Ops that can be withdrawn
+// before they match, guaranteeing the buffer is never scattered into.
+type CancelableOp interface {
+	Op
+	// Cancel withdraws the posted receive; false means it already
+	// matched (the caller must Wait it to quiescence instead).
+	Cancel(p *sim.Proc) bool
+}
+
+// WaitTimeout waits op for at most d (d <= 0 means forever). On
+// transports whose Ops do not support deadlines it degrades to a plain
+// Wait. ok is false only on expiry, with Status{Err: ErrTimeout}.
+func WaitTimeout(p *sim.Proc, op Op, d sim.Time) (Status, bool) {
+	if d > 0 {
+		if t, ok := op.(TimedOp); ok {
+			return t.WaitTimeout(p, d)
+		}
+	}
+	return op.Wait(p), true
+}
+
+// Cancel withdraws a posted receive whose reply the caller has given
+// up on. It reports whether the withdrawal took: false means the
+// operation matched (or the transport cannot cancel) and must be
+// Waited to quiescence before its buffer is reused.
+func Cancel(p *sim.Proc, op Op) bool {
+	if c, ok := op.(CancelableOp); ok {
+		return c.Cancel(p)
+	}
+	return false
 }
 
 // completedOp is a pre-completed operation (stream transports, whose

@@ -191,8 +191,14 @@ func (t *GMTransport) vectorArgs(v core.Vector) (xs []mem.Extent, phys bool, s c
 	return nil, false, v[0], nil
 }
 
-// Send implements Transport.
+// Send implements Transport. A destination whose NIC is dead fails
+// synchronously with ErrPeerDead — modelling GM's own send timeouts,
+// which complete sends to unreachable nodes with an error instead of
+// leaking tokens forever.
 func (t *GMTransport) Send(p *sim.Proc, dst hw.NodeID, dstEP uint8, info uint64, v core.Vector) (Op, error) {
+	if t.Node().Cluster.Node(dst).NIC.Dead() {
+		return nil, ErrPeerDead
+	}
 	xs, phys, s, err := t.vectorArgs(v)
 	if err != nil {
 		return nil, err
@@ -327,4 +333,50 @@ func (o *gmOp) Wait(p *sim.Proc) Status {
 	return o.st
 }
 
+// WaitTimeout implements TimedOp: the event drain runs against a
+// deadline (each blocking consume bounded by the time remaining). On
+// expiry the operation is still enrolled — callers time-bound waits
+// must Cancel it, or a later Wait will find it.
+func (o *gmOp) WaitTimeout(p *sim.Proc, d sim.Time) (Status, bool) {
+	deadline := p.Now() + d
+	for !o.done {
+		left := deadline - p.Now()
+		if left <= 0 {
+			return Status{Err: ErrTimeout}, false
+		}
+		ev, ok := o.t.port.WaitEventTimeout(p, left)
+		if !ok {
+			return Status{Err: ErrTimeout}, false
+		}
+		o.t.dispatch(ev)
+	}
+	for {
+		ev, ok := o.t.port.TryEvent(p)
+		if !ok {
+			break
+		}
+		o.t.dispatch(ev)
+	}
+	return o.st, true
+}
+
+// Cancel implements CancelableOp: an unmatched posted receive is
+// withdrawn from the port (and from the adapter's dispatch table), so
+// its buffer can never be scattered into. Send ops and matched
+// receives report false.
+func (o *gmOp) Cancel(p *sim.Proc) bool {
+	if o.done || o.key.send {
+		return false
+	}
+	if !o.t.port.CancelRecv(p, o.key.tag) {
+		return false
+	}
+	o.t.unwait(o)
+	o.done = true
+	o.st = Status{Err: ErrTimeout}
+	return true
+}
+
 var _ Transport = (*GMTransport)(nil)
+var _ TimedOp = (*gmOp)(nil)
+var _ CancelableOp = (*gmOp)(nil)

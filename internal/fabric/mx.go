@@ -64,13 +64,18 @@ func (t *MXTransport) Acquire(p *sim.Proc, v core.Vector) (func(), error) {
 	return func() {}, nil
 }
 
-// Send implements Transport.
+// Send implements Transport. A destination whose NIC is dead fails
+// synchronously with ErrPeerDead (the driver's dead-peer detection),
+// so callers fail over instead of queueing doomed messages.
 func (t *MXTransport) Send(p *sim.Proc, dst hw.NodeID, dstEP uint8, info uint64, v core.Vector) (Op, error) {
+	if t.node.Cluster.Node(dst).NIC.Dead() {
+		return nil, ErrPeerDead
+	}
 	req, err := t.ep.Send(p, dst, dstEP, info, v)
 	if err != nil {
 		return nil, err
 	}
-	return mxOp{req}, nil
+	return mxOp{t.ep, req}, nil
 }
 
 // PostRecv implements Transport.
@@ -79,14 +84,17 @@ func (t *MXTransport) PostRecv(p *sim.Proc, match core.Match, v core.Vector) (Op
 	if err != nil {
 		return nil, err
 	}
-	return mxOp{req}, nil
+	return mxOp{t.ep, req}, nil
 }
 
 // Close implements Transport.
 func (t *MXTransport) Close(p *sim.Proc) error { return nil }
 
 // mxOp wraps an MX request.
-type mxOp struct{ req *mx.Request }
+type mxOp struct {
+	ep  *mx.Endpoint
+	req *mx.Request
+}
 
 // Done implements Op.
 func (o mxOp) Done() bool { return o.req.Done() }
@@ -97,4 +105,21 @@ func (o mxOp) Wait(p *sim.Proc) Status {
 	return Status{Src: st.Src, Len: st.Len, Err: st.Err}
 }
 
+// WaitTimeout implements TimedOp via MX's native deadline wait.
+func (o mxOp) WaitTimeout(p *sim.Proc, d sim.Time) (Status, bool) {
+	st, ok := o.req.WaitTimeout(p, d)
+	if !ok {
+		return Status{Err: ErrTimeout}, false
+	}
+	return Status{Src: st.Src, Len: st.Len, Err: st.Err}, true
+}
+
+// Cancel implements CancelableOp via mx_cancel: an unmatched posted
+// receive is withdrawn and its buffer can never be scattered into.
+func (o mxOp) Cancel(p *sim.Proc) bool {
+	return o.ep.CancelRecv(p, o.req)
+}
+
 var _ Transport = (*MXTransport)(nil)
+var _ TimedOp = mxOp{}
+var _ CancelableOp = mxOp{}

@@ -1,0 +1,315 @@
+package figures
+
+// This file holds the degraded-operation suite: the repository's first
+// fault-injected experiment, and the scenario family every later
+// availability measurement builds on. The multiserver suite answered
+// "how does aggregate throughput scale with servers?"; this one asks
+// "what happens to that throughput when one of them dies mid-run?"
+//
+// The setup is the multiserver orfs-direct workload with three
+// changes: every stripe is written to R=2 consecutive servers
+// (rfsrv.NewReplicatedCluster); every session arms a per-request reply
+// deadline (Session.SetRequestTimeout) so a request in flight to the
+// dying server surfaces as a fault instead of hanging its window slot
+// forever; and the workload is longer with a shallower window, so the
+// deadline — which must dominate the worst legitimate queueing
+// latency — stays small against the run. The deadline itself is
+// calibrated from a fault-free baseline run (2.5x its worst observed
+// latency), the way real deployments derive RPC timeouts from healthy
+// tail latency. A scheduled NIC kill (hw.NIC.KillAfter) then takes one
+// server off the fabric at a fixed fraction of the fault-free
+// makespan; clients time out or get dead-peer rejections, exclude the
+// victim, and fail their reads over to each stripe's replica.
+//
+// The interesting numbers are aggregate throughput before the kill,
+// the settle window (one deadline long: every request in flight to the
+// victim has expired by then, since deadlines run from issue), and the
+// post-settle rate — the cluster serving every byte from N-1 servers,
+// with the victim's read load folded onto its replicas.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/memfs"
+	"repro/internal/mx"
+	"repro/internal/rfsrv"
+	"repro/internal/sim"
+)
+
+const (
+	// dgReplicas is the replication factor: 2 survives any single
+	// server loss.
+	dgReplicas = 2
+	// dgWindow is the per-server session window. Shallower than the
+	// multiserver suite's 8: queueing latency is proportional to the
+	// outstanding bytes per server, and the reply deadline must
+	// dominate the worst legitimate latency, so a shallow window keeps
+	// the deadline — and with it the failover settle time — small
+	// against the run length.
+	dgWindow = 4
+	// dgFilePerCli is each client's file: larger than the scalability
+	// suites' so the run dwarfs the settle window and the post-failover
+	// regime is actually observable.
+	dgFilePerCli = 8 << 20
+	// dgKillNum/dgKillDen place the kill at 2/5 of the fault-free
+	// makespan: late enough for a stable "before" window, early enough
+	// that most bytes move degraded.
+	dgKillNum, dgKillDen = 2, 5
+)
+
+// dgTimeout calibrates the per-request reply deadline from a
+// fault-free run's worst observed latency: 2.5x covers the post-kill
+// inflation on the victim's replicas (their queues roughly double when
+// they absorb its load) while staying far below the run length, so
+// only requests genuinely lost to the kill expire. Real deployments do
+// the same thing with their RPC timeouts: a multiple of the healthy
+// tail latency.
+func dgTimeout(base *dgResult) sim.Time {
+	return base.maxLat * 5 / 2
+}
+
+// dgServersAxis is the swept server count (the victim is always
+// server 0; with R=2 its stripes live on server 1 too).
+var dgServersAxis = []int{3, 8}
+
+// dgSample records one completed application read.
+type dgSample struct {
+	at    sim.Time // completion (virtual) time
+	bytes int
+}
+
+// dgResult is one degraded run: the measurement window, every client's
+// completion samples, the summed failover counters, and the worst
+// request latency observed (the number dgTimeout must dominate).
+type dgResult struct {
+	started, finished   sim.Time
+	samples             []dgSample
+	maxLat              sim.Time
+	failovers, excluded int64
+}
+
+// mbpsSplit returns aggregate throughput over [started, killAt) and
+// [settleAt, finished] — the before/after-failover numbers of the
+// suite. The settle window [killAt, settleAt) is excluded from the
+// "after" rate: by construction (deadlines run from issue) every
+// request in flight to the victim at the kill has expired by
+// killAt+timeout, so the regime after settleAt is pure degraded
+// operation; the settle window itself is reported as a duration.
+func (r *dgResult) mbpsSplit(killAt, settleAt sim.Time) (pre, post float64) {
+	var preB, postB int
+	for _, s := range r.samples {
+		if s.at < killAt {
+			preB += s.bytes
+		} else if s.at >= settleAt {
+			postB += s.bytes
+		}
+	}
+	return mbps(preB, killAt-r.started), mbps(postB, r.finished-settleAt)
+}
+
+// mbpsTotal returns whole-run aggregate throughput.
+func (r *dgResult) mbpsTotal() float64 {
+	var b int
+	for _, s := range r.samples {
+		b += s.bytes
+	}
+	return mbps(b, r.finished-r.started)
+}
+
+// dgSeed lays the replicated striped layout down server-side: the
+// shared seeding helper at this suite's file size and R.
+func dgSeed(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients int) ([]kernel.InodeID, error) {
+	return msSeedStriped(p, serverFS, servers, clients, dgFilePerCli, dgReplicas)
+}
+
+// dgCluster wires one client node to every server: the shared cluster
+// builder at this suite's window and R, with the reply deadline armed
+// (timeout 0 leaves deadlines off — the calibration baseline).
+func dgCluster(p *sim.Proc, node *hw.Node, servers []hw.NodeID, timeout sim.Time) (*rfsrv.Cluster, error) {
+	return msClusterRep(p, node, servers, dgWindow, dgReplicas, timeout)
+}
+
+// dgClient runs one client's pipelined striped reads (the multiserver
+// orfs-direct workload) and returns its completion samples and its
+// cluster (for the failover counters).
+func dgClient(p *sim.Proc, node *hw.Node, servers []hw.NodeID, ino kernel.InodeID, timeout sim.Time) ([]dgSample, sim.Time, *rfsrv.Cluster, error) {
+	var maxLat sim.Time
+	cluster, err := dgCluster(p, node, servers, timeout)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	window := cluster.Window()
+	bufs := make([]core.Vector, window)
+	for i := range bufs {
+		va, err := node.Kernel.Mmap(msStripe, "dg-buf")
+		if err != nil {
+			return nil, 0, cluster, err
+		}
+		bufs[i] = vecKernel(node.Kernel, va, msStripe)
+	}
+	var q []rfsrv.PendingOp
+	var samples []dgSample
+	retire := func(pd rfsrv.PendingOp) error {
+		resp, err := pd.Wait(p)
+		if err != nil {
+			return err
+		}
+		if lat := p.Now() - pd.Issued(); lat > maxLat {
+			maxLat = lat
+		}
+		samples = append(samples, dgSample{at: p.Now(), bytes: int(resp.N)})
+		return nil
+	}
+	reads := dgFilePerCli / msStripe
+	for issued := 0; issued < reads; issued++ {
+		off := int64(issued) * msStripe
+		for len(q) > 0 && (len(q) == window || !cluster.CanStart(off, msStripe)) {
+			pd := q[0]
+			q = q[1:]
+			if err := retire(pd); err != nil {
+				return nil, 0, cluster, err
+			}
+		}
+		pd, err := cluster.StartRead(p, ino, off, bufs[issued%window])
+		if err != nil {
+			return nil, 0, cluster, err
+		}
+		q = append(q, pd)
+	}
+	for _, pd := range q {
+		if err := retire(pd); err != nil {
+			return nil, 0, cluster, err
+		}
+	}
+	return samples, maxLat, cluster, nil
+}
+
+// dgRun executes the degraded workload on a fresh simulated cluster of
+// the given width. killAt > 0 schedules server 0's NIC to die at that
+// absolute virtual time; 0 runs fault-free (the baseline, whose
+// makespan and worst latency calibrate the kill time and the reply
+// deadline). timeout arms per-request deadlines; 0 leaves them off.
+func (c Config) dgRun(servers int, killAt, timeout sim.Time) (*dgResult, error) {
+	env := sim.NewEngine()
+	if c.Trace != nil {
+		env.SetTrace(c.Trace)
+	}
+	cl := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	var (
+		serverNodes []*hw.Node
+		serverIDs   []hw.NodeID
+		serverFS    []*memfs.FS
+	)
+	for j := 0; j < servers; j++ {
+		n := cl.AddNode(fmt.Sprintf("server%d", j))
+		serverNodes = append(serverNodes, n)
+		serverIDs = append(serverIDs, n.ID)
+		fs := memfs.New(fmt.Sprintf("backing%d", j), n, 0)
+		serverFS = append(serverFS, fs)
+		if _, err := rfsrv.NewServer(n, fs).ServeMX(mx.Attach(n), 1, 4); err != nil {
+			return nil, err
+		}
+	}
+	if killAt > 0 {
+		serverNodes[0].NIC.KillAfter(killAt)
+	}
+	res := &dgResult{}
+	clusters := make([]*rfsrv.Cluster, msClients)
+	var failure error
+	done := 0
+	env.Spawn("seed", func(p *sim.Proc) {
+		inos, err := dgSeed(p, serverFS, serverNodes, msClients)
+		if err != nil {
+			failure = err
+			return
+		}
+		res.started = p.Now()
+		for i := 0; i < msClients; i++ {
+			i := i
+			node := cl.AddNode(fmt.Sprintf("client%d", i))
+			env.Spawn(fmt.Sprintf("cl%d", i), func(p *sim.Proc) {
+				samples, maxLat, cluster, err := dgClient(p, node, serverIDs, inos[i], timeout)
+				clusters[i] = cluster
+				if err != nil {
+					if failure == nil {
+						failure = err
+					}
+					return
+				}
+				if maxLat > res.maxLat {
+					res.maxLat = maxLat
+				}
+				res.samples = append(res.samples, samples...)
+				if p.Now() > res.finished {
+					res.finished = p.Now()
+				}
+				done++
+			})
+		}
+	})
+	env.Run(0)
+	if failure != nil {
+		return nil, failure
+	}
+	if done != msClients {
+		return nil, fmt.Errorf("figures: %d/%d degraded clients finished (s=%d)", done, msClients, servers)
+	}
+	for _, cluster := range clusters {
+		if cluster != nil {
+			res.failovers += cluster.Failovers.N
+			res.excluded += cluster.Excluded.N
+		}
+	}
+	return res, nil
+}
+
+// dgKillTime places the kill inside a fault-free run's measurement
+// window.
+func dgKillTime(base *dgResult) sim.Time {
+	return base.started + (base.finished-base.started)*dgKillNum/dgKillDen
+}
+
+// Degraded runs the whole suite and returns its table: per server
+// count, fault-free aggregate throughput, throughput before and after
+// a mid-run kill of server 0 (R=2, per-request timeouts armed), and
+// the failover accounting.
+func (c Config) Degraded() (*Table, error) {
+	rows := make([][]string, 0, len(dgServersAxis))
+	for _, n := range dgServersAxis {
+		base, err := c.dgRun(n, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		killAt, timeout := dgKillTime(base), dgTimeout(base)
+		faulted, err := c.dgRun(n, killAt, timeout)
+		if err != nil {
+			return nil, err
+		}
+		pre, post := faulted.mbpsSplit(killAt, killAt+timeout)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", dgReplicas),
+			fmt.Sprintf("%.1f", base.mbpsTotal()),
+			fmt.Sprintf("%.1f", pre),
+			fmt.Sprintf("%.1f", float64(timeout.Microseconds())/1000),
+			fmt.Sprintf("%.1f", post),
+			fmt.Sprintf("%.2f", post/pre),
+			fmt.Sprintf("%d", faulted.failovers),
+			fmt.Sprintf("%d", faulted.excluded),
+		})
+	}
+	return &Table{
+		ID:    "degraded",
+		Title: fmt.Sprintf("Aggregate throughput across a mid-run server kill (%d clients, window %d, R=%d, deadline 2.5x max fault-free latency)", msClients, dgWindow, dgReplicas),
+		Columns: []string{"servers", "R", "fault-free MB/s", "pre-kill MB/s",
+			"settle ms", "post-settle MB/s", "post/pre", "failovers", "excluded"},
+		Rows: rows,
+		Expected: "beyond the paper (its platform has no fault model): post-kill " +
+			"throughput should settle near the (N-1)/N capacity fraction, with the " +
+			"victim's read load folded onto its replicas — not collapse to zero, " +
+			"and not hang",
+	}, nil
+}

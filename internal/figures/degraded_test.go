@@ -1,0 +1,65 @@
+package figures
+
+// Tests for the degraded-operation suite: the PR's acceptance bar —
+// aggregate throughput survives a mid-run server kill at N >= 3, R=2 —
+// plus the fault-free replication sanity check.
+
+import "testing"
+
+// TestDegradedFailover kills one of N servers mid-run and requires the
+// workload to finish with the victim excluded, reads failed over, and
+// post-settle aggregate throughput within a sane fraction of the
+// pre-kill rate (the surviving N-1 servers absorb the victim's load).
+func TestDegradedFailover(t *testing.T) {
+	servers := 4
+	if testing.Short() {
+		servers = 3
+	}
+	c := DefaultConfig()
+	base, err := c.dgRun(servers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killAt, timeout := dgKillTime(base), dgTimeout(base)
+	faulted, err := c.dgRun(servers, killAt, timeout)
+	if err != nil {
+		t.Fatalf("degraded run with kill at %v: %v", killAt, err)
+	}
+	if faulted.excluded < int64(msClients) {
+		t.Errorf("only %d exclusions recorded; every client (%d) should have excluded the victim", faulted.excluded, msClients)
+	}
+	if faulted.failovers == 0 {
+		t.Error("no failovers recorded across a mid-run kill")
+	}
+	pre, post := faulted.mbpsSplit(killAt, killAt+timeout)
+	if post < pre*0.3 {
+		t.Errorf("post-settle throughput %.1f MB/s < 30%% of pre-kill %.1f MB/s", post, pre)
+	}
+	if post <= 0 {
+		t.Errorf("post-settle throughput %.1f MB/s: cluster did not keep serving", post)
+	}
+	t.Logf("servers=%d R=%d: fault-free %.1f MB/s, pre-kill %.1f, settle %v, post-settle %.1f (%.2fx), %d failovers, %d exclusions",
+		servers, dgReplicas, base.mbpsTotal(), pre, timeout, post, post/pre, faulted.failovers, faulted.excluded)
+}
+
+// TestDegradedFaultFreeReplicationTax pins that merely running with
+// R=2 and calibrated deadlines armed (no fault) completes correctly:
+// reads come from primaries only, so no failovers, no exclusions — and
+// in particular no false-positive timeouts under healthy queueing.
+func TestDegradedFaultFreeReplicationTax(t *testing.T) {
+	c := DefaultConfig()
+	base, err := c.dgRun(3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := c.dgRun(3, 0, dgTimeout(base))
+	if err != nil {
+		t.Fatalf("fault-free run with deadlines armed: %v", err)
+	}
+	if timed.failovers != 0 || timed.excluded != 0 {
+		t.Errorf("fault-free run recorded %d failovers, %d exclusions", timed.failovers, timed.excluded)
+	}
+	if timed.mbpsTotal() <= 0 {
+		t.Error("fault-free degraded-harness run moved no data")
+	}
+}

@@ -55,15 +55,20 @@ var msServersAxis = []int{1, 2, 4, 8}
 // msScenarios names the three workloads.
 var msScenarios = []string{"orfs-direct", "orfs-buffered", "nbd"}
 
-// msSeedRfsrv replicates the namespace onto every server the way the
-// cluster client would (same creation order everywhere → same inode
-// numbers) and writes each file's stripes onto their owners at their
-// global offsets, then extends every server's copy to the full size —
-// the on-disk layout a cluster client's own writes would produce,
-// seeded server-side so setup cost stays out of the measurement.
-func msSeedRfsrv(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients int) ([]kernel.InodeID, error) {
+// msSeedStriped replicates the namespace onto every server the way
+// the cluster client would (same creation order everywhere → same
+// inode numbers) and writes each file's stripes onto their owners —
+// stripe k to servers (k mod N)..(k mod N)+R-1 at its global offset —
+// then extends every server's copy to the full size: the on-disk
+// layout a (replicated) cluster client's own writes would produce,
+// seeded server-side so setup cost stays out of the measurement. One
+// placement routine serves both the multiserver (R=1) and degraded
+// (R=2) suites, so it cannot drift from rfsrv.Cluster's policy in
+// just one of them.
+func msSeedStriped(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients, filePerCli, replicas int) ([]kernel.InodeID, error) {
 	inos := make([]kernel.InodeID, clients)
-	stripes := scalFilePerCli / msStripe
+	stripes := filePerCli / msStripe
+	n := len(serverFS)
 	for j, fs := range serverFS {
 		seedVA, err := servers[j].Kernel.Mmap(msStripe, "seed")
 		if err != nil {
@@ -80,7 +85,14 @@ func msSeedRfsrv(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients 
 				return nil, fmt.Errorf("figures: seed inode divergence (%d vs %d)", attr.Ino, inos[i])
 			}
 			for k := 0; k < stripes; k++ {
-				if k%len(serverFS) != j {
+				mine := false
+				for r := 0; r < replicas; r++ {
+					if (k%n+r)%n == j {
+						mine = true
+						break
+					}
+				}
+				if !mine {
 					continue
 				}
 				off := int64(k) * msStripe
@@ -88,7 +100,7 @@ func msSeedRfsrv(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients 
 					return nil, err
 				}
 			}
-			if err := fs.Truncate(p, attr.Ino, scalFilePerCli); err != nil {
+			if err := fs.Truncate(p, attr.Ino, int64(filePerCli)); err != nil {
 				return nil, err
 			}
 		}
@@ -96,10 +108,17 @@ func msSeedRfsrv(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients 
 	return inos, nil
 }
 
-// msCluster wires one client node to every server: one kernel-side MX
-// fabric client per server on its own endpoint, one session per
-// server, assembled into a striped cluster.
-func msCluster(p *sim.Proc, node *hw.Node, servers []hw.NodeID, window int) (*rfsrv.Cluster, error) {
+// msSeedRfsrv is msSeedStriped at this suite's file size, without
+// replication.
+func msSeedRfsrv(p *sim.Proc, serverFS []*memfs.FS, servers []*hw.Node, clients int) ([]kernel.InodeID, error) {
+	return msSeedStriped(p, serverFS, servers, clients, scalFilePerCli, 1)
+}
+
+// msClusterRep wires one client node to every server: one kernel-side
+// MX fabric client per server on its own endpoint (reply deadline
+// armed when timeout > 0), one session per server, assembled into a
+// striped cluster with the given replication factor.
+func msClusterRep(p *sim.Proc, node *hw.Node, servers []hw.NodeID, window, replicas int, timeout sim.Time) (*rfsrv.Cluster, error) {
 	m := mx.Attach(node)
 	sessions := make([]*rfsrv.Session, len(servers))
 	for j, sid := range servers {
@@ -107,11 +126,20 @@ func msCluster(p *sim.Proc, node *hw.Node, servers []hw.NodeID, window int) (*rf
 		if err != nil {
 			return nil, err
 		}
+		if timeout > 0 {
+			fc.SetRequestTimeout(timeout)
+		}
 		if sessions[j], err = rfsrv.NewSession(p, fc, window); err != nil {
 			return nil, err
 		}
 	}
-	return rfsrv.NewCluster(p, sessions, msStripe)
+	return rfsrv.NewReplicatedCluster(p, sessions, msStripe, replicas)
+}
+
+// msCluster is msClusterRep without replication or deadlines (the
+// fault-free multiserver suite).
+func msCluster(p *sim.Proc, node *hw.Node, servers []hw.NodeID, window int) (*rfsrv.Cluster, error) {
+	return msClusterRep(p, node, servers, window, 1, 0)
 }
 
 // msRun executes one scenario at one (servers, clients) point on a

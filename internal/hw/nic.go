@@ -81,8 +81,17 @@ type NIC struct {
 	handlers map[uint8]Handler
 	seq      uint64
 
+	// Fault state (see Kill, StallUntil): a dead NIC drops every frame
+	// it would transmit or deliver; a stalled one delays its pumps.
+	dead       bool
+	stallUntil sim.Time
+
 	// Stats
 	TxMsgs, RxMsgs sim.Counter
+
+	// Dropped counts frames discarded by fault injection (this NIC dead
+	// at transmit or delivery time).
+	Dropped sim.Counter
 }
 
 type frag struct {
@@ -119,6 +128,54 @@ func (n *NIC) Node() *Node { return n.node }
 
 // Model returns the card generation.
 func (n *NIC) Model() LinkModel { return n.model }
+
+// ---- fault injection ----
+//
+// The fault surface is deliberately at the NIC: killing or stalling a
+// node's interface is what a pulled cable, a crashed host or a wedged
+// firmware looks like to the rest of the cluster — frames stop, and
+// nothing above the link layer gets to say goodbye. Drivers observe
+// faults only as silence (plus Dead, which models their own
+// dead-peer detection, e.g. GM's send timeouts).
+
+// Dead reports whether the NIC has been killed.
+func (n *NIC) Dead() bool { return n.dead }
+
+// Kill marks the NIC dead, effective immediately: frames in flight to
+// or from it are dropped at their next pipeline stage, and every later
+// transmit or delivery is discarded. Host processes are untouched —
+// exactly the failure mode where a server machine keeps running but
+// falls off the fabric.
+func (n *NIC) Kill() { n.dead = true }
+
+// KillAfter schedules Kill after virtual delay d — the scheduled-fault
+// entry point the degraded-operation experiments use.
+func (n *NIC) KillAfter(d sim.Time) {
+	n.node.Cluster.Env.After(d, n.Kill)
+}
+
+// Revive clears a Kill. Frames dropped while dead stay dropped; the
+// NIC simply starts forwarding again (the driver-visible state on both
+// sides is whatever survived the outage).
+func (n *NIC) Revive() { n.dead = false }
+
+// StallFor freezes the NIC's transmit and receive pumps until now+d
+// (extending any stall already in effect): frames queue and are
+// delivered late rather than dropped — the transient-fault analogue of
+// Kill.
+func (n *NIC) StallFor(d sim.Time) {
+	until := n.node.Cluster.Env.Now() + d
+	if until > n.stallUntil {
+		n.stallUntil = until
+	}
+}
+
+// stall parks the pump process until any stall in effect has passed.
+func (n *NIC) stall(p *sim.Proc) {
+	for n.stallUntil > p.Now() {
+		p.Sleep(n.stallUntil - p.Now())
+	}
+}
 
 // Handle registers the receive handler for a protocol number. Drivers
 // call this once at attach time.
@@ -157,6 +214,15 @@ func (n *NIC) txPump(p *sim.Proc) {
 	for {
 		j := n.txq.Recv(p)
 		m := j.Msg
+		n.stall(p)
+		if n.dead {
+			// The payload never leaves, but the local buffer is free —
+			// senders must not strand on TxDone for a frame the dead
+			// card silently ate.
+			n.Dropped.Add(m.wireLen)
+			m.TxDone.Fire()
+			continue
+		}
 		n.Firmware.Use(p, n.p.FwSendTime(n.isMX(m.Proto), m.frags)+j.FwExtra)
 		gather := j.Gather != nil
 		if !gather {
@@ -171,6 +237,16 @@ func (n *NIC) txPump(p *sim.Proc) {
 		got := 0
 		total := mem.TotalLen(j.Gather) + len(j.Inline)
 		for f := 0; f < m.frags; f++ {
+			if n.dead {
+				// The card died mid-message: the remaining fragments
+				// never leave, and the receiver's partial message can
+				// never complete. The local buffer is free regardless.
+				for g := f; g < m.frags; g++ {
+					n.Dropped.Add(n.fragBytes(m, g))
+				}
+				m.TxDone.Fire()
+				break
+			}
 			fb := n.fragBytes(m, f)
 			// Payload bytes carried by this fragment (the envelope and
 			// header occupy the front of fragment 0).
@@ -246,9 +322,23 @@ func (n *NIC) linkPump(p *sim.Proc) {
 	env := n.node.Cluster.Env
 	for {
 		f := n.linkq.Recv(p)
+		n.stall(p)
+		if n.dead {
+			// Frames still queued for the wire when the card died.
+			n.Dropped.Add(f.size)
+			continue
+		}
 		n.Link.Use(p, n.p.LinkTime(n.model, f.size))
 		dst := n.node.Cluster.Node(f.msg.Dst).NIC
-		env.AfterDetached(n.p.WireProp, func() { dst.rxq.Send(f) })
+		// Death is checked at delivery time: a frame already on the wire
+		// when the destination dies hits a dead card and vanishes.
+		env.AfterDetached(n.p.WireProp, func() {
+			if dst.dead {
+				dst.Dropped.Add(f.size)
+				return
+			}
+			dst.rxq.Send(f)
+		})
 	}
 }
 
@@ -258,6 +348,11 @@ func (n *NIC) linkPump(p *sim.Proc) {
 func (n *NIC) rxPump(p *sim.Proc) {
 	for {
 		f := n.rxq.Recv(p)
+		n.stall(p)
+		if n.dead {
+			n.Dropped.Add(f.size)
+			continue
+		}
 		n.RxDMA.Use(p, n.p.DMATime(n.model, f.size))
 		m := f.msg
 		m.arrived++

@@ -430,12 +430,16 @@ func (ep *Endpoint) Recv(p *sim.Proc, match core.Match, v core.Vector) (*Request
 	return req, nil
 }
 
-// CancelRecv withdraws a posted receive that has not yet matched
-// (mx_cancel): the request is removed from the match list, completes
-// with ErrCancelled, and its buffer is guaranteed never to be
-// scattered into. It returns false — and does nothing — when the
-// receive has already matched (completed, or a rendezvous whose data
-// is still in flight); the caller must then Wait it to quiescence.
+// CancelRecv withdraws a posted receive (mx_cancel): the request is
+// removed from the match list, completes with ErrCancelled, and its
+// buffer is guaranteed never to be scattered into. A receive that
+// matched a rendezvous whose data has not yet arrived is cancellable
+// too — dropping the rendezvous record makes any late data message
+// fall on the floor (the sender's transfer completes into nothing),
+// which is what makes reply deadlines against a dead-then-revived
+// peer safe. It returns false — and does nothing — only when the
+// receive has completed (data already landed); the caller must then
+// Wait it to consume the result.
 func (ep *Endpoint) CancelRecv(p *sim.Proc, req *Request) bool {
 	for i, r := range ep.posted {
 		if r == req {
@@ -445,6 +449,25 @@ func (ep *Endpoint) CancelRecv(p *sim.Proc, req *Request) bool {
 			req.done.Fire()
 			return true
 		}
+	}
+	for id, r := range ep.rndvIn {
+		if r != req {
+			continue
+		}
+		delete(ep.rndvIn, id)
+		ep.mx.node.CPU.Compute(p, ep.mx.p.MXHostSend/2) // descriptor removal
+		// The buffer was pinned when the CTS went out; undo it here —
+		// the completion path that normally unpins will never run.
+		if req.unpin != nil {
+			if pages := req.vector.UserPages(); pages > 0 {
+				ep.mx.node.CPU.Unpin(p, pages)
+			}
+			req.unpin()
+			req.unpin = nil
+		}
+		req.status.Err = ErrCancelled
+		req.done.Fire()
+		return true
 	}
 	return false
 }

@@ -46,6 +46,11 @@ type FabricClient struct {
 	seq  uint64
 	lock *sim.Resource
 
+	// timeout is the per-request reply deadline; 0 (the default) waits
+	// forever, keeping fault-free timing bit-identical. See
+	// SetRequestTimeout.
+	timeout sim.Time
+
 	// noPhys simulates a transport without the paper's §3.3 physical
 	// extension (stock GM): internal buffers are registered virtual,
 	// and non-user data bounces through a registered staging region.
@@ -151,6 +156,56 @@ func NewGMClient(p *sim.Proc, g *gm.GM, portID uint8, kernelSide bool, bufAS *vm
 
 // Transport returns the underlying fabric transport (stats).
 func (c *FabricClient) Transport() fabric.Transport { return c.t }
+
+// SetRequestTimeout arms a per-request reply deadline of d (0 disables,
+// the default): any wait for a reply header or read data gives up after
+// d, withdraws its posted receive so the staging buffer is quiescent,
+// and reports an error satisfying fabric.IsFault. Without a deadline a
+// request to a server that dies after accepting it would hang its
+// completion forever. Timeouts are strictly opt-in — an unarmed client
+// schedules no timers, so fault-free runs stay bit-identical.
+func (c *FabricClient) SetRequestTimeout(d sim.Time) { c.timeout = d }
+
+// deadlineFrom converts a request's issue time into the wait budget
+// remaining under the armed timeout: 0 when no timeout is armed
+// (= wait forever), a floor of 1ns when the deadline already passed
+// (= check for a raced-in completion, then cancel). Deadlines run from
+// ISSUE, not from whenever Wait happens — several already-doomed
+// requests retired back to back must expire together, not serialize a
+// fresh timeout each.
+func (c *FabricClient) deadlineFrom(p *sim.Proc, issued sim.Time) sim.Time {
+	if c.timeout <= 0 {
+		return 0
+	}
+	left := issued + c.timeout - p.Now()
+	if left <= 0 {
+		return 1
+	}
+	return left
+}
+
+// waitData waits a data completion for at most d (0 = forever): on
+// expiry the posted receive is withdrawn — or, if it matched while the
+// timer ran, waited to completion normally. ok is false only when the
+// operation was withdrawn, i.e. the buffer is quiescent and no data
+// ever landed.
+func (c *FabricClient) waitData(p *sim.Proc, op fabric.Op, d sim.Time) (st fabric.Status, ok bool) {
+	st, ok = fabric.WaitTimeout(p, op, d)
+	if ok || fabric.Cancel(p, op) {
+		return st, ok
+	}
+	return op.Wait(p), true
+}
+
+// quiesceHdr makes a reply-header receive inert without waiting a
+// timeout again: withdrawn if still unmatched, consumed if the reply
+// raced in. Used after a data-phase fault, when the header is presumed
+// lost with the peer.
+func (c *FabricClient) quiesceHdr(p *sim.Proc, b *ctlBufs, hdrOp fabric.Op, seq uint64) {
+	if !fabric.Cancel(p, hdrOp) {
+		c.finish(p, b, hdrOp, seq, 0) // matched: drain it (result discarded)
+	}
+}
 
 // physCtl reports whether the internal request/reply buffers are
 // physically addressed.
@@ -354,10 +409,20 @@ func (c *FabricClient) sendData(p *sim.Proc, seq uint64, src core.Vector) (func(
 	return release, nil
 }
 
-// finish waits for the header reply and decodes it from b's header
-// buffer.
-func (c *FabricClient) finish(p *sim.Proc, b *ctlBufs, hdrOp fabric.Op, seq uint64) (*Resp, error) {
-	st := hdrOp.Wait(p)
+// finish waits for the header reply (at most d; 0 = forever) and
+// decodes it from b's header buffer. On expiry the posted receive is
+// withdrawn (so the slot's buffer can be reused) and the error
+// satisfies fabric.IsFault.
+func (c *FabricClient) finish(p *sim.Proc, b *ctlBufs, hdrOp fabric.Op, seq uint64, d sim.Time) (*Resp, error) {
+	st, ok := fabric.WaitTimeout(p, hdrOp, d)
+	if !ok {
+		if !fabric.Cancel(p, hdrOp) {
+			st, ok = hdrOp.Wait(p), true // matched during the race
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("rfsrv: reply for request %d: %w", seq, fabric.ErrTimeout)
+	}
 	if st.Err != nil {
 		return nil, st.Err
 	}
@@ -392,9 +457,12 @@ func (c *FabricClient) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 		return nil, err
 	}
 	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
+		// The request never left (e.g. dead-peer rejection): withdraw
+		// the posted receive so the control buffer stays quiescent.
+		fabric.Cancel(p, hdrOp)
 		return nil, err
 	}
-	return c.finish(p, &c.ctl, hdrOp, req.Seq)
+	return c.finish(p, &c.ctl, hdrOp, req.Seq, c.timeout)
 }
 
 // Read implements Client: data lands directly in dst wherever the
@@ -414,20 +482,35 @@ func (c *FabricClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 	}
 	dataOp, release, fixup, err := c.postData(p, seq, dst)
 	if err != nil {
+		fabric.Cancel(p, hdrOp)
 		return nil, err
 	}
 	defer release()
 	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
+		// The request never left: withdraw both posted receives — the
+		// control buffer AND the caller's data vector must be
+		// quiescent, not parked under stale seq tags (failover retries
+		// reach this path against possibly-dead replicas).
+		fabric.Cancel(p, dataOp)
+		fabric.Cancel(p, hdrOp)
 		return nil, err
 	}
-	st := dataOp.Wait(p)
+	st, ok := c.waitData(p, dataOp, c.timeout)
+	if !ok {
+		c.quiesceHdr(p, &c.ctl, hdrOp, seq)
+		return nil, fmt.Errorf("rfsrv: read data for request %d: %w", seq, fabric.ErrTimeout)
+	}
 	if st.Err != nil {
+		// A failed data completion (e.g. truncation) still leaves the
+		// header receive armed on the shared control buffer — quiesce
+		// it before the next request posts over the same staging.
+		c.quiesceHdr(p, &c.ctl, hdrOp, seq)
 		return nil, st.Err
 	}
 	if fixup != nil {
 		fixup(p, st.Len)
 	}
-	return c.finish(p, &c.ctl, hdrOp, seq)
+	return c.finish(p, &c.ctl, hdrOp, seq, c.timeout)
 }
 
 // Write implements Client: on vectorial transports write data rides in
@@ -458,17 +541,20 @@ func (c *FabricClient) Write(p *sim.Proc, ino kernel.InodeID, off int64, src cor
 		release := func() {}
 		if vectors {
 			if err := c.sendReq(p, &c.ctl, req, src.Slice(written, chunk)); err != nil {
+				fabric.Cancel(p, hdrOp)
 				return nil, err
 			}
 		} else {
 			if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
+				fabric.Cancel(p, hdrOp)
 				return nil, err
 			}
 			if release, err = c.sendData(p, seq, src.Slice(written, chunk)); err != nil {
+				fabric.Cancel(p, hdrOp)
 				return nil, err
 			}
 		}
-		resp, err := c.finish(p, &c.ctl, hdrOp, seq)
+		resp, err := c.finish(p, &c.ctl, hdrOp, seq, c.timeout)
 		release()
 		if err != nil {
 			return resp, err

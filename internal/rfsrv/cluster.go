@@ -49,6 +49,35 @@ package rfsrv
 // server-clipped (EOF) part; bytes past it are undefined, exactly like
 // a short read on the plain protocol.
 //
+// Replication and faults. A cluster built with NewReplicatedCluster
+// writes every stripe to R consecutive servers (stripe k lands on
+// k mod N through (k mod N)+R-1, wrapping), so the loss of any single
+// server with R >= 2 loses no data. Faults are what the transport
+// reports as such (fabric.IsFault: a dead peer at send time, or — with
+// Session.SetRequestTimeout armed — a reply deadline expiring): the
+// faulting server is recorded as *excluded* and never addressed again,
+// reads of its stripes fail over to the next alive replica, writes
+// succeed as long as every run keeps one clean replica, and namespace
+// mutations simply skip it instead of reporting divergence. Exclusion
+// is one-way — an operator who knows the server recovered calls
+// Reinstate, which also drops the size cache so the next write
+// re-reconciles it. Application-level errors (EEXIST, EOF clipping,
+// short writes) are never treated as faults and fail the operation
+// exactly as before. With R=1 and no faults every path below is
+// bit-identical to the pre-replication cluster.
+//
+// Cross-client caching caveat. The sizes cache is per *client*: it
+// records the reconciliation this Cluster performed, and nothing
+// invalidates it when another Cluster (another client node) mutates
+// the same file. Two writers sharing files see each other's data —
+// stripes live server-side — but a client whose cached size exceeds a
+// file's post-truncate size will skip extendTo on its next overwrite,
+// leaving homed getattr stale until a size-extending write runs
+// (TestClusterCrossClientExtend pins the observable behaviour). The
+// paper's platform has the same property: per-mount attribute caches
+// with no cross-client invalidation protocol. Single-writer-per-file
+// workloads — everything the figures run — are unaffected.
+//
 // With one server the cluster degenerates exactly: every stripe is one
 // contiguous run on server 0, every metadata route resolves to server
 // 0, and no reconciliation traffic is sent, so the issued RPC sequence
@@ -82,6 +111,15 @@ type Cluster struct {
 	stripe   int64
 	node     *hw.Node
 
+	// replicas is the replication factor R: every stripe is written to
+	// R consecutive servers. 1 (NewCluster's choice) stripes without
+	// redundancy.
+	replicas int
+
+	// down marks servers excluded after an observed transport fault;
+	// excluded servers are skipped by every path until Reinstate.
+	down []bool
+
 	// sizes caches the highest end-of-file this client has established
 	// per inode, so overwrites below the known size skip the OpExtend
 	// reconciliation round.
@@ -92,6 +130,11 @@ type Cluster struct {
 	// the first server; Extends counts OpExtend reconciliation
 	// requests.
 	StripeReads, StripeWrites, MetaFanout, Extends sim.Counter
+
+	// Failovers counts operations re-routed to a replica after a fault
+	// (Bytes carries the re-read data volume); Excluded counts servers
+	// marked down.
+	Failovers, Excluded sim.Counter
 }
 
 // NewCluster builds a striped cluster client over one Session per
@@ -102,8 +145,21 @@ type Cluster struct {
 // page-aligned (so page-granular consumers never split a page across
 // servers) and at most MaxWriteChunk (so one stripe is one request).
 func NewCluster(p *sim.Proc, sessions []*Session, stripe int) (*Cluster, error) {
+	return NewReplicatedCluster(p, sessions, stripe, 1)
+}
+
+// NewReplicatedCluster is NewCluster with a replication factor: every
+// stripe is written to replicas consecutive servers (1 <= replicas <=
+// len(sessions)), reads prefer the stripe's primary and fail over to a
+// replica when the primary's transport reports a fault, and replicas=1
+// degenerates bit-identically to NewCluster. See the package comment
+// on replication and faults.
+func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int) (*Cluster, error) {
 	if len(sessions) == 0 {
 		return nil, fmt.Errorf("rfsrv: cluster needs at least one session")
+	}
+	if replicas < 1 || replicas > len(sessions) {
+		return nil, fmt.Errorf("rfsrv: replication factor %d outside 1..%d", replicas, len(sessions))
 	}
 	if stripe == 0 {
 		stripe = DefaultStripeSize
@@ -130,6 +186,8 @@ func NewCluster(p *sim.Proc, sessions []*Session, stripe int) (*Cluster, error) 
 		sessions: sessions,
 		stripe:   int64(stripe),
 		node:     node,
+		replicas: replicas,
+		down:     make([]bool, len(sessions)),
 		sizes:    make(map[kernel.InodeID]int64),
 	}, nil
 }
@@ -137,8 +195,63 @@ func NewCluster(p *sim.Proc, sessions []*Session, stripe int) (*Cluster, error) 
 // NumServers returns the number of servers data is striped across.
 func (cl *Cluster) NumServers() int { return len(cl.sessions) }
 
+// Replicas returns the replication factor R.
+func (cl *Cluster) Replicas() int { return cl.replicas }
+
 // StripeSize returns the stripe width in bytes.
 func (cl *Cluster) StripeSize() int { return int(cl.stripe) }
+
+// DownServers returns the indices of servers currently excluded after
+// an observed fault, in server order.
+func (cl *Cluster) DownServers() []int {
+	var out []int
+	for i, d := range cl.down {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Reinstate clears server i's exclusion after out-of-band recovery
+// (e.g. its NIC was revived). It also drops the size cache: the
+// reinstated server missed every reconciliation while excluded, so the
+// next size-extending write must replay OpExtend everywhere — which is
+// safe precisely because OpExtend is grow-only and idempotent.
+//
+// Namespace mutations are NOT replayable the same way: a server that
+// missed creates/unlinks while excluded will answer homed lookups and
+// getattrs with stale results the moment it is reinstated, with no
+// divergence error until the next fanned-out mutation. The caller's
+// contract is therefore: reinstate only a server whose namespace is
+// known in sync — no mutations ran during the exclusion, or its
+// backing store was resynchronized out of band.
+func (cl *Cluster) Reinstate(i int) {
+	if !cl.down[i] {
+		return
+	}
+	cl.down[i] = false
+	cl.sizes = make(map[kernel.InodeID]int64)
+}
+
+// markDown records a server as excluded after an observed fault.
+func (cl *Cluster) markDown(i int) {
+	if !cl.down[i] {
+		cl.down[i] = true
+		cl.Excluded.Add(0)
+	}
+}
+
+// aliveCount returns the number of servers not excluded.
+func (cl *Cluster) aliveCount() int {
+	n := 0
+	for _, d := range cl.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
 
 // Sessions returns the per-server sessions in server order (stats,
 // tests).
@@ -172,11 +285,18 @@ func (cl *Cluster) InFlight() int {
 // operation needing more same-server slots than the window exists
 // makes progress by retiring its own earlier runs (see StartRead), so
 // what it requires from the caller is only that everyone else's slots
-// are free.
+// are free. With replication the count covers every alive replica
+// target of each run (what a write needs; reads need only one, so the
+// answer is conservative — callers retire a little earlier, never
+// deadlock).
 func (cl *Cluster) CanStart(off int64, n int) bool {
 	need := make([]int, len(cl.sessions))
 	for _, r := range cl.runs(off, n) {
-		need[r.owner]++
+		for j := 0; j < cl.replicas; j++ {
+			if idx := (r.owner + j) % len(cl.sessions); !cl.down[idx] {
+				need[idx]++
+			}
+		}
 	}
 	for i, s := range cl.sessions {
 		if need[i] == 0 {
@@ -205,32 +325,103 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// ownerIdx returns the server index owning the stripe containing off.
+// ownerIdx returns the server index owning the stripe containing off
+// (the primary — replicas follow on the next R-1 servers, wrapping).
 func (cl *Cluster) ownerIdx(off int64) int {
 	return int((off / cl.stripe) % int64(len(cl.sessions)))
 }
 
-// homeIdx returns the metadata home of an inode.
+// readIdx returns the preferred read target for the stripe containing
+// off: the primary when alive, else the first alive replica, else -1.
+func (cl *Cluster) readIdx(off int64) int {
+	owner := cl.ownerIdx(off)
+	n := len(cl.sessions)
+	for j := 0; j < cl.replicas; j++ {
+		if k := (owner + j) % n; !cl.down[k] {
+			return k
+		}
+	}
+	return -1
+}
+
+// aliveFrom returns the first non-excluded server at or cyclically
+// after i, or -1 when every server is excluded.
+func (cl *Cluster) aliveFrom(i int) int {
+	n := len(cl.sessions)
+	for j := 0; j < n; j++ {
+		if k := (i + j) % n; !cl.down[k] {
+			return k
+		}
+	}
+	return -1
+}
+
+// homeIdx returns the metadata home of an inode: the hashed server, or
+// the next alive one when the hashed home is excluded.
 func (cl *Cluster) homeIdx(ino kernel.InodeID) int {
-	return int(mix(uint64(ino)) % uint64(len(cl.sessions)))
+	return cl.aliveFrom(int(mix(uint64(ino)) % uint64(len(cl.sessions))))
 }
 
 // pathHomeIdx returns the metadata home of a path component: the hash
 // chains the directory's inode with the name (FNV-1a over the
-// component), so sibling entries spread across servers.
+// component), so sibling entries spread across servers. Excluded homes
+// re-route to the next alive server, like homeIdx.
 func (cl *Cluster) pathHomeIdx(dir kernel.InodeID, name string) int {
 	h := mix(uint64(dir))
 	for i := 0; i < len(name); i++ {
 		h = (h ^ uint64(name[i])) * 1099511628211
 	}
-	return int(h % uint64(len(cl.sessions)))
+	return cl.aliveFrom(int(h % uint64(len(cl.sessions))))
+}
+
+// allReplicasDown is the error for a stripe whose every replica is
+// excluded; it satisfies fabric.IsFault.
+func (cl *Cluster) allReplicasDown(off int64) error {
+	return fmt.Errorf("rfsrv: stripe at %d: all %d replicas excluded: %w",
+		off, cl.replicas, fabric.ErrPeerDead)
+}
+
+// withReplica is the shared issue-time failover policy: run op against
+// the preferred replica of the stripe containing off, excluding each
+// target whose transport faults and retrying on the next alive
+// replica; a non-fault error returns as produced. bytes is the data
+// volume recorded per failover (0 for metadata-sized operations).
+func withReplica[T any](cl *Cluster, off int64, bytes int, op func(idx int) (T, error)) (T, error) {
+	for {
+		idx := cl.readIdx(off)
+		if idx < 0 {
+			var zero T
+			return zero, cl.allReplicasDown(off)
+		}
+		v, err := op(idx)
+		if err != nil && fabric.IsFault(err) {
+			cl.markDown(idx)
+			cl.Failovers.Add(bytes)
+			continue
+		}
+		return v, err
+	}
+}
+
+// degenerate runs a zero-length data operation against the offset's
+// preferred replica, with the shared issue-time failover policy.
+func (cl *Cluster) degenerate(p *sim.Proc, off int64, op func(idx int) (*Resp, error)) (*Resp, error) {
+	resp, err := withReplica(cl, off, 0, op)
+	if resp == nil && err != nil {
+		resp = &Resp{Status: StatusOf(err)}
+	}
+	return resp, err
 }
 
 // OwnerServer returns the index of the server owning the stripe that
 // contains byte offset off (stats, tests, placement-aware callers).
+// The primary owner is reported even when that server is excluded
+// (reads would route to a replica; see DownServers).
 func (cl *Cluster) OwnerServer(off int64) int { return cl.ownerIdx(off) }
 
-// HomeServer returns the index of the metadata home of an inode.
+// HomeServer returns the index of the metadata home of an inode. The
+// home shifts past excluded servers, so the answer changes as faults
+// are observed; it is -1 only when every server is excluded.
 func (cl *Cluster) HomeServer(ino kernel.InodeID) int { return cl.homeIdx(ino) }
 
 // run is one contiguous byte range owned by a single server.
@@ -270,12 +461,15 @@ func (cl *Cluster) runs(off int64, n int) []run {
 
 // part is one per-server request of a striped operation.
 type part struct {
-	pd   *Pending
-	r    run
-	want int // expected byte count (writes)
-	resp *Resp
-	err  error
-	done bool
+	pd     *Pending
+	r      run
+	want   int         // expected byte count (writes)
+	ridx   int         // index of the run this part belongs to
+	target int         // server the request was issued to
+	vec    core.Vector // destination slice (reads: kept for failover reissue)
+	resp   *Resp
+	err    error
+	done   bool
 }
 
 // retire waits the part once and memoizes its outcome.
@@ -323,35 +517,93 @@ func firstError(parts []*part) error {
 	return nil
 }
 
+// firstAppError returns the first non-fault failure in offset order —
+// application-level errors always abort, while transport faults are
+// the replication layer's to absorb.
+func firstAppError(parts []*part) error {
+	for _, pt := range parts {
+		if pt.err != nil && !fabric.IsFault(pt.err) {
+			return pt.err
+		}
+	}
+	return nil
+}
+
+// issueRead starts one run's read on the stripe's preferred replica,
+// failing over synchronously when the transport rejects the send (dead
+// peer). parts are this operation's earlier issues, retired by
+// makeRoom when the target's window is full.
+func (cl *Cluster) issueRead(p *sim.Proc, ino kernel.InodeID, r run, vec core.Vector, parts []*part) (*part, error) {
+	return withReplica(cl, r.off, r.n, func(idx int) (*part, error) {
+		s := cl.sessions[idx]
+		makeRoom(p, s, parts)
+		pd, err := s.startRead(p, ino, r.off, vec)
+		if err != nil {
+			return nil, err
+		}
+		cl.StripeReads.Add(r.n)
+		return &part{pd: pd, r: r, target: idx, vec: vec}, nil
+	})
+}
+
+// failoverReads retries, in offset order, every read part that failed
+// with a transport fault, re-reading it from the next alive replica of
+// its stripe (the faulting server is excluded first). Retries travel
+// the replica's synchronous control path — NOT a window slot: failover
+// runs inside some PendingOp.Wait, while the caller's other unretired
+// pendings may legitimately hold every slot of the surviving servers,
+// so a slot-bound retry could deadlock against its own pipeline. A
+// part whose every replica is excluded keeps its fault error.
+func (cl *Cluster) failoverReads(p *sim.Proc, ino kernel.InodeID, parts []*part) {
+	for _, pt := range parts {
+		for pt.err != nil && fabric.IsFault(pt.err) {
+			cl.markDown(pt.target)
+			idx := cl.readIdx(pt.r.off)
+			if idx < 0 {
+				break // every replica gone; the fault stands
+			}
+			cl.Failovers.Add(pt.r.n)
+			pt.target = idx
+			pt.resp, pt.err = cl.sessions[idx].Client().Read(p, ino, pt.r.off, pt.vec)
+			if pt.err == nil {
+				cl.StripeReads.Add(pt.r.n)
+			}
+		}
+	}
+}
+
 // Read implements Client: the range splits into per-server runs issued
 // in parallel through each server's window; data lands directly in the
 // caller's vector (each run scatters into its own slice of dst, so
 // striping adds no copies). The merged byte count is the contiguous
-// prefix before the first server-clipped (EOF) run.
+// prefix before the first server-clipped (EOF) run. A run whose target
+// faults is re-read from the stripe's next alive replica; only a run
+// with no replicas left fails the read.
 func (cl *Cluster) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
 	if off < 0 {
 		return &Resp{Status: StInval}, ErrInval
 	}
 	total := dst.TotalLen()
 	if total == 0 {
-		// Degenerate read: one attr-only round trip to the offset's owner.
-		return cl.sessions[cl.ownerIdx(off)].Read(p, ino, off, dst)
+		// Degenerate read: one attr-only round trip to the offset's
+		// preferred replica, failing over like any other data path.
+		return cl.degenerate(p, off, func(idx int) (*Resp, error) {
+			return cl.sessions[idx].Read(p, ino, off, dst)
+		})
 	}
 	var parts []*part
 	for _, r := range cl.runs(off, total) {
-		s := cl.sessions[r.owner]
-		makeRoom(p, s, parts)
-		cl.StripeReads.Add(r.n)
-		pd, err := s.startRead(p, ino, r.off, dst.Slice(int(r.off-off), r.n))
+		pt, err := cl.issueRead(p, ino, r, dst.Slice(int(r.off-off), r.n), parts)
 		if err != nil {
 			drainParts(p, parts)
 			return &Resp{Status: StatusOf(err)}, err
 		}
-		parts = append(parts, &part{pd: pd, r: r})
+		parts = append(parts, pt)
 	}
 	for _, pt := range parts {
 		pt.retire(p)
 	}
+	cl.failoverReads(p, ino, parts)
 	if err := firstError(parts); err != nil {
 		return &Resp{Status: StatusOf(err), Attr: mergeAttr(parts)}, err
 	}
@@ -380,95 +632,192 @@ func drainParts(p *sim.Proc, parts []*part) {
 }
 
 // Write implements Client: runs are chunked at MaxWriteChunk and
-// pipelined across the per-server windows; after a write that extends
-// the file, grow-only OpExtend requests reconcile every other server's
-// local size (see the package comment on size reconciliation).
+// pipelined across the per-server windows — each run to its primary
+// and, with replication, to the next R-1 alive servers; after a write
+// that extends the file, grow-only OpExtend requests reconcile every
+// other server's local size (see the package comment on size
+// reconciliation). A replica that faults mid-write is excluded; the
+// write succeeds as long as every run kept at least one clean replica.
 func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
 	if off < 0 {
 		return &Resp{Status: StInval}, ErrInval
 	}
 	total := src.TotalLen()
 	if total == 0 {
-		return cl.sessions[cl.ownerIdx(off)].Write(p, ino, off, src)
+		// Degenerate write: like the degenerate read, with failover.
+		return cl.degenerate(p, off, func(idx int) (*Resp, error) {
+			return cl.sessions[idx].Write(p, ino, off, src)
+		})
 	}
+	runs := cl.runs(off, total)
 	var parts []*part
 	fail := func(err error) (*Resp, error) {
 		drainParts(p, parts)
 		return &Resp{Status: StatusOf(err)}, err
 	}
-	tailOwner := 0
-	for _, r := range cl.runs(off, total) {
-		s := cl.sessions[r.owner]
-		tailOwner = r.owner
-		// Runs longer than one request (only possible with a single
-		// server, where all stripes merge) chunk exactly like
-		// Session.Write does.
-		for done := 0; done < r.n; {
-			chunk := r.n - done
-			if chunk > MaxWriteChunk {
-				chunk = MaxWriteChunk
+	var tailTargets []int
+	for ri, r := range runs {
+		var targets []int
+		for j := 0; j < cl.replicas; j++ {
+			idx := (r.owner + j) % len(cl.sessions)
+			if cl.down[idx] {
+				continue
 			}
-			makeRoom(p, s, parts)
-			cl.StripeWrites.Add(chunk)
-			at := r.off + int64(done)
-			pd, err := s.startWrite(p, ino, at, src.Slice(int(at-off), chunk))
-			if err != nil {
-				return fail(err)
+			s := cl.sessions[idx]
+			faulted := false
+			// Runs longer than one request (only possible with a single
+			// server, where all stripes merge) chunk exactly like
+			// Session.Write does.
+			for done := 0; done < r.n; {
+				chunk := r.n - done
+				if chunk > MaxWriteChunk {
+					chunk = MaxWriteChunk
+				}
+				makeRoom(p, s, parts)
+				at := r.off + int64(done)
+				pd, err := s.startWrite(p, ino, at, src.Slice(int(at-off), chunk))
+				if err != nil {
+					if fabric.IsFault(err) {
+						cl.markDown(idx)
+						faulted = true
+						break // this replica is lost; others may carry the run
+					}
+					return fail(err)
+				}
+				cl.StripeWrites.Add(chunk)
+				parts = append(parts, &part{
+					pd: pd, r: run{owner: r.owner, off: at, n: chunk},
+					want: chunk, ridx: ri, target: idx,
+				})
+				done += chunk
 			}
-			parts = append(parts, &part{pd: pd, r: run{owner: r.owner, off: at, n: chunk}, want: chunk})
-			done += chunk
+			if !faulted {
+				targets = append(targets, idx)
+			}
+		}
+		if len(targets) == 0 {
+			return fail(cl.allReplicasDown(r.off))
+		}
+		if ri == len(runs)-1 {
+			tailTargets = targets
 		}
 	}
-	written := 0
 	for _, pt := range parts {
 		pt.retire(p)
 	}
-	if err := firstError(parts); err != nil {
-		return &Resp{Status: StatusOf(err), Attr: mergeAttr(parts)}, err
+	resp, err := cl.finishWriteParts(runs, parts, total)
+	if err != nil {
+		return resp, err
 	}
-	for _, pt := range parts {
-		// Chunks were issued at fixed offsets (like Session.Write's
-		// pipelined path), so any short chunk is a hole, not a prefix.
-		if int(pt.resp.N) != pt.want {
-			r := mergeRead(parts)
-			r.Status = StIO
-			return r, fmt.Errorf("rfsrv: short striped write (%d of %d) at %d", pt.resp.N, pt.want, pt.r.off)
-		}
-		written += int(pt.resp.N)
-	}
-	if err := cl.extendTo(p, ino, off+int64(total), tailOwner); err != nil {
+	if err := cl.extendTo(p, ino, off+int64(total), tailTargets); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
-	resp := &Resp{Status: StOK, Attr: mergeAttr(parts), N: uint32(written)}
 	return resp, nil
 }
 
+// finishWriteParts is the shared epilogue of the two replicated write
+// paths (Cluster.Write and clusterPending.Wait); every part must
+// already be retired. Transport faults exclude their server; a
+// non-fault error or a clean-but-short chunk aborts (a short chunk at
+// a fixed offset is a hole, not a prefix, exactly like Session.Write's
+// pipelined path — faulted parts carry no response and are judged by
+// run coverage instead); otherwise every run must retain one replica
+// all of whose chunks are clean. On success the merged response covers
+// all `total` logical bytes.
+func (cl *Cluster) finishWriteParts(runs []run, parts []*part, total int) (*Resp, error) {
+	for _, pt := range parts {
+		if pt.err != nil && fabric.IsFault(pt.err) {
+			cl.markDown(pt.target)
+		}
+	}
+	if err := firstAppError(parts); err != nil {
+		return &Resp{Status: StatusOf(err), Attr: mergeAttr(parts)}, err
+	}
+	for _, pt := range parts {
+		if pt.err == nil && int(pt.resp.N) != pt.want {
+			err := fmt.Errorf("rfsrv: short striped write (%d of %d) at %d", pt.resp.N, pt.want, pt.r.off)
+			return &Resp{Status: StIO, Attr: mergeAttr(parts)}, err
+		}
+	}
+	if err := cl.checkRunCoverage(runs, parts); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	return &Resp{Status: StOK, Attr: mergeAttr(parts), N: uint32(total)}, nil
+}
+
+// checkRunCoverage verifies, after a replicated write's parts retired,
+// that every run retains at least one replica all of whose chunks
+// completed cleanly. Parts that faulted mark their (run, target) pair
+// dirty; a run covered by no clean pair has lost its data.
+func (cl *Cluster) checkRunCoverage(runs []run, parts []*part) error {
+	type pair struct{ ridx, target int }
+	dirty := make(map[pair]bool)
+	for _, pt := range parts {
+		if pt.err != nil {
+			dirty[pair{pt.ridx, pt.target}] = true
+		}
+	}
+	covered := make([]bool, len(runs))
+	for _, pt := range parts {
+		if pt.err == nil && !dirty[pair{pt.ridx, pt.target}] {
+			covered[pt.ridx] = true
+		}
+	}
+	for ri, ok := range covered {
+		if !ok {
+			return fmt.Errorf("rfsrv: write run at %d lost on every replica: %w",
+				runs[ri].off, fabric.ErrPeerDead)
+		}
+	}
+	return nil
+}
+
 // extendTo reconciles file size after a write ending at end: every
-// server except the tail chunk's owner (whose local size already
-// reaches end) gets a grow-only OpExtend. Skipped entirely when this
-// client has already established a size >= end, and always a no-op on
-// a one-server cluster.
-func (cl *Cluster) extendTo(p *sim.Proc, ino kernel.InodeID, end int64, tailOwner int) error {
+// server except the tail run's own targets (whose local sizes already
+// reach end) and the excluded ones gets a grow-only OpExtend. Skipped
+// entirely when this client has already established a size >= end, and
+// always a no-op on a one-server cluster. A server that faults during
+// reconciliation is excluded — not an error: the alive servers are
+// consistent, which is all the cache records. Because OpExtend is
+// grow-only and idempotent, a retry after a transient fault (write
+// re-run, or Reinstate then write) replays it safely in any order.
+func (cl *Cluster) extendTo(p *sim.Proc, ino kernel.InodeID, end int64, tailTargets []int) error {
 	if cl.sizes[ino] >= end {
 		return nil
 	}
+	isTail := make(map[int]bool, len(tailTargets))
+	for _, t := range tailTargets {
+		isTail[t] = true
+	}
 	var flights []*syncMetaFlight
+	var targets []int
 	var firstErr error
 	for i, s := range cl.sessions {
-		if i == tailOwner {
+		if isTail[i] || cl.down[i] {
 			continue
 		}
 		cl.Extends.Add(1)
 		fl, err := startSyncMeta(p, s, &Req{Op: OpExtend, Ino: ino, Off: end})
 		if err != nil {
+			if fabric.IsFault(err) {
+				cl.markDown(i)
+				continue
+			}
 			firstErr = err
 			break
 		}
 		flights = append(flights, fl)
+		targets = append(targets, i)
 	}
-	for _, fl := range flights {
-		if _, err := fl.wait(p); err != nil && firstErr == nil {
-			firstErr = err
+	for k, fl := range flights {
+		if _, err := fl.wait(p); err != nil {
+			if fabric.IsFault(err) {
+				cl.markDown(targets[k])
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	if firstErr != nil {
@@ -483,8 +832,11 @@ func (cl *Cluster) extendTo(p *sim.Proc, ino kernel.InodeID, end int64, tailOwne
 // clusterPending is one striped in-flight operation: the per-server
 // parts of a single logical read or write.
 type clusterPending struct {
+	cl     *Cluster
+	ino    kernel.InodeID
 	parts  []*part
-	want   int // expected total (writes; -1 for reads)
+	runs   []run // the logical runs (writes: replica coverage check)
+	want   int   // expected total (writes; -1 for reads)
 	issued sim.Time
 
 	done bool
@@ -492,7 +844,10 @@ type clusterPending struct {
 	err  error
 }
 
-// Wait implements PendingOp: retires every part and merges.
+// Wait implements PendingOp: retires every part and merges. Faulted
+// read parts fail over to their stripe's next alive replica before the
+// merge; faulted write parts exclude their server and are tolerated as
+// long as every run kept a clean replica.
 func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 	if cp.done {
 		return cp.resp, cp.err
@@ -501,15 +856,16 @@ func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 	for _, pt := range cp.parts {
 		pt.retire(p)
 	}
-	if err := firstError(cp.parts); err != nil {
-		cp.resp, cp.err = &Resp{Status: StatusOf(err), Attr: mergeAttr(cp.parts)}, err
+	if cp.want < 0 {
+		cp.cl.failoverReads(p, cp.ino, cp.parts)
+		if err := firstError(cp.parts); err != nil {
+			cp.resp, cp.err = &Resp{Status: StatusOf(err), Attr: mergeAttr(cp.parts)}, err
+			return cp.resp, cp.err
+		}
+		cp.resp = mergeRead(cp.parts)
 		return cp.resp, cp.err
 	}
-	cp.resp = mergeRead(cp.parts)
-	if cp.want >= 0 && int(cp.resp.N) != cp.want {
-		cp.resp.Status = StIO
-		cp.err = fmt.Errorf("rfsrv: short striped write (%d of %d)", cp.resp.N, cp.want)
-	}
+	cp.resp, cp.err = cp.cl.finishWriteParts(cp.runs, cp.parts, cp.want)
 	return cp.resp, cp.err
 }
 
@@ -533,31 +889,36 @@ func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst cor
 		return nil, ErrInval
 	}
 	total := dst.TotalLen()
-	cp := &clusterPending{want: -1, issued: p.Now()}
+	cp := &clusterPending{cl: cl, ino: ino, want: -1, issued: p.Now()}
 	if total == 0 {
 		// Zero-length read: one attr-only request to the offset's
-		// owner, like the synchronous Read path.
-		pd, err := cl.sessions[cl.ownerIdx(off)].startRead(p, ino, off, dst)
+		// preferred replica, like the synchronous Read path — with the
+		// same issue-time failover (Wait-time faults fail over through
+		// failoverReads like any other part).
+		pt, err := withReplica(cl, off, 0, func(idx int) (*part, error) {
+			pd, err := cl.sessions[idx].startRead(p, ino, off, dst)
+			if err != nil {
+				return nil, err
+			}
+			return &part{pd: pd, r: run{owner: cl.ownerIdx(off), off: off}, target: idx, vec: dst}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		cp.parts = append(cp.parts, &part{pd: pd, r: run{owner: cl.ownerIdx(off), off: off}})
+		cp.parts = append(cp.parts, pt)
 		return cp, nil
 	}
 	for _, r := range cl.runs(off, total) {
-		s := cl.sessions[r.owner]
 		// An operation spanning more same-server stripes than that
-		// server's window retires its own earlier runs to make room —
-		// it must never depend on the caller, who cannot retire a
-		// pending it has not been handed yet.
-		makeRoom(p, s, cp.parts)
-		cl.StripeReads.Add(r.n)
-		pd, err := s.startRead(p, ino, r.off, dst.Slice(int(r.off-off), r.n))
+		// server's window retires its own earlier runs to make room
+		// (inside issueRead) — it must never depend on the caller, who
+		// cannot retire a pending it has not been handed yet.
+		pt, err := cl.issueRead(p, ino, r, dst.Slice(int(r.off-off), r.n), cp.parts)
 		if err != nil {
 			drainParts(p, cp.parts)
 			return nil, err
 		}
-		cp.parts = append(cp.parts, &part{pd: pd, r: r})
+		cp.parts = append(cp.parts, pt)
 	}
 	return cp, nil
 }
@@ -575,17 +936,55 @@ func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src co
 	if total > MaxWriteChunk {
 		return nil, fmt.Errorf("rfsrv: StartWrite of %d bytes exceeds one %d-byte request", total, MaxWriteChunk)
 	}
-	cp := &clusterPending{want: total, issued: p.Now()}
-	for _, r := range cl.runs(off, total) {
-		s := cl.sessions[r.owner]
-		makeRoom(p, s, cp.parts)
-		cl.StripeWrites.Add(r.n)
-		pd, err := s.startWrite(p, ino, r.off, src.Slice(int(r.off-off), r.n))
+	runs := cl.runs(off, total)
+	cp := &clusterPending{cl: cl, ino: ino, runs: runs, want: total, issued: p.Now()}
+	if total == 0 {
+		// Zero-length write: one real request to the offset's preferred
+		// replica, like the synchronous degenerate path (so the RPC
+		// trace and the returned attributes match Session.StartWrite).
+		// The synthetic run makes finishWriteParts' coverage check see
+		// a Wait-time fault instead of vacuously succeeding.
+		r := run{owner: cl.ownerIdx(off), off: off}
+		cp.runs = []run{r}
+		pt, err := withReplica(cl, off, 0, func(idx int) (*part, error) {
+			pd, err := cl.sessions[idx].startWrite(p, ino, off, src)
+			if err != nil {
+				return nil, err
+			}
+			return &part{pd: pd, r: r, target: idx}, nil
+		})
 		if err != nil {
-			drainParts(p, cp.parts)
 			return nil, err
 		}
-		cp.parts = append(cp.parts, &part{pd: pd, r: r, want: r.n})
+		cp.parts = append(cp.parts, pt)
+		return cp, nil
+	}
+	for ri, r := range runs {
+		issued := 0
+		for j := 0; j < cl.replicas; j++ {
+			idx := (r.owner + j) % len(cl.sessions)
+			if cl.down[idx] {
+				continue
+			}
+			s := cl.sessions[idx]
+			makeRoom(p, s, cp.parts)
+			pd, err := s.startWrite(p, ino, r.off, src.Slice(int(r.off-off), r.n))
+			if err != nil {
+				if fabric.IsFault(err) {
+					cl.markDown(idx)
+					continue
+				}
+				drainParts(p, cp.parts)
+				return nil, err
+			}
+			cl.StripeWrites.Add(r.n)
+			cp.parts = append(cp.parts, &part{pd: pd, r: r, want: r.n, ridx: ri, target: idx})
+			issued++
+		}
+		if issued == 0 {
+			drainParts(p, cp.parts)
+			return nil, cl.allReplicasDown(r.off)
+		}
 	}
 	// The size cache is deliberately NOT updated here: sizes[ino]
 	// records "every server reconciled to this size", and an async
@@ -628,6 +1027,10 @@ func startSyncMeta(p *sim.Proc, s *Session, req *Req) (*syncMetaFlight, error) {
 		return nil, err
 	}
 	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
+		// The request never left (e.g. dead-peer rejection): withdraw
+		// the posted header receive so the control buffer is quiescent
+		// for the next requester.
+		fabric.Cancel(p, hdrOp)
 		c.lock.Release()
 		return nil, err
 	}
@@ -637,7 +1040,7 @@ func startSyncMeta(p *sim.Proc, s *Session, req *Req) (*syncMetaFlight, error) {
 // wait retires the flight and releases the control path.
 func (fl *syncMetaFlight) wait(p *sim.Proc) (*Resp, error) {
 	defer fl.c.lock.Release()
-	return fl.c.finish(p, &fl.c.ctl, fl.hdrOp, fl.seq)
+	return fl.c.finish(p, &fl.c.ctl, fl.hdrOp, fl.seq, fl.c.timeout)
 }
 
 // syncMeta is one synchronous metadata round trip to server idx.
@@ -649,10 +1052,12 @@ func (cl *Cluster) syncMeta(p *sim.Proc, idx int, req *Req) (*Resp, error) {
 	return fl.wait(p)
 }
 
-// Meta implements Client. Read-only operations go to the home server;
-// mutations replicate to every server in server order, and the
-// per-server answers must agree (same status, same inode) or the
-// cluster reports namespace divergence.
+// Meta implements Client. Read-only operations go to the home server
+// (re-homed past excluded servers, and failed over when the home
+// faults mid-request); mutations replicate to every alive server in
+// server order, and the per-server answers must agree (same status,
+// same inode) or the cluster reports namespace divergence — a faulting
+// server is excluded, never counted as divergent.
 func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	if err := ValidateReq(req); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
@@ -666,18 +1071,41 @@ func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 		// single server's view (e.g. the home after an async StartWrite
 		// that extended only its own stripes) cannot establish that —
 		// caching it would silently disable the next write's extendTo.
-		return cl.syncMeta(p, cl.pathHomeIdx(req.Ino, req.Name), req)
+		return cl.homedMeta(p, req, func() int { return cl.pathHomeIdx(req.Ino, req.Name) })
 	case OpGetattr, OpReaddir:
-		return cl.syncMeta(p, cl.homeIdx(req.Ino), req)
+		return cl.homedMeta(p, req, func() int { return cl.homeIdx(req.Ino) })
 	default:
 		return cl.fanout(p, req)
 	}
 }
 
-// fanout replicates a namespace mutation to every server in parallel
-// (each server's synchronous control path; see startSyncMeta) and
-// verifies the answers agree. With one server it is exactly one
-// synchronous metadata round trip.
+// homedMeta runs a read-only metadata request against its home server,
+// excluding the home and re-homing (the hash walks to the next alive
+// server) whenever the transport faults. home is re-evaluated per
+// attempt because exclusion changes the routing.
+func (cl *Cluster) homedMeta(p *sim.Proc, req *Req, home func() int) (*Resp, error) {
+	for {
+		idx := home()
+		if idx < 0 {
+			err := fmt.Errorf("rfsrv: %v: every server excluded: %w", req.Op, fabric.ErrPeerDead)
+			return &Resp{Status: StatusOf(err)}, err
+		}
+		resp, err := cl.syncMeta(p, idx, req)
+		if err != nil && fabric.IsFault(err) {
+			cl.markDown(idx)
+			cl.Failovers.Add(0)
+			continue
+		}
+		return resp, err
+	}
+}
+
+// fanout replicates a namespace mutation to every alive server in
+// parallel (each server's synchronous control path; see startSyncMeta)
+// and verifies the answers agree. With one server it is exactly one
+// synchronous metadata round trip. A server that faults mid-mutation
+// is recorded as excluded — its missing answer is a degraded-mode
+// fact, not namespace divergence; it must re-sync before Reinstate.
 func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 	if len(cl.sessions) == 1 {
 		resp, err := cl.syncMeta(p, 0, req)
@@ -685,27 +1113,43 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 		return resp, err
 	}
 	flights := make([]*syncMetaFlight, 0, len(cl.sessions))
+	targets := make([]int, 0, len(cl.sessions))
 	var firstErr error
 	for i, s := range cl.sessions {
-		if i > 0 {
+		if cl.down[i] {
+			continue
+		}
+		if len(flights) > 0 {
 			cl.MetaFanout.Add(1)
 		}
 		fl, err := startSyncMeta(p, s, cloneReq(req))
 		if err != nil {
+			if fabric.IsFault(err) {
+				cl.markDown(i)
+				continue
+			}
 			firstErr = err
 			break
 		}
 		flights = append(flights, fl)
+		targets = append(targets, i)
 	}
-	resps := make([]*Resp, len(flights))
-	for i, fl := range flights {
-		var err error
-		resps[i], err = fl.wait(p)
+	resps := make([]*Resp, 0, len(flights))
+	for k, fl := range flights {
+		r, err := fl.wait(p)
+		if err != nil && fabric.IsFault(err) {
+			cl.markDown(targets[k])
+			continue // excluded, not divergent
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		resps = append(resps, r)
 	}
 	if len(resps) == 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("rfsrv: %v: every server excluded: %w", req.Op, fabric.ErrPeerDead)
+		}
 		return &Resp{Status: StatusOf(firstErr)}, firstErr
 	}
 	base := resps[0]
@@ -747,7 +1191,9 @@ func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
 // time; with one server this is exactly Session.MetaBatch. Unlike
 // Meta, batches flow through the per-server windows (that is what
 // combines them), so callers must not hold unretired data pendings
-// across a MetaBatch call.
+// across a MetaBatch call. Batches route around already-excluded
+// servers but do not retry mid-batch faults — a fault surfaces as the
+// batch's error and the caller re-issues (Meta retries per request).
 func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 	for _, r := range reqs {
 		if r.Op == OpRead || r.Op == OpWrite {
@@ -756,6 +1202,9 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 		if err := ValidateReq(r); err != nil {
 			return nil, err
 		}
+	}
+	if cl.aliveCount() == 0 {
+		return nil, fmt.Errorf("rfsrv: MetaBatch: every server excluded: %w", fabric.ErrPeerDead)
 	}
 	if len(cl.sessions) == 1 {
 		return cl.sessions[0].MetaBatch(p, reqs)
@@ -778,10 +1227,15 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			shares[h].reqs = append(shares[h].reqs, r)
 		default:
 			mutation[i] = true
+			first := true
 			for s := range cl.sessions {
-				if s > 0 {
+				if cl.down[s] {
+					continue
+				}
+				if !first {
 					cl.MetaFanout.Add(1)
 				}
+				first = false
 				shares[s].idx = append(shares[s].idx, i)
 				shares[s].reqs = append(shares[s].reqs, cloneReq(r))
 			}
@@ -802,6 +1256,11 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			}
 		}
 		if err != nil {
+			// A faulting server is excluded like on every other path, so
+			// the caller's re-issued batch routes around it.
+			if fabric.IsFault(err) {
+				cl.markDown(s)
+			}
 			return out, err
 		}
 	}

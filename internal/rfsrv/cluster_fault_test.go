@@ -1,0 +1,489 @@
+package rfsrv_test
+
+// Fault-injected cluster tests: replicated reads failing over a killed
+// server, writes tolerating a lost replica, timeout-driven slot and
+// staging recovery (with fabric.Pool.CheckLeaks asserting nothing can
+// ever recycle), OpExtend retry after a transient fault, and the
+// cross-client size-cache staleness pin.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/rfsrv"
+	"repro/internal/sim"
+)
+
+// faultTimeout is the per-request reply deadline used by the fault
+// tests: far above any healthy round trip in these tiny rigs, far
+// below the point a hang would look like progress.
+const faultTimeout = 2 * time.Millisecond
+
+// clusterRep builds a replicated striped client over the rig: one
+// kernel-side MX session per server on distinct endpoints, every
+// session with the reply deadline armed.
+func (r *clusterRig) clusterRep(t *testing.T, p *sim.Proc, window, stripe, replicas int) *rfsrv.Cluster {
+	t.Helper()
+	sessions := make([]*rfsrv.Session, len(r.servers))
+	for i, srv := range r.servers {
+		fc, err := rfsrv.NewMXClient(r.clientMX, uint8(10+i), true, r.client.Kernel, srv.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.SetRequestTimeout(faultTimeout)
+		if sessions[i], err = rfsrv.NewSession(p, fc, window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := rfsrv.NewReplicatedCluster(p, sessions, stripe, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// checkNoLeaks asserts every node's shared fabric pool has nothing
+// that can never recycle — the PR's leak bar for the fault paths.
+func (r *clusterRig) checkNoLeaks(t *testing.T) {
+	t.Helper()
+	if err := fabric.PoolOf(r.client).CheckLeaks(); err != nil {
+		t.Errorf("client pool: %v", err)
+	}
+	for i, srv := range r.servers {
+		if err := fabric.PoolOf(srv).CheckLeaks(); err != nil {
+			t.Errorf("server %d pool: %v", i, err)
+		}
+	}
+}
+
+// assertWindowsIdle asserts no session of the cluster still holds
+// window slots (every pending retired).
+func assertWindowsIdle(t *testing.T, cl *rfsrv.Cluster) {
+	t.Helper()
+	for i, s := range cl.Sessions() {
+		if s.InFlight() != 0 {
+			t.Errorf("server %d session still holds %d window slots", i, s.InFlight())
+		}
+	}
+}
+
+// TestClusterReadFailoverAfterKill kills one of three servers between
+// a replicated write and a full read-back: every stripe owned by the
+// victim must be served by its replica, byte-exact, with the victim
+// recorded as excluded — and no pooled staging may leak anywhere.
+func TestClusterReadFailoverAfterKill(t *testing.T) {
+	r := newClusterRig(t, 3)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 4, testStripe, 2)
+		const size = 9 * testStripe
+		data := pattern(size)
+		ino := clusterCreate(t, p, cl, "f")
+		va, vec := r.kbuf(t, size)
+		if err := r.client.Kernel.WriteBytes(va, data); err != nil {
+			t.Fatal(err)
+		}
+		if resp, err := cl.Write(p, ino, 0, vec); err != nil || int(resp.N) != size {
+			t.Fatalf("replicated write: n=%d err=%v", resp.N, err)
+		}
+		// Replica placement: every stripe must be on its primary AND the
+		// next server.
+		pagesPerStripe := testStripe / mem.PageSize
+		for k := 0; k < size/testStripe; k++ {
+			for rep := 0; rep < 2; rep++ {
+				s := (k + rep) % 3
+				if r.serverFS[s].FrameAt(ino, int64(k*pagesPerStripe)) == nil {
+					t.Fatalf("stripe %d missing on replica %d (server %d)", k, rep, s)
+				}
+			}
+		}
+
+		r.servers[0].NIC.Kill()
+
+		rva, rvec := r.kbuf(t, size)
+		resp, err := cl.Read(p, ino, 0, rvec)
+		if err != nil || int(resp.N) != size {
+			t.Fatalf("read across kill: n=%d err=%v", resp.N, err)
+		}
+		got, _ := r.client.Kernel.ReadBytes(rva, size)
+		if !bytes.Equal(got, data) {
+			t.Fatal("failover read returned wrong bytes")
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 0 {
+			t.Fatalf("down servers = %v, want [0]", down)
+		}
+		if cl.Failovers.N == 0 {
+			t.Error("no failovers counted across a kill")
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
+}
+
+// TestClusterPipelinedFailoverReleasesSlots is the satellite-1 bar for
+// the async path: striped reads are mid-flight through the windows
+// when the victim dies, so some parts fault at Wait (timeout or
+// dead-peer) while siblings complete. Every drained part must release
+// its window slot and its pooled staging; the reads must still return
+// the right bytes via failover.
+func TestClusterPipelinedFailoverReleasesSlots(t *testing.T) {
+	r := newClusterRig(t, 3)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 2, testStripe, 2)
+		const size = 12 * testStripe
+		data := pattern(size)
+		ino := clusterCreate(t, p, cl, "f")
+		va, vec := r.kbuf(t, size)
+		if err := r.client.Kernel.WriteBytes(va, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Write(p, ino, 0, vec); err != nil {
+			t.Fatal(err)
+		}
+
+		// Fill the windows with stripe reads, then kill the victim while
+		// they are in flight.
+		var pds []rfsrv.PendingOp
+		for k := 0; k < 6; k++ {
+			_, rvec := r.kbuf(t, testStripe)
+			pd, err := cl.StartRead(p, ino, int64(k)*testStripe, rvec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pds = append(pds, pd)
+		}
+		r.servers[0].NIC.Kill()
+		for k, pd := range pds {
+			resp, err := pd.Wait(p)
+			if err != nil || int(resp.N) != testStripe {
+				t.Fatalf("pipelined read %d across kill: n=%d err=%v", k, resp.N, err)
+			}
+		}
+		// And a second full pass after the exclusion settled.
+		rva, rvec := r.kbuf(t, size)
+		resp, err := cl.Read(p, ino, 0, rvec)
+		if err != nil || int(resp.N) != size {
+			t.Fatalf("post-exclusion read: n=%d err=%v", resp.N, err)
+		}
+		got, _ := r.client.Kernel.ReadBytes(rva, size)
+		if !bytes.Equal(got, data) {
+			t.Fatal("post-exclusion read returned wrong bytes")
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
+}
+
+// TestClusterWriteSurvivesReplicaLoss kills a server and then writes:
+// runs whose primary died land on the replica alone, the write
+// reports full success, the data reads back, and namespace mutations
+// keep working with the victim excluded instead of reporting
+// divergence.
+func TestClusterWriteSurvivesReplicaLoss(t *testing.T) {
+	r := newClusterRig(t, 3)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 4, testStripe, 2)
+		const size = 6 * testStripe
+		data := pattern(size)
+		ino := clusterCreate(t, p, cl, "f")
+
+		r.servers[1].NIC.Kill()
+
+		va, vec := r.kbuf(t, size)
+		if err := r.client.Kernel.WriteBytes(va, data); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := cl.Write(p, ino, 0, vec)
+		if err != nil || int(resp.N) != size {
+			t.Fatalf("write with dead replica: n=%d err=%v", resp.N, err)
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 1 {
+			t.Fatalf("down servers = %v, want [1]", down)
+		}
+		// Namespace mutations must tolerate the exclusion (no divergence).
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpMkdir, Ino: 0, Name: "d"}); err != nil {
+			t.Fatalf("mkdir with excluded server: %v", err)
+		}
+		rva, rvec := r.kbuf(t, size)
+		resp, err = cl.Read(p, ino, 0, rvec)
+		if err != nil || int(resp.N) != size {
+			t.Fatalf("read back: n=%d err=%v", resp.N, err)
+		}
+		got, _ := r.client.Kernel.ReadBytes(rva, size)
+		if !bytes.Equal(got, data) {
+			t.Fatal("read back wrong bytes after degraded write")
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
+}
+
+// TestClusterAllReplicasDownFails pins the failure floor: with every
+// replica of a stripe excluded, reads and writes report a fault error
+// (fabric.IsFault) instead of hanging or fabricating data.
+func TestClusterAllReplicasDownFails(t *testing.T) {
+	r := newClusterRig(t, 2)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 2, testStripe, 2)
+		const size = 2 * testStripe
+		ino := clusterCreate(t, p, cl, "f")
+		va, vec := r.kbuf(t, size)
+		if err := r.client.Kernel.WriteBytes(va, pattern(size)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Write(p, ino, 0, vec); err != nil {
+			t.Fatal(err)
+		}
+		r.servers[0].NIC.Kill()
+		r.servers[1].NIC.Kill()
+		rva, rvec := r.kbuf(t, size)
+		_, err := cl.Read(p, ino, 0, rvec)
+		if err == nil {
+			t.Fatal("read with every server dead succeeded")
+		}
+		if !fabric.IsFault(err) {
+			t.Fatalf("read error %v is not a transport fault", err)
+		}
+		if _, err := cl.Write(p, ino, 0, vec); err == nil || !fabric.IsFault(err) {
+			t.Fatalf("write with every server dead: err=%v, want fault", err)
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+		_ = rva
+	})
+}
+
+// TestClusterExtendRetryAfterTransientFault is the satellite-2
+// regression: a transient fault (stalled NIC, longer than the reply
+// deadline) hits exactly the OpExtend reconciliation fan-out of a
+// write whose data lives entirely on the other server. The write must
+// still succeed with the stalled server excluded and its local size
+// stale; after the stall clears and the operator reinstates the
+// server, RE-RUNNING the same write must replay OpExtend — grow-only,
+// idempotent, so replaying against a server that meanwhile caught up
+// (or not) converges every local size. A second explicit replay pins
+// the idempotence itself.
+func TestClusterExtendRetryAfterTransientFault(t *testing.T) {
+	r := newClusterRig(t, 2)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 2, testStripe, 1)
+		ino := clusterCreate(t, p, cl, "f")
+		// One stripe at offset 0: data (and the tail) live on server 0
+		// only; reconciliation targets exactly server 1.
+		va, vec := r.kbuf(t, testStripe)
+		if err := r.client.Kernel.WriteBytes(va, pattern(testStripe)); err != nil {
+			t.Fatal(err)
+		}
+
+		r.servers[1].NIC.StallFor(10 * faultTimeout)
+		resp, err := cl.Write(p, ino, 0, vec)
+		if err != nil || int(resp.N) != testStripe {
+			t.Fatalf("write across stalled reconciliation: n=%d err=%v", resp.N, err)
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 1 {
+			t.Fatalf("down servers = %v, want [1] (extend fan-out faulted)", down)
+		}
+		if a, _ := r.serverFS[0].Getattr(p, ino); a.Size != testStripe {
+			t.Fatalf("data server size = %d, want %d", a.Size, testStripe)
+		}
+
+		// Let the stall clear (and its late deliveries drain), then
+		// reinstate and re-run the same write: extendTo must replay.
+		p.Sleep(20 * faultTimeout)
+		cl.Reinstate(1)
+		resp, err = cl.Write(p, ino, 0, vec)
+		if err != nil || int(resp.N) != testStripe {
+			t.Fatalf("re-run write after transient fault: n=%d err=%v", resp.N, err)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != testStripe {
+				t.Fatalf("server %d size = %d after retry, want %d", s, a.Size, testStripe)
+			}
+		}
+		if len(cl.DownServers()) != 0 {
+			t.Fatalf("server still excluded after reinstate+retry: %v", cl.DownServers())
+		}
+
+		// Idempotence proper: replaying OpExtend against already-extended
+		// servers changes nothing.
+		before := make([]int64, len(r.serverFS))
+		for s, fs := range r.serverFS {
+			a, _ := fs.Getattr(p, ino)
+			before[s] = a.Size
+		}
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpExtend, Ino: ino, Off: testStripe}); err != nil {
+			t.Fatalf("explicit OpExtend replay: %v", err)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != before[s] {
+				t.Fatalf("OpExtend replay changed server %d size %d -> %d", s, before[s], a.Size)
+			}
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
+}
+
+// TestClusterCrossClientExtend is the satellite-3 pin: the size cache
+// is per client, and another client's truncate does not invalidate
+// it. Client B establishes a large size, client A truncates the file,
+// and B's next overwrite below its cached size skips reconciliation —
+// so only the servers holding the overwrite's runs learn the new EOF,
+// and a homed getattr answers with the home's (possibly stale) local
+// size. The cluster package comment documents this as the accepted
+// cross-client semantics (single-writer workloads are unaffected); a
+// later size-extending write restores agreement.
+func TestClusterCrossClientExtend(t *testing.T) {
+	r := newClusterRig(t, 2)
+	r.run(t, func(p *sim.Proc) {
+		mkCluster := func(baseEP uint8) *rfsrv.Cluster {
+			sessions := make([]*rfsrv.Session, len(r.servers))
+			for i, srv := range r.servers {
+				fc, err := rfsrv.NewMXClient(r.clientMX, baseEP+uint8(i), true, r.client.Kernel, srv.ID, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var serr error
+				if sessions[i], serr = rfsrv.NewSession(p, fc, 4); serr != nil {
+					t.Fatal(serr)
+				}
+			}
+			cl, err := rfsrv.NewCluster(p, sessions, testStripe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cl
+		}
+		clA := mkCluster(10)
+		clB := mkCluster(20)
+
+		const full = 4 * testStripe
+		ino := clusterCreate(t, p, clA, "f")
+
+		// B writes the whole file: B's cache records size=full, every
+		// server reconciled.
+		vaB, vecB := r.kbuf(t, full)
+		if err := r.client.Kernel.WriteBytes(vaB, pattern(full)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clB.Write(p, ino, 0, vecB); err != nil {
+			t.Fatal(err)
+		}
+
+		// A truncates to one stripe. A's fan-out updates every server;
+		// B's cache still says full.
+		if _, err := clA.Meta(p, &rfsrv.Req{Op: rfsrv.OpTruncate, Ino: ino, Off: testStripe}); err != nil {
+			t.Fatal(err)
+		}
+
+		// B overwrites [0, 2 stripes): below B's cached size, so B skips
+		// extendTo. Stripe 1's owner (server 1) learns EOF=2S from the
+		// data itself; server 0 keeps the truncated size S.
+		if _, err := clB.Write(p, ino, 0, vecB.Slice(0, 2*testStripe)); err != nil {
+			t.Fatal(err)
+		}
+		sizes := make([]int64, 2)
+		for s, fs := range r.serverFS {
+			a, err := fs.Getattr(p, ino)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[s] = a.Size
+		}
+		if sizes[0] != testStripe || sizes[1] != 2*testStripe {
+			t.Fatalf("local sizes = %v, want [S 2S]: the skipped reconciliation is the documented staleness", sizes)
+		}
+		// Homed getattr answers with the home's local view — stale when
+		// the home is server 0.
+		home := clA.HomeServer(ino)
+		resp, err := clA.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Attr.Size != sizes[home] {
+			t.Fatalf("homed getattr = %d, want home server %d's local size %d", resp.Attr.Size, home, sizes[home])
+		}
+
+		// A size-extending write from B (above its cached size) runs
+		// extendTo and restores agreement everywhere.
+		vaX, vecX := r.kbuf(t, full+testStripe)
+		if err := r.client.Kernel.WriteBytes(vaX, pattern(full+testStripe)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clB.Write(p, ino, 0, vecX); err != nil {
+			t.Fatal(err)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != full+testStripe {
+				t.Fatalf("server %d size = %d after extending write, want %d", s, a.Size, full+testStripe)
+			}
+		}
+	})
+}
+
+// TestClusterEOFAtStripeBoundary is the satellite-4 off-by-one sweep:
+// EOF falling exactly ON a stripe boundary and one byte PAST it, over
+// 1, 3 and 8 servers — the run-splitting edges where an off-by-one in
+// the EOF clip or the contiguous-prefix merge would show.
+func TestClusterEOFAtStripeBoundary(t *testing.T) {
+	for _, nServers := range []int{1, 3, 8} {
+		nServers := nServers
+		t.Run(fmt.Sprintf("%dservers", nServers), func(t *testing.T) {
+			r := newClusterRig(t, nServers)
+			r.run(t, func(p *sim.Proc) {
+				cl := r.cluster(t, p, 4, testStripe)
+				for _, size := range []int{4 * testStripe, 4*testStripe + 1} {
+					name := fmt.Sprintf("f%d", size)
+					ino := clusterCreate(t, p, cl, name)
+					data := pattern(size)
+					va, vec := r.kbuf(t, size)
+					if err := r.client.Kernel.WriteBytes(va, data); err != nil {
+						t.Fatal(err)
+					}
+					if resp, err := cl.Write(p, ino, 0, vec); err != nil || int(resp.N) != size {
+						t.Fatalf("size %d: write n=%d err=%v", size, resp.N, err)
+					}
+					if resp, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino}); err != nil || resp.Attr.Size != int64(size) {
+						t.Fatalf("size %d: getattr=%d err=%v", size, resp.Attr.Size, err)
+					}
+					reads := []struct {
+						off  int64
+						len  int
+						want int
+					}{
+						// Straddle the last whole stripe into EOF.
+						{3 * testStripe, 2 * testStripe, size - 3*testStripe},
+						// Start exactly at the stripe-boundary EOF (or one
+						// short of the tail byte).
+						{4 * testStripe, testStripe, size - 4*testStripe},
+						// Entirely past EOF.
+						{int64(size) + testStripe, testStripe, 0},
+						// End exactly at EOF.
+						{int64(size) - testStripe, testStripe, testStripe},
+						// One byte around the boundary.
+						{4*testStripe - 1, 2, min(2, size-(4*testStripe-1))},
+					}
+					for _, rd := range reads {
+						rva, rvec := r.kbuf(t, rd.len)
+						resp, err := cl.Read(p, ino, rd.off, rvec)
+						if err != nil {
+							t.Fatalf("size %d read [%d,+%d): %v", size, rd.off, rd.len, err)
+						}
+						if int(resp.N) != rd.want {
+							t.Fatalf("size %d read [%d,+%d): n=%d want %d", size, rd.off, rd.len, resp.N, rd.want)
+						}
+						if rd.want > 0 {
+							got, _ := r.client.Kernel.ReadBytes(rva, rd.want)
+							if !bytes.Equal(got, data[rd.off:rd.off+int64(rd.want)]) {
+								t.Fatalf("size %d read [%d,+%d): wrong bytes", size, rd.off, rd.len)
+							}
+						}
+					}
+				}
+			})
+		})
+	}
+}

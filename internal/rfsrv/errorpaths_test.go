@@ -48,7 +48,7 @@ func TestServerRejectsBadRanges(t *testing.T) {
 			if err := fc.sendReq(p, &fc.ctl, req, nil); err != nil {
 				return nil, err
 			}
-			return fc.finish(p, &fc.ctl, hdrOp, req.Seq)
+			return fc.finish(p, &fc.ctl, hdrOp, req.Seq, 0)
 		}
 		cases := []struct {
 			name string

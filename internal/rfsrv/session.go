@@ -72,6 +72,13 @@ func NewSession(p *sim.Proc, c *FabricClient, window int) (*Session, error) {
 // Window returns the configured window size.
 func (s *Session) Window() int { return s.window }
 
+// SetRequestTimeout arms the underlying client's per-request reply
+// deadline (see FabricClient.SetRequestTimeout): windowed operations
+// and control-path metadata give up after d instead of hanging on a
+// dead server, releasing their window slot with the posted receives
+// withdrawn. 0 (the default) disables timeouts entirely.
+func (s *Session) SetRequestTimeout(d sim.Time) { s.c.SetRequestTimeout(d) }
+
 // Client returns the underlying synchronous client.
 func (s *Session) Client() *FabricClient { return s.c }
 
@@ -150,6 +157,7 @@ func (s *Session) startMeta(p *sim.Proc, req *Req) (*Pending, error) {
 		return nil, err
 	}
 	if err := s.c.sendReq(p, b, req, nil); err != nil {
+		fabric.Cancel(p, hdrOp)
 		s.put(b)
 		return nil, err
 	}
@@ -182,10 +190,16 @@ func (s *Session) startRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 	}
 	dataOp, release, fixup, err := s.c.postData(p, seq, dst)
 	if err != nil {
+		fabric.Cancel(p, hdrOp)
 		s.put(b)
 		return nil, err
 	}
 	if err := s.c.sendReq(p, b, req, nil); err != nil {
+		// The request never left: withdraw both posted receives so the
+		// slot's header buffer — and, crucially, the caller's data
+		// buffer — are quiescent, not parked under stale seq tags.
+		fabric.Cancel(p, dataOp)
+		fabric.Cancel(p, hdrOp)
 		release()
 		s.put(b)
 		return nil, err
@@ -228,15 +242,18 @@ func (s *Session) startWrite(p *sim.Proc, ino kernel.InodeID, off int64, src cor
 	release := func() {}
 	if s.c.t.Caps().Vectors {
 		if err := s.c.sendReq(p, b, req, src); err != nil {
+			fabric.Cancel(p, hdrOp)
 			s.put(b)
 			return nil, err
 		}
 	} else {
 		if err := s.c.sendReq(p, b, req, nil); err != nil {
+			fabric.Cancel(p, hdrOp)
 			s.put(b)
 			return nil, err
 		}
 		if release, err = s.c.sendData(p, seq, src); err != nil {
+			fabric.Cancel(p, hdrOp)
 			s.put(b)
 			return nil, err
 		}
@@ -247,7 +264,10 @@ func (s *Session) startWrite(p *sim.Proc, ino kernel.InodeID, off int64, src cor
 
 // Wait retires the request: data completion first (reads), then the
 // header reply, then the slot returns to the window. Waiting twice
-// returns the memoized result.
+// returns the memoized result. Under an armed request timeout either
+// phase gives up after the deadline, withdraws its posted receive, and
+// surfaces an error satisfying fabric.IsFault — the slot still returns
+// to the window with all its staging quiescent.
 func (pd *Pending) Wait(p *sim.Proc) (*Resp, error) {
 	if pd.done {
 		return pd.resp, pd.err
@@ -255,17 +275,31 @@ func (pd *Pending) Wait(p *sim.Proc) (*Resp, error) {
 	var dataErr error
 	var dataLen int
 	if pd.dataOp != nil {
-		st := pd.dataOp.Wait(p)
-		dataErr, dataLen = st.Err, st.Len
+		st, ok := pd.s.c.waitData(p, pd.dataOp, pd.s.c.deadlineFrom(p, pd.issued))
+		if !ok {
+			dataErr = fmt.Errorf("rfsrv: read data for request %d: %w", pd.seq, fabric.ErrTimeout)
+		} else {
+			dataErr, dataLen = st.Err, st.Len
+		}
 	}
 	if pd.fixup != nil && dataErr == nil {
 		pd.fixup(p, dataLen)
 	}
-	// Always consume the header reply — even after a data error — so
-	// the slot's posted receive is quiescent before the slot is reused.
-	resp, err := pd.s.c.finish(p, pd.bufs, pd.hdrOp, pd.seq)
-	if dataErr != nil {
+	// Always quiesce the header reply — even after a data error — so
+	// the slot's posted receive is inert before the slot is reused.
+	// After a data-phase transport fault the header is presumed lost
+	// with the peer: withdraw its receive instead of waiting a second
+	// timeout.
+	var resp *Resp
+	var err error
+	if dataErr != nil && fabric.IsFault(dataErr) {
+		pd.s.c.quiesceHdr(p, pd.bufs, pd.hdrOp, pd.seq)
 		err = dataErr
+	} else {
+		resp, err = pd.s.c.finish(p, pd.bufs, pd.hdrOp, pd.seq, pd.s.c.deadlineFrom(p, pd.issued))
+		if dataErr != nil {
+			err = dataErr
+		}
 	}
 	if pd.release != nil {
 		pd.release()
@@ -402,12 +436,13 @@ func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			seqs   []uint64
 			packed []byte
 		)
-		// abort returns every slot of the aborted flight. Their posted
-		// header receives are dead but benign: each is tagged with a
-		// sequence number that was never sent and is never reused, so
-		// nothing can ever scatter through them.
+		// abort returns every slot of the aborted flight, withdrawing
+		// its posted header receive first (each is tagged with a
+		// sequence number that was never sent, so cancellation cannot
+		// race a delivery).
 		abort := func() {
-			for _, b := range bufs {
+			for i, b := range bufs {
+				fabric.Cancel(p, hdrs[i])
 				s.put(b)
 			}
 		}
@@ -440,13 +475,17 @@ func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			abort()
 			return resps, err
 		}
+		issued := p.Now()
 		s.Issued.Add(len(seqs))
 		if len(seqs) > 1 {
 			s.Batched.Add(len(seqs) - 1)
 		}
 		var firstErr error
 		for i := range seqs {
-			resp, err := s.c.finish(p, bufs[i], hdrs[i], seqs[i])
+			// Deadlines run from the flight's issue: the replies of a
+			// batch against a dead server must expire together, not
+			// serialize a fresh timeout each.
+			resp, err := s.c.finish(p, bufs[i], hdrs[i], seqs[i], s.c.deadlineFrom(p, issued))
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}

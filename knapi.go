@@ -286,6 +286,12 @@ var NewFSSession = rfsrv.NewSession
 // per server (stripe 0 selects the 64 KB default).
 var NewFSCluster = rfsrv.NewCluster
 
+// NewFSReplicatedCluster is NewFSCluster with a replication factor:
+// every stripe is written to R consecutive servers, reads fail over
+// to a replica when a server faults, and faulting servers are
+// excluded rather than reported as namespace divergence.
+var NewFSReplicatedCluster = rfsrv.NewReplicatedCluster
+
 // NewRegCache creates a standalone GMKRC registration cache over a GM
 // port (maxPages 0 disables caching).
 func NewRegCache(port *GMPort, maxPages int) *RegCache { return gmkrc.New(port, maxPages) }
