@@ -21,7 +21,7 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver, degraded)")
+	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile)")
 	flag.Parse()
 
 	cfg := figures.Config{Iters: *iters, Warmup: 2}
@@ -81,6 +81,17 @@ func main() {
 		figs, err := cfg.MultiServer()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "multiserver: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			fmt.Println(f.Render(f.Latency()))
+		}
+	}
+	if sel == "" || sel == "sharedfile" {
+		ran = true
+		figs, err := cfg.SharedFile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharedfile: %v\n", err)
 			os.Exit(1)
 		}
 		for _, f := range figs {

@@ -38,6 +38,9 @@ type Figure struct {
 	YLabel   string
 	Series   []netpipe.Series
 	Expected string // the paper's qualitative claim, for EXPERIMENTS.md
+	// Unit overrides the non-latency value unit (default "MB/s") for
+	// figures whose y axis is a count or ratio rather than bandwidth.
+	Unit string
 }
 
 // Table is one reproduced table.
@@ -74,7 +77,11 @@ func (f *Figure) Render(latency bool) string {
 			if latency {
 				fmt.Fprintf(&b, " %20.2fµs", float64(pt.OneWay.Nanoseconds())/1000)
 			} else {
-				fmt.Fprintf(&b, " %17.1f MB/s", pt.MBps)
+				unit := f.Unit
+				if unit == "" {
+					unit = "MB/s"
+				}
+				fmt.Fprintf(&b, " %17.1f %s", pt.MBps, unit)
 			}
 		}
 		b.WriteByte('\n')

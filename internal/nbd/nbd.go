@@ -439,6 +439,13 @@ func (c *Client) WriteBlock(p *sim.Proc, idx int64, frame *mem.Frame, n int) err
 // aggregate bandwidth grows with the server count — the block-device
 // face of the same idea rfsrv.Cluster applies to files. One client
 // degenerates to the plain single-server device, request for request.
+//
+// Unlike the file cluster the striped device needs no size-coherence
+// protocol (rfsrv's per-inode size epochs, DESIGN.md §9): a block
+// device's size is fixed at construction — NewStripedDevice pins it to
+// the smallest backend and Truncate is rejected — so there is no
+// end-of-file for writers to move and nothing for a per-client cache
+// to go stale on. Capacity changes are a reconstruction, not an op.
 type Device struct {
 	cls    []*Client
 	node   *hw.Node

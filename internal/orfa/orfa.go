@@ -254,6 +254,15 @@ func (l *Lib) Write(p *sim.Proc, fd int, va vm.VirtAddr, n int) (int, error) {
 	if f.off > f.size {
 		f.size = f.off
 	}
+	// The reply's attributes are the write-time authoritative size —
+	// over a striped cluster it is the reconciled merge, which a
+	// coherent multi-writer file can have pushed past this
+	// descriptor's own high-water mark. Adopting it keeps Seek(END)
+	// honest without a single extra round trip (ORFA still caches no
+	// metadata: this is the size the server just told us).
+	if resp.Attr.Ino == f.ino && resp.Attr.Size > f.size {
+		f.size = resp.Attr.Size
+	}
 	return int(resp.N), nil
 }
 

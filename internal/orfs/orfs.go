@@ -18,6 +18,8 @@
 package orfs
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -59,6 +61,17 @@ type FS struct {
 	// and the first deferred error (surfaced at the next barrier).
 	wb    []*wbWrite
 	wbErr error
+	// wbEnd tracks, per inode, the end-of-file the write-behind
+	// pipeline has established: striped clusters extend only the
+	// servers a page's stripes land on, so the mount publishes this
+	// high-water mark through the cluster's size reconciliation
+	// (SetFileSize) at every sync barrier — the write-behind half of
+	// the size-coherence protocol. wbFailed marks inodes whose drain
+	// errored: their tracked EOF is discarded, never published — a
+	// failed page write must not grow servers over data that never
+	// landed. Both are allocated only over a size-reconciling client.
+	wbEnd    map[kernel.InodeID]int64
+	wbFailed map[kernel.InodeID]bool
 
 	// Ops counts RPCs issued per operation class.
 	MetaOps, ReadOps, WriteOps sim.Counter
@@ -75,6 +88,7 @@ type prefetch struct {
 type wbWrite struct {
 	pd     rfsrv.PendingOp
 	shadow *mem.Frame
+	ino    kernel.InodeID
 }
 
 // New creates an ORFS client over an rfsrv transport. When cl is a
@@ -87,26 +101,77 @@ func New(name string, cl rfsrv.Client) *FS {
 		f.sess = s
 		f.node = s.Node()
 		f.ra = make(map[int64]*prefetch)
+		if _, ok := cl.(sizeReconciler); ok {
+			// Track write-behind EOF only when the client can publish
+			// it; a single-server session's size is always current.
+			f.wbEnd = make(map[kernel.InodeID]int64)
+			f.wbFailed = make(map[kernel.InodeID]bool)
+		}
 	}
 	return f
+}
+
+// sizeReconciler is the optional client surface for publishing an
+// externally tracked end-of-file (rfsrv.Cluster.SetFileSize): striped
+// clusters reconcile every server's local size to it. Single-server
+// clients do not implement it — one server's size is always current.
+type sizeReconciler interface {
+	SetFileSize(p *sim.Proc, ino kernel.InodeID, size int64) error
 }
 
 // Client returns the underlying transport (stats).
 func (f *FS) Client() rfsrv.Client { return f.cl }
 
 // Sync implements kernel.Syncer: drain the write-behind pipeline,
-// surfacing the first deferred write error.
+// surfacing the first deferred write error, then publish the drained
+// pages' end-of-file through the client's size reconciliation (striped
+// clusters only), so homed getattr and striped-read EOF clipping agree
+// with the write-behind data on every server.
 func (f *FS) Sync(p *sim.Proc) error {
 	first := f.wbErr
 	f.wbErr = nil
 	for _, w := range f.wb {
-		_, err := w.pd.Wait(p)
-		if err != nil && first == nil {
-			first = err
+		if _, err := w.pd.Wait(p); err != nil {
+			if first == nil {
+				first = err
+			}
+			if f.wbFailed != nil {
+				f.wbFailed[w.ino] = true
+			}
 		}
 		f.node.Mem.Put(w.shadow)
 	}
 	f.wb = nil
+	if len(f.wbEnd) > 0 {
+		sr := f.cl.(sizeReconciler) // wbEnd is only allocated alongside one
+		// Deterministic publication order (map iteration is not). An
+		// inode whose drain errored is discarded unpublished (its data
+		// never fully landed); one whose publication fails keeps its
+		// tracked EOF, so the next barrier retries it — a deferred
+		// write error on one file must not lose another file's
+		// publication.
+		inos := make([]kernel.InodeID, 0, len(f.wbEnd))
+		for ino := range f.wbEnd {
+			inos = append(inos, ino)
+		}
+		sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+		for _, ino := range inos {
+			if f.wbFailed[ino] {
+				delete(f.wbEnd, ino)
+				continue
+			}
+			if err := sr.SetFileSize(p, ino, f.wbEnd[ino]); err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			delete(f.wbEnd, ino)
+		}
+	}
+	if len(f.wbFailed) > 0 {
+		f.wbFailed = make(map[kernel.InodeID]bool)
+	}
 	return first
 }
 
@@ -362,8 +427,13 @@ func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fr
 	for !f.sess.CanStart(idx*mem.PageSize, n) && len(f.wb) > 0 {
 		w := f.wb[0]
 		f.wb = f.wb[1:]
-		if _, err := w.pd.Wait(p); err != nil && f.wbErr == nil {
-			f.wbErr = err
+		if _, err := w.pd.Wait(p); err != nil {
+			if f.wbErr == nil {
+				f.wbErr = err
+			}
+			if f.wbFailed != nil {
+				f.wbFailed[w.ino] = true
+			}
 		}
 		f.node.Mem.Put(w.shadow)
 	}
@@ -386,7 +456,12 @@ func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fr
 		f.node.Mem.Put(shadow)
 		return err
 	}
-	f.wb = append(f.wb, &wbWrite{pd: pd, shadow: shadow})
+	f.wb = append(f.wb, &wbWrite{pd: pd, shadow: shadow, ino: ino})
+	if f.wbEnd != nil {
+		if end := idx*mem.PageSize + int64(n); end > f.wbEnd[ino] {
+			f.wbEnd[ino] = end
+		}
+	}
 	return nil
 }
 

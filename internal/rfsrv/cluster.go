@@ -26,14 +26,30 @@ package rfsrv
 // path component (directory inode + name) or the inode, spreading
 // metadata load without a directory service.
 //
-// Size reconciliation. A write's tail may land away from a file's
-// metadata home, leaving the home's (and other data servers') local
-// size short of the true end of file. After each synchronous Write
-// that extends a file, the cluster replays a grow-only OpExtend to
-// every other server, so any server's local size — and thus any homed
-// getattr, and the EOF clipping of any striped read — reflects the
-// true size. Asynchronous StartWrite skips this reconciliation (its
-// callers, like ORFS write-behind, track EOF themselves); the
+// Size coherence (DESIGN.md §9). A write's tail may land away from a
+// file's metadata home, leaving the home's (and other data servers')
+// local size short of the true end of file. After each synchronous
+// Write that extends a file, the cluster replays a grow-only OpSetSize
+// to every other server, so any server's local size — and thus any
+// homed getattr, and the EOF clipping of any striped read — reflects
+// the true size. The inode's path-hashed home server is the size
+// authority, and the caching that elides repeat reconciliations is
+// *validated*: every server keeps a per-inode size epoch (bumped by
+// exact size sets, which always fan out; never by data writes or
+// grow reconciliation, so epochs stay replicated-identical), every
+// reply carries the epoch of the inode it resolves, and the cluster
+// caches (size, epoch) pairs. A reply whose epoch differs from the
+// cached one proves a foreign client truncated the file: the entry is
+// invalidated on the spot and the next overwrite re-reconciles —
+// which is what makes truncate-then-overwrite coherent across
+// clients (TestClusterCrossClientExtend). OpSetSize itself carries
+// the writer's observed epoch, so a server refuses (StStale) to
+// re-grow sizes under a writer whose view is stale instead of
+// resurrecting a foreign truncate; the refusal carries the
+// authoritative (size, epoch) and the cluster revalidates and
+// retries. Asynchronous StartWrite still skips reconciliation (its
+// callers, like ORFS write-behind, track EOF themselves and publish
+// it through SetFileSize at their sync barrier); the
 // metadata-home-vs-data-server tests pin down what is and is not
 // guaranteed.
 //
@@ -60,23 +76,16 @@ package rfsrv
 // succeed as long as every run keeps one clean replica, and namespace
 // mutations simply skip it instead of reporting divergence. Exclusion
 // is one-way — an operator who knows the server recovered calls
-// Reinstate, which also drops the size cache so the next write
-// re-reconciles it. Application-level errors (EEXIST, EOF clipping,
-// short writes) are never treated as faults and fail the operation
-// exactly as before. With R=1 and no faults every path below is
-// bit-identical to the pre-replication cluster.
-//
-// Cross-client caching caveat. The sizes cache is per *client*: it
-// records the reconciliation this Cluster performed, and nothing
-// invalidates it when another Cluster (another client node) mutates
-// the same file. Two writers sharing files see each other's data —
-// stripes live server-side — but a client whose cached size exceeds a
-// file's post-truncate size will skip extendTo on its next overwrite,
-// leaving homed getattr stale until a size-extending write runs
-// (TestClusterCrossClientExtend pins the observable behaviour). The
-// paper's platform has the same property: per-mount attribute caches
-// with no cross-client invalidation protocol. Single-writer-per-file
-// workloads — everything the figures run — are unaffected.
+// Reinstate, which refuses to re-admit a server that missed namespace
+// mutations (the caller must resync its backing store out of band
+// first) and drops exactly the size-cache entries established during
+// the server's exclusion — the ones whose reconciliation fans skipped
+// it — so the next write to an affected file replays the grow-only
+// OpSetSize reconciliation.
+// Application-level errors (EEXIST, EOF clipping, short writes) are
+// never treated as faults and fail the operation exactly as before.
+// With R=1 and no faults every path below is bit-identical to the
+// pre-replication cluster.
 //
 // With one server the cluster degenerates exactly: every stripe is one
 // contiguous run on server 0, every metadata route resolves to server
@@ -86,6 +95,7 @@ package rfsrv
 // TestClusterOneServerMatchesSession).
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -120,16 +130,27 @@ type Cluster struct {
 	// excluded servers are skipped by every path until Reinstate.
 	down []bool
 
-	// sizes caches the highest end-of-file this client has established
-	// per inode, so overwrites below the known size skip the OpExtend
-	// reconciliation round.
-	sizes map[kernel.InodeID]int64
+	// nsEpoch counts namespace-and-size mutations this client fanned
+	// out (create/mkdir/unlink/rmdir and exact size sets) — mutations
+	// an excluded server misses unrecoverably. downNs snapshots it at
+	// exclusion time, so Reinstate can tell whether the server's
+	// replicated state diverged while it was out.
+	nsEpoch uint64
+	downNs  []uint64
+
+	// sizes caches, per inode, the highest end-of-file this client has
+	// established on every alive server, together with the size epoch
+	// that view was valid under. Overwrites below the cached size skip
+	// the OpSetSize reconciliation round; any reply carrying a
+	// different epoch invalidates the entry (validated caching — see
+	// the package comment on size coherence).
+	sizes map[kernel.InodeID]sizeEntry
 
 	// StripeReads and StripeWrites count data bytes issued per
 	// direction; MetaFanout counts replicated metadata requests beyond
-	// the first server; Extends counts OpExtend reconciliation
+	// the first server; SetSizes counts OpSetSize reconciliation
 	// requests.
-	StripeReads, StripeWrites, MetaFanout, Extends sim.Counter
+	StripeReads, StripeWrites, MetaFanout, SetSizes sim.Counter
 
 	// Failovers counts operations re-routed to a replica after a fault
 	// (Bytes carries the re-read data volume); Excluded counts servers
@@ -157,6 +178,11 @@ func NewCluster(p *sim.Proc, sessions []*Session, stripe int) (*Cluster, error) 
 func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int) (*Cluster, error) {
 	if len(sessions) == 0 {
 		return nil, fmt.Errorf("rfsrv: cluster needs at least one session")
+	}
+	if len(sessions) > 64 {
+		// The size cache stamps each entry with the exclusion set as a
+		// 64-bit mask (sizeEntry.downAt).
+		return nil, fmt.Errorf("rfsrv: cluster supports at most 64 servers, got %d", len(sessions))
 	}
 	if replicas < 1 || replicas > len(sessions) {
 		return nil, fmt.Errorf("rfsrv: replication factor %d outside 1..%d", replicas, len(sessions))
@@ -188,8 +214,60 @@ func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int
 		node:     node,
 		replicas: replicas,
 		down:     make([]bool, len(sessions)),
-		sizes:    make(map[kernel.InodeID]int64),
+		downNs:   make([]uint64, len(sessions)),
+		sizes:    make(map[kernel.InodeID]sizeEntry),
 	}, nil
+}
+
+// sizeEntry is one validated size-cache record: every alive server's
+// local size for the inode is at least size, established while the
+// inode's size epoch was epoch. The entry is dropped the moment any
+// reply carries a different epoch. downAt records which servers were
+// excluded when the entry was (last) established — exactly the
+// servers its reconciliation fan skipped, and therefore exactly the
+// entries Reinstate must drop when one of them returns.
+type sizeEntry struct {
+	size   int64
+	epoch  uint64
+	downAt uint64 // bitmask of servers excluded at establishment
+}
+
+// downBits snapshots the current exclusion set as an entry's downAt
+// bitmask (the session count is capped at 64 by the constructor).
+func (cl *Cluster) downBits() uint64 {
+	var m uint64
+	for i, d := range cl.down {
+		if d {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// entry builds a size-cache record stamped with the current exclusion
+// set.
+func (cl *Cluster) entry(size int64, epoch uint64) sizeEntry {
+	return sizeEntry{size: size, epoch: epoch, downAt: cl.downBits()}
+}
+
+// observeResp feeds one server reply into the validated size cache:
+// the epoch it carries either confirms the cached entry for the inode
+// it resolves, or proves a foreign exact size set ran — in which case
+// the cached size floor is reset to zero (forcing the next overwrite
+// to re-reconcile) under the freshly observed epoch. Replies that
+// resolve no inode are ignored.
+func (cl *Cluster) observeResp(resp *Resp) {
+	if resp == nil || resp.Attr.Ino == 0 {
+		return
+	}
+	if resp.Status != StOK && resp.Status != StStale {
+		return
+	}
+	ino := resp.Attr.Ino
+	e, ok := cl.sizes[ino]
+	if !ok || e.epoch != resp.Epoch {
+		cl.sizes[ino] = cl.entry(0, resp.Epoch)
+	}
 }
 
 // NumServers returns the number of servers data is striped across.
@@ -214,30 +292,49 @@ func (cl *Cluster) DownServers() []int {
 }
 
 // Reinstate clears server i's exclusion after out-of-band recovery
-// (e.g. its NIC was revived). It also drops the size cache: the
-// reinstated server missed every reconciliation while excluded, so the
-// next size-extending write must replay OpExtend everywhere — which is
-// safe precisely because OpExtend is grow-only and idempotent.
+// (e.g. its NIC was revived). The reinstated server missed every
+// grow-only reconciliation fanned out while it was excluded, so
+// Reinstate drops the size-cache entries established during its
+// exclusion — and only those: an entry's reconciliation fan either
+// included i (established while i was alive: i's local size still
+// covers it, the entry stays) or skipped i (established while i was
+// down: dropped, so the next write to that file replays OpSetSize
+// everywhere, which is safe precisely because the grow mode is
+// idempotent).
 //
-// Namespace mutations are NOT replayable the same way: a server that
-// missed creates/unlinks while excluded will answer homed lookups and
-// getattrs with stale results the moment it is reinstated, with no
-// divergence error until the next fanned-out mutation. The caller's
-// contract is therefore: reinstate only a server whose namespace is
-// known in sync — no mutations ran during the exclusion, or its
-// backing store was resynchronized out of band.
-func (cl *Cluster) Reinstate(i int) {
+// Namespace mutations and exact size sets are NOT replayable the same
+// way: a server that missed creates, unlinks or truncates answers
+// homed lookups and getattrs with stale results — and a missed epoch
+// bump would desynchronize it from the coherence protocol for good.
+// Reinstate therefore refuses, with an error, to re-admit a server
+// when any such mutation fanned out during its exclusion: the caller
+// must resynchronize the server's backing store out of band (rebuild
+// it from a live replica's state) and retry, or rebuild the cluster
+// client. The server stays excluded after a refusal.
+func (cl *Cluster) Reinstate(i int) error {
 	if !cl.down[i] {
-		return
+		return nil
+	}
+	if cl.downNs[i] != cl.nsEpoch {
+		return fmt.Errorf("rfsrv: reinstate server %d: %d namespace/size mutation(s) ran during its exclusion; resync its backing store out of band first",
+			i, cl.nsEpoch-cl.downNs[i])
 	}
 	cl.down[i] = false
-	cl.sizes = make(map[kernel.InodeID]int64)
+	for ino, e := range cl.sizes {
+		if e.downAt&(1<<i) != 0 {
+			delete(cl.sizes, ino)
+		}
+	}
+	return nil
 }
 
-// markDown records a server as excluded after an observed fault.
+// markDown records a server as excluded after an observed fault,
+// snapshotting the mutation epoch so Reinstate can tell whether the
+// server's replicated state diverged while it was out.
 func (cl *Cluster) markDown(i int) {
 	if !cl.down[i] {
 		cl.down[i] = true
+		cl.downNs[i] = cl.nsEpoch
 		cl.Excluded.Add(0)
 	}
 }
@@ -410,6 +507,7 @@ func (cl *Cluster) degenerate(p *sim.Proc, off int64, op func(idx int) (*Resp, e
 	if resp == nil && err != nil {
 		resp = &Resp{Status: StatusOf(err)}
 	}
+	cl.observeResp(resp)
 	return resp, err
 }
 
@@ -604,6 +702,9 @@ func (cl *Cluster) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vec
 		pt.retire(p)
 	}
 	cl.failoverReads(p, ino, parts)
+	for _, pt := range parts {
+		cl.observeResp(pt.resp)
+	}
 	if err := firstError(parts); err != nil {
 		return &Resp{Status: StatusOf(err), Attr: mergeAttr(parts)}, err
 	}
@@ -620,7 +721,20 @@ func mergeRead(parts []*part) *Resp {
 			break // EOF inside this run; later runs are past the end
 		}
 	}
-	return &Resp{Status: StOK, Attr: mergeAttr(parts), N: uint32(n)}
+	return &Resp{Status: StOK, Attr: mergeAttr(parts), Epoch: mergeEpoch(parts), N: uint32(n)}
+}
+
+// mergeEpoch picks the newest size epoch out of per-server responses
+// (they agree except mid-race with a foreign exact size set, where the
+// newest is the one to revalidate against).
+func mergeEpoch(parts []*part) uint64 {
+	var e uint64
+	for _, pt := range parts {
+		if pt.resp != nil && pt.resp.Epoch > e {
+			e = pt.resp.Epoch
+		}
+	}
+	return e
 }
 
 // drainParts retires every part, discarding results — the error path.
@@ -634,7 +748,7 @@ func drainParts(p *sim.Proc, parts []*part) {
 // Write implements Client: runs are chunked at MaxWriteChunk and
 // pipelined across the per-server windows — each run to its primary
 // and, with replication, to the next R-1 alive servers; after a write
-// that extends the file, grow-only OpExtend requests reconcile every
+// that extends the file, grow-only OpSetSize requests reconcile every
 // other server's local size (see the package comment on size
 // reconciliation). A replica that faults mid-write is excluded; the
 // write succeeds as long as every run kept at least one clean replica.
@@ -709,7 +823,15 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 	if err != nil {
 		return resp, err
 	}
-	if err := cl.extendTo(p, ino, off+int64(total), tailTargets); err != nil {
+	// Feed the data replies' size epochs into the validated cache
+	// BEFORE deciding whether to reconcile: a foreign truncate since
+	// this client's last reconciliation resets the cached floor here,
+	// which is exactly what forces setSizeTo to re-run for an overwrite
+	// below the stale cached size.
+	for _, pt := range parts {
+		cl.observeResp(pt.resp)
+	}
+	if err := cl.setSizeTo(p, ino, off+int64(total), tailTargets); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
 	return resp, nil
@@ -742,7 +864,7 @@ func (cl *Cluster) finishWriteParts(runs []run, parts []*part, total int) (*Resp
 	if err := cl.checkRunCoverage(runs, parts); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
-	return &Resp{Status: StOK, Attr: mergeAttr(parts), N: uint32(total)}, nil
+	return &Resp{Status: StOK, Attr: mergeAttr(parts), Epoch: mergeEpoch(parts), N: uint32(total)}, nil
 }
 
 // checkRunCoverage verifies, after a replicated write's parts retired,
@@ -772,32 +894,64 @@ func (cl *Cluster) checkRunCoverage(runs []run, parts []*part) error {
 	return nil
 }
 
-// extendTo reconciles file size after a write ending at end: every
+// setSizeTo reconciles file size after a write ending at end: every
 // server except the tail run's own targets (whose local sizes already
-// reach end) and the excluded ones gets a grow-only OpExtend. Skipped
-// entirely when this client has already established a size >= end, and
-// always a no-op on a one-server cluster. A server that faults during
-// reconciliation is excluded — not an error: the alive servers are
-// consistent, which is all the cache records. Because OpExtend is
-// grow-only and idempotent, a retry after a transient fault (write
-// re-run, or Reinstate then write) replays it safely in any order.
-func (cl *Cluster) extendTo(p *sim.Proc, ino kernel.InodeID, end int64, tailTargets []int) error {
-	if cl.sizes[ino] >= end {
-		return nil
-	}
+// reach end) and the excluded ones gets a grow-only OpSetSize carrying
+// this client's observed size epoch. Skipped entirely when this client
+// holds a validated size >= end, and always a no-op on a one-server
+// cluster. A server that faults during reconciliation is excluded —
+// not an error: the alive servers are consistent, which is all the
+// cache records. Because the grow mode is idempotent, a retry after a
+// transient fault (write re-run, or Reinstate then write) replays it
+// safely in any order. Servers refuse a stale observed epoch
+// (a foreign exact size set ran since): their StStale replies carry
+// the authoritative epoch, the cache entry resets, and the fan
+// retries under the fresh epoch.
+func (cl *Cluster) setSizeTo(p *sim.Proc, ino kernel.InodeID, end int64, tailTargets []int) error {
 	isTail := make(map[int]bool, len(tailTargets))
 	for _, t := range tailTargets {
 		isTail[t] = true
 	}
+	for attempt := 0; ; attempt++ {
+		e := cl.sizes[ino]
+		if e.size >= end {
+			return nil
+		}
+		stale, err := cl.setSizeFan(p, ino, end, e.epoch, isTail)
+		if err != nil {
+			return err
+		}
+		if !stale {
+			cl.sizes[ino] = cl.entry(end, e.epoch)
+			return nil
+		}
+		// The StStale replies refreshed the cache entry (observeResp);
+		// go around with the authoritative epoch. The foreign exact set
+		// that raced us may have shrunk the tail targets after our data
+		// landed on them, so retries stop skipping anyone. The cap only
+		// guards against a pathological truncate storm.
+		isTail = nil
+		if attempt >= 3 {
+			return fmt.Errorf("rfsrv: size reconciliation of inode %d kept racing foreign truncates: %w", ino, ErrStaleEpoch)
+		}
+	}
+}
+
+// setSizeFan is one round of the grow-only reconciliation: OpSetSize
+// to every alive server not in skip, in parallel on the control paths.
+// Faulting servers are excluded; stale reports whether any server
+// refused the observed epoch (the caller revalidates and retries);
+// other application errors win over staleness.
+func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch uint64, skip map[int]bool) (stale bool, err error) {
 	var flights []*syncMetaFlight
 	var targets []int
 	var firstErr error
 	for i, s := range cl.sessions {
-		if isTail[i] || cl.down[i] {
+		if skip[i] || cl.down[i] {
 			continue
 		}
-		cl.Extends.Add(1)
-		fl, err := startSyncMeta(p, s, &Req{Op: OpExtend, Ino: ino, Off: end})
+		cl.SetSizes.Add(1)
+		fl, err := startSyncMeta(p, s, &Req{Op: OpSetSize, Ino: ino, Off: end, Len: PackSetSize(false, epoch)})
 		if err != nil {
 			if fabric.IsFault(err) {
 				cl.markDown(i)
@@ -810,21 +964,35 @@ func (cl *Cluster) extendTo(p *sim.Proc, ino kernel.InodeID, end int64, tailTarg
 		targets = append(targets, i)
 	}
 	for k, fl := range flights {
-		if _, err := fl.wait(p); err != nil {
-			if fabric.IsFault(err) {
-				cl.markDown(targets[k])
-				continue
-			}
-			if firstErr == nil {
-				firstErr = err
-			}
+		resp, err := fl.wait(p)
+		if err != nil && fabric.IsFault(err) {
+			cl.markDown(targets[k])
+			continue
+		}
+		cl.observeResp(resp)
+		if errors.Is(err, ErrStaleEpoch) {
+			stale = true
+			continue
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	if firstErr != nil {
-		return firstErr
+	return stale, firstErr
+}
+
+// SetFileSize publishes an externally tracked end-of-file through the
+// grow-only reconciliation: every alive server's local size is raised
+// to at least size, under the validated cache (a no-op when a cached
+// entry already covers it). This is the barrier piece asynchronous
+// writers need — ORFS write-behind extends only the servers its dirty
+// pages land on, then calls SetFileSize at its sync barrier so homed
+// getattr and striped-read EOF clipping agree with the bytes it wrote.
+func (cl *Cluster) SetFileSize(p *sim.Proc, ino kernel.InodeID, size int64) error {
+	if size < 0 {
+		return ErrInval
 	}
-	cl.sizes[ino] = end
-	return nil
+	return cl.setSizeTo(p, ino, size, nil)
 }
 
 // ---- pipelined data path (Async) ----
@@ -858,6 +1026,9 @@ func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 	}
 	if cp.want < 0 {
 		cp.cl.failoverReads(p, cp.ino, cp.parts)
+		for _, pt := range cp.parts {
+			cp.cl.observeResp(pt.resp)
+		}
 		if err := firstError(cp.parts); err != nil {
 			cp.resp, cp.err = &Resp{Status: StatusOf(err), Attr: mergeAttr(cp.parts)}, err
 			return cp.resp, cp.err
@@ -866,6 +1037,9 @@ func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 		return cp.resp, cp.err
 	}
 	cp.resp, cp.err = cp.cl.finishWriteParts(cp.runs, cp.parts, cp.want)
+	for _, pt := range cp.parts {
+		cp.cl.observeResp(pt.resp)
+	}
 	return cp.resp, cp.err
 }
 
@@ -989,7 +1163,8 @@ func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src co
 	// The size cache is deliberately NOT updated here: sizes[ino]
 	// records "every server reconciled to this size", and an async
 	// write extends only the servers its runs touch. The next
-	// synchronous Write past this end runs extendTo as usual.
+	// synchronous Write past this end runs setSizeTo as usual; callers
+	// with their own EOF tracking publish it through SetFileSize.
 	return cp, nil
 }
 
@@ -1057,7 +1232,11 @@ func (cl *Cluster) syncMeta(p *sim.Proc, idx int, req *Req) (*Resp, error) {
 // faults mid-request); mutations replicate to every alive server in
 // server order, and the per-server answers must agree (same status,
 // same inode) or the cluster reports namespace divergence — a faulting
-// server is excluded, never counted as divergent.
+// server is excluded, never counted as divergent. OpTruncate is
+// translated to the exact mode of OpSetSize — same wire size, but it
+// carries this client's observed size epoch, so servers refuse it when
+// the view is stale and the cluster revalidates and retries; OpSetSize
+// requests get their observed epoch stamped the same way.
 func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	if err := ValidateReq(req); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
@@ -1066,16 +1245,42 @@ func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	case OpRead, OpWrite:
 		return &Resp{Status: StInval}, ErrInval
 	case OpLookup:
-		// Read-only answers deliberately do NOT feed the size cache:
-		// sizes[ino] means "every server reconciled to this size", and a
-		// single server's view (e.g. the home after an async StartWrite
-		// that extended only its own stripes) cannot establish that —
-		// caching it would silently disable the next write's extendTo.
+		// Read-only answers feed only the EPOCH side of the size cache
+		// (observeResp): sizes[ino].size means "every alive server
+		// reconciled to this size", and a single server's view (e.g.
+		// the home after an async StartWrite that extended only its own
+		// stripes) cannot establish that — caching it would silently
+		// disable the next write's setSizeTo.
 		return cl.homedMeta(p, req, func() int { return cl.pathHomeIdx(req.Ino, req.Name) })
 	case OpGetattr, OpReaddir:
 		return cl.homedMeta(p, req, func() int { return cl.homeIdx(req.Ino) })
+	case OpTruncate:
+		return cl.setSizeMeta(p, req.Ino, req.Off, true)
+	case OpSetSize:
+		exact, _ := UnpackSetSize(req.Len)
+		return cl.setSizeMeta(p, req.Ino, req.Off, exact)
 	default:
 		return cl.fanout(p, req)
+	}
+}
+
+// setSizeMeta fans an OpSetSize to every alive server — exact mode
+// (shrink-capable, epoch-bumping: the cluster face of truncate) or
+// grow mode — revalidating and retrying when the observed epoch
+// proves stale, so callers never see a spurious ErrStaleEpoch from a
+// racing foreign size set.
+func (cl *Cluster) setSizeMeta(p *sim.Proc, ino kernel.InodeID, size int64, exact bool) (*Resp, error) {
+	for attempt := 0; ; attempt++ {
+		req := &Req{Op: OpSetSize, Ino: ino, Off: size, Len: PackSetSize(exact, cl.sizes[ino].epoch)}
+		resp, err := cl.fanout(p, req)
+		if !errors.Is(err, ErrStaleEpoch) {
+			return resp, err
+		}
+		// The refusals refreshed the cached epoch (observeResp in
+		// fanout); go around with the authoritative one.
+		if attempt >= 3 {
+			return resp, fmt.Errorf("rfsrv: size set of inode %d kept racing foreign size sets: %w", ino, ErrStaleEpoch)
+		}
 	}
 }
 
@@ -1096,6 +1301,9 @@ func (cl *Cluster) homedMeta(p *sim.Proc, req *Req, home func() int) (*Resp, err
 			cl.Failovers.Add(0)
 			continue
 		}
+		// The home's reply is the control-path revalidation point: its
+		// epoch either confirms the cached size or invalidates it.
+		cl.observeResp(resp)
 		return resp, err
 	}
 }
@@ -1109,6 +1317,7 @@ func (cl *Cluster) homedMeta(p *sim.Proc, req *Req, home func() int) (*Resp, err
 func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 	if len(cl.sessions) == 1 {
 		resp, err := cl.syncMeta(p, 0, req)
+		cl.observeResp(resp)
 		cl.noteMutation(req, resp, err)
 		return resp, err
 	}
@@ -1135,16 +1344,30 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 		targets = append(targets, i)
 	}
 	resps := make([]*Resp, 0, len(flights))
+	stale := false
 	for k, fl := range flights {
 		r, err := fl.wait(p)
 		if err != nil && fabric.IsFault(err) {
 			cl.markDown(targets[k])
 			continue // excluded, not divergent
 		}
+		cl.observeResp(r)
+		if errors.Is(err, ErrStaleEpoch) {
+			stale = true
+			continue
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		resps = append(resps, r)
+	}
+	if stale {
+		// A foreign exact size set raced this OpSetSize: some servers
+		// may have applied it (winning their epoch's slot) while the
+		// rest refused — that is staleness to revalidate and retry
+		// against, never namespace divergence. The cache entry was
+		// refreshed above.
+		return &Resp{Status: StStale}, ErrStaleEpoch
 	}
 	if len(resps) == 0 {
 		if firstErr == nil {
@@ -1167,19 +1390,33 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 	return base, firstErr
 }
 
-// noteMutation updates the size cache after a replicated mutation.
+// noteMutation updates the size cache and the namespace mutation epoch
+// after a replicated mutation succeeded on every alive server. Exact
+// size sets and namespace mutations advance nsEpoch — they are exactly
+// the operations an excluded server misses unrecoverably (Reinstate
+// refuses when any ran); grow-only reconciliation is replayable and
+// advances nothing.
 func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
 	if err != nil || resp == nil {
 		return
 	}
 	switch req.Op {
 	case OpCreate:
-		cl.sizes[resp.Attr.Ino] = resp.Attr.Size
+		cl.nsEpoch++
+		cl.sizes[resp.Attr.Ino] = cl.entry(resp.Attr.Size, resp.Epoch)
+	case OpMkdir, OpUnlink, OpRmdir:
+		cl.nsEpoch++
 	case OpTruncate:
-		cl.sizes[req.Ino] = req.Off // exact: truncate may shrink
-	case OpExtend:
-		if req.Off > cl.sizes[req.Ino] {
-			cl.sizes[req.Ino] = req.Off
+		// Defensive: Meta translates truncates to exact OpSetSize, but a
+		// raw fan-out (MetaBatch carrying one) records the same facts.
+		cl.nsEpoch++
+		cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
+	case OpSetSize:
+		if exact, _ := UnpackSetSize(req.Len); exact {
+			cl.nsEpoch++
+			cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
+		} else if e, ok := cl.sizes[req.Ino]; !ok || e.epoch == resp.Epoch && req.Off > e.size {
+			cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
 		}
 	}
 }
@@ -1215,6 +1452,14 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 	}
 	shares := make([]share, len(cl.sessions))
 	mutation := make([]bool, len(reqs))
+	track := make([]*Req, len(reqs)) // the request actually fanned (post-translation)
+	// bumps counts the exact size sets already packed for each inode
+	// earlier in THIS batch: the servers apply the batch in order and
+	// bump the epoch after each exact set, so a later size mutation of
+	// the same inode must observe the epoch it will find, not the
+	// pre-batch one — otherwise a truncate-then-truncate batch would
+	// refuse itself with StStale forever.
+	bumps := make(map[kernel.InodeID]uint64)
 	for i, r := range reqs {
 		switch r.Op {
 		case OpLookup:
@@ -1226,7 +1471,25 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			shares[h].idx = append(shares[h].idx, i)
 			shares[h].reqs = append(shares[h].reqs, r)
 		default:
+			// Size mutations translate and get their observed epoch
+			// stamped like Meta's (batches do not retry staleness — a
+			// StStale reply surfaces as the batch error and the caller
+			// re-issues with the cache already revalidated).
+			w := r
+			switch r.Op {
+			case OpTruncate:
+				w = &Req{Op: OpSetSize, Ino: r.Ino, Off: r.Off, Len: PackSetSize(true, cl.sizes[r.Ino].epoch+bumps[r.Ino])}
+				bumps[r.Ino]++
+			case OpSetSize:
+				exact, _ := UnpackSetSize(r.Len)
+				w = cloneReq(r)
+				w.Len = PackSetSize(exact, cl.sizes[r.Ino].epoch+bumps[r.Ino])
+				if exact {
+					bumps[r.Ino]++
+				}
+			}
 			mutation[i] = true
+			track[i] = w
 			first := true
 			for s := range cl.sessions {
 				if cl.down[s] {
@@ -1237,7 +1500,7 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 				}
 				first = false
 				shares[s].idx = append(shares[s].idx, i)
-				shares[s].reqs = append(shares[s].reqs, cloneReq(r))
+				shares[s].reqs = append(shares[s].reqs, cloneReq(w))
 			}
 		}
 	}
@@ -1249,9 +1512,11 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 		resps, err := cl.sessions[s].MetaBatch(p, sh.reqs)
 		for i, r := range resps {
 			pos := sh.idx[i]
+			cl.observeResp(r)
 			if out[pos] == nil {
 				out[pos] = r
-			} else if r != nil && (r.Status != out[pos].Status || r.Attr.Ino != out[pos].Attr.Ino) {
+			} else if r != nil && r.Status != StStale && out[pos].Status != StStale &&
+				(r.Status != out[pos].Status || r.Attr.Ino != out[pos].Attr.Ino) {
 				return out, fmt.Errorf("rfsrv: cluster namespace diverged in batch at %d", pos)
 			}
 		}
@@ -1265,10 +1530,10 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 		}
 	}
 	// Apply cache updates in request order: a batch may carry several
-	// mutations of one inode (extend then truncate), and the LAST one
+	// mutations of one inode (grow then truncate), and the LAST one
 	// must win, exactly as the servers applied them.
-	for pos, r := range reqs {
-		if mutation[pos] && out[pos] != nil {
+	for pos, r := range track {
+		if mutation[pos] && out[pos] != nil && out[pos].Status == StOK {
 			cl.noteMutation(r, out[pos], nil)
 		}
 	}

@@ -3,16 +3,20 @@ package rfsrv_test
 // Fault-injected cluster tests: replicated reads failing over a killed
 // server, writes tolerating a lost replica, timeout-driven slot and
 // staging recovery (with fabric.Pool.CheckLeaks asserting nothing can
-// ever recycle), OpExtend retry after a transient fault, and the
-// cross-client size-cache staleness pin.
+// ever recycle), OpSetSize reconciliation retry after a transient
+// fault, cross-client truncate-then-overwrite coherence, and the
+// Reinstate contract (mutation-epoch refusal, targeted size-cache
+// invalidation, reconciliation replay across an excluded home).
 
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/rfsrv"
 	"repro/internal/sim"
@@ -256,23 +260,40 @@ func TestClusterAllReplicasDownFails(t *testing.T) {
 	})
 }
 
-// TestClusterExtendRetryAfterTransientFault is the satellite-2
-// regression: a transient fault (stalled NIC, longer than the reply
-// deadline) hits exactly the OpExtend reconciliation fan-out of a
-// write whose data lives entirely on the other server. The write must
-// still succeed with the stalled server excluded and its local size
-// stale; after the stall clears and the operator reinstates the
-// server, RE-RUNNING the same write must replay OpExtend — grow-only,
-// idempotent, so replaying against a server that meanwhile caught up
-// (or not) converges every local size. A second explicit replay pins
-// the idempotence itself.
-func TestClusterExtendRetryAfterTransientFault(t *testing.T) {
+// TestClusterSetSizeRetryAfterTransientFault is the PR 4 satellite-2
+// regression carried into the coherence protocol: a transient fault
+// (stalled NIC, longer than the reply deadline) hits exactly the
+// OpSetSize reconciliation fan-out of a write whose data lives
+// entirely on the other server. The write must still succeed with the
+// stalled server excluded and its local size stale; after the stall
+// clears and the operator reinstates the server (allowed: no namespace
+// or exact-size mutation ran during the exclusion), RE-RUNNING the
+// same write must replay OpSetSize — grow-only, idempotent, so
+// replaying against a server that meanwhile caught up (or not)
+// converges every local size. (The entry was established during the
+// exclusion, so the targeted invalidation drops it at Reinstate; the
+// file is additionally chosen with its hashed metadata home on the
+// faulting server, so homed getattr routing is exercised across the
+// exclusion too.) A second explicit replay pins the idempotence
+// itself.
+func TestClusterSetSizeRetryAfterTransientFault(t *testing.T) {
 	r := newClusterRig(t, 2)
 	r.run(t, func(p *sim.Proc) {
 		cl := r.clusterRep(t, p, 2, testStripe, 1)
-		ino := clusterCreate(t, p, cl, "f")
-		// One stripe at offset 0: data (and the tail) live on server 0
-		// only; reconciliation targets exactly server 1.
+		// Pick a file homed on server 1: its single stripe lives on
+		// server 0, so data and reconciliation hit disjoint servers and
+		// the home is exactly the one that faults.
+		var ino kernel.InodeID
+		for i := 0; i < 16; i++ {
+			cand := clusterCreate(t, p, cl, fmt.Sprintf("f%d", i))
+			if cl.HomeServer(cand) == 1 {
+				ino = cand
+				break
+			}
+		}
+		if ino == 0 {
+			t.Fatal("no candidate file homed on server 1")
+		}
 		va, vec := r.kbuf(t, testStripe)
 		if err := r.client.Kernel.WriteBytes(va, pattern(testStripe)); err != nil {
 			t.Fatal(err)
@@ -284,16 +305,18 @@ func TestClusterExtendRetryAfterTransientFault(t *testing.T) {
 			t.Fatalf("write across stalled reconciliation: n=%d err=%v", resp.N, err)
 		}
 		if down := cl.DownServers(); len(down) != 1 || down[0] != 1 {
-			t.Fatalf("down servers = %v, want [1] (extend fan-out faulted)", down)
+			t.Fatalf("down servers = %v, want [1] (setsize fan-out faulted)", down)
 		}
 		if a, _ := r.serverFS[0].Getattr(p, ino); a.Size != testStripe {
 			t.Fatalf("data server size = %d, want %d", a.Size, testStripe)
 		}
 
 		// Let the stall clear (and its late deliveries drain), then
-		// reinstate and re-run the same write: extendTo must replay.
+		// reinstate and re-run the same write: setSizeTo must replay.
 		p.Sleep(20 * faultTimeout)
-		cl.Reinstate(1)
+		if err := cl.Reinstate(1); err != nil {
+			t.Fatalf("reinstate after mutation-free exclusion: %v", err)
+		}
 		resp, err = cl.Write(p, ino, 0, vec)
 		if err != nil || int(resp.N) != testStripe {
 			t.Fatalf("re-run write after transient fault: n=%d err=%v", resp.N, err)
@@ -307,19 +330,20 @@ func TestClusterExtendRetryAfterTransientFault(t *testing.T) {
 			t.Fatalf("server still excluded after reinstate+retry: %v", cl.DownServers())
 		}
 
-		// Idempotence proper: replaying OpExtend against already-extended
-		// servers changes nothing.
+		// Idempotence proper: replaying a grow-mode OpSetSize against
+		// already-extended servers changes nothing (the cluster stamps
+		// the observed epoch itself).
 		before := make([]int64, len(r.serverFS))
 		for s, fs := range r.serverFS {
 			a, _ := fs.Getattr(p, ino)
 			before[s] = a.Size
 		}
-		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpExtend, Ino: ino, Off: testStripe}); err != nil {
-			t.Fatalf("explicit OpExtend replay: %v", err)
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpSetSize, Ino: ino, Off: testStripe}); err != nil {
+			t.Fatalf("explicit OpSetSize replay: %v", err)
 		}
 		for s, fs := range r.serverFS {
 			if a, _ := fs.Getattr(p, ino); a.Size != before[s] {
-				t.Fatalf("OpExtend replay changed server %d size %d -> %d", s, before[s], a.Size)
+				t.Fatalf("OpSetSize replay changed server %d size %d -> %d", s, before[s], a.Size)
 			}
 		}
 		assertWindowsIdle(t, cl)
@@ -327,15 +351,14 @@ func TestClusterExtendRetryAfterTransientFault(t *testing.T) {
 	})
 }
 
-// TestClusterCrossClientExtend is the satellite-3 pin: the size cache
-// is per client, and another client's truncate does not invalidate
-// it. Client B establishes a large size, client A truncates the file,
-// and B's next overwrite below its cached size skips reconciliation —
-// so only the servers holding the overwrite's runs learn the new EOF,
-// and a homed getattr answers with the home's (possibly stale) local
-// size. The cluster package comment documents this as the accepted
-// cross-client semantics (single-writer workloads are unaffected); a
-// later size-extending write restores agreement.
+// TestClusterCrossClientExtend is the coherence acceptance test for
+// the size-epoch protocol — it used to PIN the opposite (stale)
+// behaviour. Client B establishes a large size, client A truncates
+// the file (an exact OpSetSize, bumping the replicated size epoch),
+// and B's next overwrite below its stale cached size must now DETECT
+// the foreign truncate from its data replies' epochs and re-run the
+// reconciliation, so every server — and the homed getattr both
+// clients see — agrees on the true end of file.
 func TestClusterCrossClientExtend(t *testing.T) {
 	r := newClusterRig(t, 2)
 	r.run(t, func(p *sim.Proc) {
@@ -373,42 +396,55 @@ func TestClusterCrossClientExtend(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		// A truncates to one stripe. A's fan-out updates every server;
-		// B's cache still says full.
+		// A truncates to one stripe. A's fan-out shrinks every server
+		// and bumps the size epoch; B's cache still says full.
 		if _, err := clA.Meta(p, &rfsrv.Req{Op: rfsrv.OpTruncate, Ino: ino, Off: testStripe}); err != nil {
 			t.Fatal(err)
 		}
 
-		// B overwrites [0, 2 stripes): below B's cached size, so B skips
-		// extendTo. Stripe 1's owner (server 1) learns EOF=2S from the
-		// data itself; server 0 keeps the truncated size S.
+		// B overwrites [0, 2 stripes): below B's stale cached size. The
+		// data replies carry the bumped epoch, B invalidates its entry
+		// and re-reconciles — every server must agree EOF = 2S.
 		if _, err := clB.Write(p, ino, 0, vecB.Slice(0, 2*testStripe)); err != nil {
 			t.Fatal(err)
 		}
-		sizes := make([]int64, 2)
 		for s, fs := range r.serverFS {
 			a, err := fs.Getattr(p, ino)
-			if err != nil {
-				t.Fatal(err)
+			if err != nil || a.Size != 2*testStripe {
+				t.Fatalf("server %d local size = %d (%v), want %d: truncate-then-overwrite must reconcile", s, a.Size, err, 2*testStripe)
 			}
-			sizes[s] = a.Size
 		}
-		if sizes[0] != testStripe || sizes[1] != 2*testStripe {
-			t.Fatalf("local sizes = %v, want [S 2S]: the skipped reconciliation is the documented staleness", sizes)
+		// Homed getattr agrees everywhere, through either client.
+		for name, cl := range map[string]*rfsrv.Cluster{"A": clA, "B": clB} {
+			resp, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino})
+			if err != nil || resp.Attr.Size != 2*testStripe {
+				t.Fatalf("client %s homed getattr = %d (%v), want %d", name, resp.Attr.Size, err, 2*testStripe)
+			}
 		}
-		// Homed getattr answers with the home's local view — stale when
-		// the home is server 0.
-		home := clA.HomeServer(ino)
-		resp, err := clA.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino})
-		if err != nil {
+		// And the full range reads back at the reconciled length.
+		rva, rvec := r.kbuf(t, 2*testStripe)
+		resp, err := clB.Read(p, ino, 0, rvec)
+		if err != nil || int(resp.N) != 2*testStripe {
+			t.Fatalf("read after reconcile: n=%d err=%v, want %d", resp.N, err, 2*testStripe)
+		}
+		_ = rva
+
+		// Second foreign truncate, overwrite entirely BELOW the new
+		// size: nothing may resurrect the cut bytes — EOF stays at the
+		// truncated size on every server.
+		if _, err := clA.Meta(p, &rfsrv.Req{Op: rfsrv.OpTruncate, Ino: ino, Off: testStripe}); err != nil {
 			t.Fatal(err)
 		}
-		if resp.Attr.Size != sizes[home] {
-			t.Fatalf("homed getattr = %d, want home server %d's local size %d", resp.Attr.Size, home, sizes[home])
+		if _, err := clB.Write(p, ino, 0, vecB.Slice(0, testStripe/2)); err != nil {
+			t.Fatal(err)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != testStripe {
+				t.Fatalf("server %d size = %d after below-EOF overwrite, want %d (no resurrection)", s, a.Size, testStripe)
+			}
 		}
 
-		// A size-extending write from B (above its cached size) runs
-		// extendTo and restores agreement everywhere.
+		// A size-extending write from B still reconciles everywhere.
 		vaX, vecX := r.kbuf(t, full+testStripe)
 		if err := r.client.Kernel.WriteBytes(vaX, pattern(full+testStripe)); err != nil {
 			t.Fatal(err)
@@ -486,4 +522,230 @@ func TestClusterEOFAtStripeBoundary(t *testing.T) {
 			})
 		})
 	}
+}
+
+// TestClusterSetSizeToExcludedHomeFansToReplicas is the coherence ×
+// failover interaction bar: the file's hashed metadata home dies
+// before a write, so the write's OpSetSize reconciliation faults on
+// the home, excludes it, and the size information survives on the
+// replicas — homed getattr re-routes and still answers the true EOF.
+// After out-of-band recovery, Reinstate succeeds (no namespace or
+// exact-size mutation ran during the exclusion), drops the file's
+// cache entry (its home touches the victim), and re-running the write
+// replays the grow-only OpSetSize onto the reinstated server so every
+// local size converges.
+func TestClusterSetSizeToExcludedHomeFansToReplicas(t *testing.T) {
+	r := newClusterRig(t, 3)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 2, testStripe, 2)
+		// Pick a file homed on server 2: its single stripe (replicated)
+		// lives on servers 0 and 1, so data never touches the victim.
+		var ino kernel.InodeID
+		for i := 0; i < 24 && ino == 0; i++ {
+			cand := clusterCreate(t, p, cl, fmt.Sprintf("f%d", i))
+			if cl.HomeServer(cand) == 2 {
+				ino = cand
+			}
+		}
+		if ino == 0 {
+			t.Fatal("no candidate file homed on server 2")
+		}
+		va, vec := r.kbuf(t, testStripe)
+		if err := r.client.Kernel.WriteBytes(va, pattern(testStripe)); err != nil {
+			t.Fatal(err)
+		}
+
+		r.servers[2].NIC.Kill()
+
+		resp, err := cl.Write(p, ino, 0, vec)
+		if err != nil || int(resp.N) != testStripe {
+			t.Fatalf("write across dead home: n=%d err=%v", resp.N, err)
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 2 {
+			t.Fatalf("down servers = %v, want [2]", down)
+		}
+		// The home re-routes; the re-homed getattr must see the true EOF
+		// (the reconciliation covered every alive server).
+		gresp, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino})
+		if err != nil || gresp.Attr.Size != testStripe {
+			t.Fatalf("re-homed getattr = %d (%v), want %d", gresp.Attr.Size, err, testStripe)
+		}
+
+		// Recover out of band, reinstate (must be allowed: only grow
+		// reconciliation ran during the exclusion), re-run the write:
+		// the replay must converge the reinstated server's local size.
+		r.servers[2].NIC.Revive()
+		p.Sleep(2 * faultTimeout)
+		if err := cl.Reinstate(2); err != nil {
+			t.Fatalf("reinstate after mutation-free exclusion: %v", err)
+		}
+		if _, err := cl.Write(p, ino, 0, vec); err != nil {
+			t.Fatalf("re-run write after reinstate: %v", err)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != testStripe {
+				t.Fatalf("server %d size = %d after reinstate replay, want %d", s, a.Size, testStripe)
+			}
+		}
+		// Home routing is back on the reinstated server and coherent.
+		if h := cl.HomeServer(ino); h != 2 {
+			t.Fatalf("home = %d after reinstate, want 2", h)
+		}
+		if gresp, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino}); err != nil || gresp.Attr.Size != testStripe {
+			t.Fatalf("homed getattr after reinstate = %d (%v), want %d", gresp.Attr.Size, err, testStripe)
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
+}
+
+// TestClusterReinstateRefusesAfterMutation is the namespace-footgun
+// fix: a server that missed a fanned-out namespace mutation while
+// excluded must NOT be silently re-admitted — Reinstate returns an
+// error and keeps it excluded until the operator resyncs its backing
+// store out of band.
+func TestClusterReinstateRefusesAfterMutation(t *testing.T) {
+	r := newClusterRig(t, 2)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 2, testStripe, 2)
+		ino := clusterCreate(t, p, cl, "f")
+		va, vec := r.kbuf(t, testStripe)
+		if err := r.client.Kernel.WriteBytes(va, pattern(testStripe)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Write(p, ino, 0, vec); err != nil {
+			t.Fatal(err)
+		}
+
+		r.servers[1].NIC.Kill()
+		// Any operation touching the victim observes the fault.
+		if _, err := cl.Write(p, ino, 0, vec); err != nil {
+			t.Fatalf("replicated write across kill: %v", err)
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 1 {
+			t.Fatalf("down servers = %v, want [1]", down)
+		}
+
+		// A namespace mutation fans out while server 1 is excluded: its
+		// replicated state has now diverged.
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpMkdir, Ino: 0, Name: "d"}); err != nil {
+			t.Fatalf("mkdir with excluded server: %v", err)
+		}
+
+		r.servers[1].NIC.Revive()
+		p.Sleep(2 * faultTimeout)
+		err := cl.Reinstate(1)
+		if err == nil {
+			t.Fatal("Reinstate re-admitted a server that missed a namespace mutation")
+		}
+		if !strings.Contains(err.Error(), "resync") {
+			t.Fatalf("refusal %q does not point at the out-of-band resync contract", err)
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 1 {
+			t.Fatalf("down servers = %v after refused reinstate, want [1]", down)
+		}
+		// The cluster keeps operating degraded.
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino}); err != nil {
+			t.Fatalf("getattr after refused reinstate: %v", err)
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
+}
+
+// TestClusterReinstateTargetedInvalidation pins the satellite-3
+// narrowing: Reinstate drops only the size-cache entries established
+// while the reinstated server was excluded — the ones whose
+// reconciliation fans skipped it. A file reconciled before the
+// exclusion keeps its entry (its next overwrite issues no
+// reconciliation RPCs: the reinstated server already holds its size),
+// while a file written during the exclusion loses its entry (its next
+// overwrite replays OpSetSize, repairing the reinstated server's
+// local size).
+func TestClusterReinstateTargetedInvalidation(t *testing.T) {
+	r := newClusterRig(t, 3)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 2, testStripe, 1)
+		// Both files exist before the exclusion (creates are namespace
+		// mutations, which Reinstate refuses to have missed).
+		pre := clusterCreate(t, p, cl, "pre")
+		dur := clusterCreate(t, p, cl, "dur")
+		vaP, vecP := r.kbuf(t, 3*testStripe)
+		if err := r.client.Kernel.WriteBytes(vaP, pattern(3*testStripe)); err != nil {
+			t.Fatal(err)
+		}
+		vaD, vecD := r.kbuf(t, testStripe)
+		if err := r.client.Kernel.WriteBytes(vaD, pattern(testStripe)); err != nil {
+			t.Fatal(err)
+		}
+		// pre's entry is established while every server is alive: its
+		// fan reached server 2.
+		if _, err := cl.Write(p, pre, 0, vecP); err != nil {
+			t.Fatal(err)
+		}
+
+		// Exclude server 2 via a homed metadata fault (no data loss:
+		// the getattr re-homes) on a file deterministically homed there.
+		var homed2 kernel.InodeID
+		for i := 0; i < 24 && homed2 == 0; i++ {
+			cand := clusterCreate(t, p, cl, fmt.Sprintf("h%d", i))
+			if cl.HomeServer(cand) == 2 {
+				homed2 = cand
+			}
+		}
+		if homed2 == 0 {
+			t.Fatal("no candidate file homed on server 2")
+		}
+		r.servers[2].NIC.Kill()
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: homed2}); err != nil {
+			t.Fatalf("getattr across kill: %v", err)
+		}
+		if down := cl.DownServers(); len(down) != 1 || down[0] != 2 {
+			t.Fatalf("down servers = %v, want [2]", down)
+		}
+
+		// dur is written DURING the exclusion: one stripe on server 0,
+		// reconciliation fanned only to server 1 — server 2 missed it.
+		if _, err := cl.Write(p, dur, 0, vecD); err != nil {
+			t.Fatalf("write during exclusion: %v", err)
+		}
+		if a, _ := r.serverFS[2].Getattr(p, dur); a.Size != 0 {
+			t.Fatalf("excluded server learned dur's size %d, want 0", a.Size)
+		}
+
+		r.servers[2].NIC.Revive()
+		p.Sleep(2 * faultTimeout)
+		if err := cl.Reinstate(2); err != nil {
+			t.Fatalf("reinstate: %v", err)
+		}
+
+		// pre's entry survived: an overwrite below its size issues no
+		// reconciliation RPCs.
+		before := cl.SetSizes.N
+		if _, err := cl.Write(p, pre, 0, vecP); err != nil {
+			t.Fatal(err)
+		}
+		if cl.SetSizes.N != before {
+			t.Fatalf("overwrite of pre-exclusion file issued %d reconciliation RPC(s); its cache entry should have survived", cl.SetSizes.N-before)
+		}
+		// dur's entry was dropped: the same overwrite replays the
+		// reconciliation, repairing the reinstated server.
+		before = cl.SetSizes.N
+		if _, err := cl.Write(p, dur, 0, vecD); err != nil {
+			t.Fatal(err)
+		}
+		if cl.SetSizes.N == before {
+			t.Fatal("overwrite of a file written during the exclusion issued no reconciliation; its cache entry should have been dropped")
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, dur); a.Size != testStripe {
+				t.Fatalf("server %d size = %d for dur after replay, want %d", s, a.Size, testStripe)
+			}
+			if a, _ := fs.Getattr(p, pre); a.Size != 3*testStripe {
+				t.Fatalf("server %d size = %d for pre, want %d", s, a.Size, 3*testStripe)
+			}
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
 }

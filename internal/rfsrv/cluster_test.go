@@ -545,7 +545,9 @@ func TestClusterStartReadWiderThanWindow(t *testing.T) {
 // reconciles nothing) and a synchronous Write must not convince the
 // cluster that reconciliation already happened. Before the fix, the
 // homed getattr cached the home's size and the sync Write skipped
-// extendTo, leaving other servers EOF-clipped.
+// the reconciliation fan, leaving other servers EOF-clipped. Under
+// the size-epoch protocol the getattr reply still feeds only the
+// EPOCH side of the validated cache, never the size floor.
 func TestClusterGetattrDoesNotPoisonSizeCache(t *testing.T) {
 	r := newClusterRig(t, 2)
 	r.run(t, func(p *sim.Proc) {
@@ -589,5 +591,43 @@ func TestClusterGetattrDoesNotPoisonSizeCache(t *testing.T) {
 			t.Fatalf("striped read after reconciliation: n=%d err=%v, want %d", resp.N, err, end)
 		}
 		_ = rva
+	})
+}
+
+// TestClusterMetaBatchRepeatedSizeMutations pins the batched
+// self-race fix: a MetaBatch carrying several exact size sets of ONE
+// inode must succeed — the cluster stamps each with the epoch it will
+// find after the batch's earlier sets (servers bump per exact set) —
+// and the LAST mutation must win on every server, exactly as applied.
+func TestClusterMetaBatchRepeatedSizeMutations(t *testing.T) {
+	r := newClusterRig(t, 2)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.cluster(t, p, 4, testStripe)
+		ino := clusterCreate(t, p, cl, "f")
+		resps, err := cl.MetaBatch(p, []*rfsrv.Req{
+			{Op: rfsrv.OpTruncate, Ino: ino, Off: 3 * testStripe},
+			{Op: rfsrv.OpTruncate, Ino: ino, Off: testStripe},
+			{Op: rfsrv.OpGetattr, Ino: ino},
+		})
+		if err != nil {
+			t.Fatalf("batched truncate-then-truncate: %v", err)
+		}
+		if got := resps[2].Attr.Size; got != testStripe {
+			t.Fatalf("batched getattr after two truncates = %d, want %d", got, testStripe)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != testStripe {
+				t.Fatalf("server %d size = %d after batch, want %d (last mutation wins)", s, a.Size, testStripe)
+			}
+		}
+		// A follow-up synchronous truncate must not see a stale cache.
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpTruncate, Ino: ino, Off: 2 * testStripe}); err != nil {
+			t.Fatalf("truncate after batch: %v", err)
+		}
+		for s, fs := range r.serverFS {
+			if a, _ := fs.Getattr(p, ino); a.Size != 2*testStripe {
+				t.Fatalf("server %d size = %d after follow-up truncate, want %d", s, a.Size, 2*testStripe)
+			}
+		}
 	})
 }

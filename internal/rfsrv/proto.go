@@ -48,20 +48,27 @@ const (
 	OpTruncate
 	OpRead
 	OpWrite
-	// OpExtend grows a file to at least Off bytes (size = max(size,
-	// Off)) and returns the resulting attributes. Unlike OpTruncate it
-	// never shrinks, so it is idempotent and safe to replay in any
-	// order — the property the striped cluster client relies on when it
-	// reconciles file sizes across servers after a write whose tail
-	// stripe landed away from the metadata home (see Cluster).
-	OpExtend
+	// OpSetSize is the size-coherence operation (it replaced the
+	// grow-only OpExtend at the same opcode). Off is the target size;
+	// Len packs a mode bit and the writer's observed size epoch (see
+	// PackSetSize). In grow mode the server applies size = max(size,
+	// Off) and never bumps the inode's size epoch — idempotent and safe
+	// to replay in any order, the property the striped cluster client
+	// relies on when it reconciles file sizes across servers after a
+	// write whose tail stripe landed away from the metadata home. In
+	// exact mode the server applies size = Off (grow or shrink) and
+	// always bumps the epoch — the cluster's truncate. Either mode is
+	// rejected with StStale when the observed epoch is behind, with the
+	// reply carrying the authoritative (size, epoch) so one round trip
+	// revalidates the caller (see Cluster).
+	OpSetSize
 )
 
 var opNames = map[Op]string{
 	OpLookup: "lookup", OpGetattr: "getattr", OpReaddir: "readdir",
 	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
 	OpRmdir: "rmdir", OpTruncate: "truncate", OpRead: "read", OpWrite: "write",
-	OpExtend: "extend",
+	OpSetSize: "setsize",
 }
 
 // String returns the protocol name of the operation.
@@ -78,9 +85,38 @@ type Req struct {
 	Seq  uint64
 	EP   uint8 // client endpoint/port to reply to
 	Ino  kernel.InodeID
-	Off  int64  // offset (read/write) or new size (truncate)
-	Len  uint32 // read/write byte count
+	Off  int64  // offset (read/write) or new size (truncate/setsize)
+	Len  uint32 // read/write byte count; OpSetSize mode+epoch (PackSetSize)
 	Name string // lookup/create/mkdir/unlink/rmdir
+}
+
+// setSizeExactBit marks an OpSetSize request as an exact set (shrink
+// allowed, epoch bumped) rather than a grow-only reconciliation.
+const setSizeExactBit = 1 << 31
+
+// SetSizeEpochMask selects the observed-epoch bits of an OpSetSize
+// request's Len field: the writer's size epoch truncated to 31 bits.
+// Replies carry full 64-bit epochs; the request-side truncation is a
+// staleness check by equality, valid over any realistic epoch window.
+const SetSizeEpochMask = 1<<31 - 1
+
+// PackSetSize builds the Len field of an OpSetSize request from the
+// mode and the writer's observed size epoch. The epoch rides in the
+// request so the server can refuse to act on a stale view of the file
+// (StStale) instead of silently re-growing sizes a foreign truncate
+// just cut.
+func PackSetSize(exact bool, epoch uint64) uint32 {
+	l := uint32(epoch & SetSizeEpochMask)
+	if exact {
+		l |= setSizeExactBit
+	}
+	return l
+}
+
+// UnpackSetSize splits an OpSetSize request's Len field into the mode
+// and the observed epoch (truncated to 31 bits, see SetSizeEpochMask).
+func UnpackSetSize(l uint32) (exact bool, epoch uint32) {
+	return l&setSizeExactBit != 0, l & SetSizeEpochMask
 }
 
 // reqFixed is the fixed-size prefix of an encoded request.
@@ -96,6 +132,10 @@ const MaxNameLen = 4096 - reqFixed
 var (
 	ErrNameTooLong = errors.New("rfsrv: name too long")
 	ErrInval       = errors.New("rfsrv: invalid argument")
+	// ErrStaleEpoch is StStale as an error: an OpSetSize carried an
+	// observed size epoch behind the server's. The paired reply holds
+	// the authoritative (size, epoch) for revalidation.
+	ErrStaleEpoch = errors.New("rfsrv: stale size epoch")
 )
 
 // ValidateReq checks a request at the client API boundary: oversized
@@ -163,6 +203,11 @@ const (
 	StIO
 	StNameTooLong
 	StInval
+	// StStale rejects an OpSetSize whose observed size epoch is behind
+	// the server's: the writer's cached view of the file's size is no
+	// longer valid. The reply carries the authoritative (size, epoch),
+	// so the writer revalidates and retries in one round trip.
+	StStale
 )
 
 // StatusOf maps a filesystem error to a wire status.
@@ -186,6 +231,8 @@ func StatusOf(err error) int32 {
 		return StNameTooLong
 	case ErrInval:
 		return StInval
+	case ErrStaleEpoch:
+		return StStale
 	default:
 		return StIO
 	}
@@ -212,16 +259,27 @@ func ErrOf(st int32) error {
 		return ErrNameTooLong
 	case StInval:
 		return ErrInval
+	case StStale:
+		return ErrStaleEpoch
 	default:
 		return fmt.Errorf("rfsrv: remote I/O error (status %d)", st)
 	}
 }
 
-// Resp is a protocol response.
+// Resp is a protocol response. Every reply that resolves an inode also
+// carries that inode's size epoch (see Server), so any round trip —
+// data or control path — lets a cluster client revalidate its cached
+// size against the coherence protocol's authority.
 type Resp struct {
-	Seq     uint64
-	Status  int32
-	Attr    kernel.Attr
+	Seq    uint64
+	Status int32
+	Attr   kernel.Attr
+	// Epoch is the size epoch of the inode Attr describes. On the wire
+	// it rides in the slot that used to carry Attr.Version (which no
+	// client ever consumed), so introducing the coherence protocol
+	// changed no message length and no fault-free timing; a decoded
+	// Attr.Version is therefore always zero.
+	Epoch   uint64
 	N       uint32 // data bytes in the companion data transfer
 	Entries []kernel.DirEntry
 }
@@ -249,7 +307,7 @@ func EncodeResp(r *Resp) ([]byte, error) {
 	binary.LittleEndian.PutUint64(out[12:], uint64(r.Attr.Ino))
 	out[20] = byte(r.Attr.Kind)
 	binary.LittleEndian.PutUint64(out[21:], uint64(r.Attr.Size))
-	binary.LittleEndian.PutUint64(out[29:], r.Attr.Version)
+	binary.LittleEndian.PutUint64(out[29:], r.Epoch)
 	binary.LittleEndian.PutUint32(out[37:], r.N)
 	binary.LittleEndian.PutUint16(out[41:], uint16(len(r.Entries)))
 	pos := respFixed
@@ -272,12 +330,12 @@ func DecodeResp(b []byte) (*Resp, error) {
 		Seq:    binary.LittleEndian.Uint64(b[0:]),
 		Status: int32(binary.LittleEndian.Uint32(b[8:])),
 		Attr: kernel.Attr{
-			Ino:     kernel.InodeID(binary.LittleEndian.Uint64(b[12:])),
-			Kind:    kernel.FileKind(b[20]),
-			Size:    int64(binary.LittleEndian.Uint64(b[21:])),
-			Version: binary.LittleEndian.Uint64(b[29:]),
+			Ino:  kernel.InodeID(binary.LittleEndian.Uint64(b[12:])),
+			Kind: kernel.FileKind(b[20]),
+			Size: int64(binary.LittleEndian.Uint64(b[21:])),
 		},
-		N: binary.LittleEndian.Uint32(b[37:]),
+		Epoch: binary.LittleEndian.Uint64(b[29:]),
+		N:     binary.LittleEndian.Uint32(b[37:]),
 	}
 	count := int(binary.LittleEndian.Uint16(b[41:]))
 	pos := respFixed

@@ -29,6 +29,18 @@ type Server struct {
 	fs   BackingFS
 	zero *mem.Frame // shared zero page for holes
 
+	// epochs is the per-inode size epoch, the server half of the
+	// cluster's size-coherence protocol (DESIGN.md §9): bumped by every
+	// exact size set (OpTruncate, OpSetSize in exact mode) and NEVER by
+	// data writes or grow-mode reconciliation. Exact sets always fan out
+	// to every alive server of a cluster while grow reconciliation may
+	// skip servers whose local size is already current, so this bump
+	// discipline keeps epochs replicated-identical across a cluster —
+	// which is what lets a client treat ANY server's reply epoch as the
+	// coherence signal. Every reply carries the epoch of the inode it
+	// resolves (Resp.Epoch).
+	epochs map[kernel.InodeID]uint64
+
 	// sessions is the per-client protocol state: one entry per (node,
 	// endpoint) pair that has sent a request, tracking that client's
 	// sliding window as seen from the server.
@@ -65,7 +77,11 @@ func NewServer(node *hw.Node, fs BackingFS) *Server {
 	if err != nil {
 		panic(err)
 	}
-	return &Server{node: node, fs: fs, zero: zero, sessions: make(map[clientKey]*ClientSession)}
+	return &Server{
+		node: node, fs: fs, zero: zero,
+		epochs:   make(map[kernel.InodeID]uint64),
+		sessions: make(map[clientKey]*ClientSession),
+	}
 }
 
 // session returns (creating on first contact) the per-client state.
@@ -108,29 +124,77 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 	case OpMkdir:
 		resp.Attr, err = s.fs.Mkdir(p, ino, req.Name)
 	case OpUnlink:
-		err = s.fs.Unlink(p, ino, req.Name)
+		// Resolve the victim first (a free map lookup) so its size-epoch
+		// entry can be pruned with it — unpruned entries would leak for
+		// the server's lifetime, and a backing store that recycled inode
+		// numbers would hand a fresh file a stale epoch.
+		victim, lerr := s.fs.Lookup(p, ino, req.Name)
+		if err = s.fs.Unlink(p, ino, req.Name); err == nil && lerr == nil {
+			delete(s.epochs, victim.Ino)
+		}
 	case OpRmdir:
 		err = s.fs.Rmdir(p, ino, req.Name)
 	case OpTruncate:
 		if req.Off < 0 {
 			err = ErrInval // a negative size would corrupt the block map
-		} else {
-			err = s.fs.Truncate(p, ino, req.Off)
+		} else if err = s.fs.Truncate(p, ino, req.Off); err == nil {
+			// An exact size set invalidates every cached view of the
+			// file's size: bump the epoch (see the epochs field).
+			s.epochs[ino]++
 		}
-	case OpExtend:
-		// Grow-only truncate: size = max(size, Off). Idempotent, so the
-		// cluster client can replay it against any subset of servers.
-		resp.Attr, err = s.fs.Getattr(p, ino)
-		if err == nil && req.Off > resp.Attr.Size {
-			if err = s.fs.Truncate(p, ino, req.Off); err == nil {
-				resp.Attr, err = s.fs.Getattr(p, ino)
-			}
-		}
+	case OpSetSize:
+		err = s.handleSetSize(p, ino, req, resp)
 	default:
 		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
 	}
 	resp.Status = StatusOf(err)
+	// Every reply advertises the size epoch of the inode it resolved
+	// (the looked-up child when the operation returned one), so any
+	// round trip revalidates a cluster client's size cache.
+	if resp.Attr.Ino != 0 {
+		resp.Epoch = s.epochs[resp.Attr.Ino]
+	} else {
+		resp.Epoch = s.epochs[ino]
+	}
 	return resp
+}
+
+// handleSetSize executes the size-coherence operation: a grow-only
+// reconciliation (size = max(size, Off), epoch untouched) or an exact
+// set (size = Off, epoch bumped), refused with StStale when the
+// writer's observed epoch is behind — the reply then carries the
+// authoritative (size, epoch) so the writer revalidates in one round
+// trip.
+func (s *Server) handleSetSize(p *sim.Proc, ino kernel.InodeID, req *Req, resp *Resp) error {
+	if req.Off < 0 {
+		return ErrInval // a negative size would corrupt the block map
+	}
+	exact, observed := UnpackSetSize(req.Len)
+	if uint32(s.epochs[ino]&SetSizeEpochMask) != observed {
+		// Stale writer: report, and let the getattr below fill the
+		// authoritative attributes for revalidation.
+		if a, aerr := s.fs.Getattr(p, ino); aerr == nil {
+			resp.Attr = a
+		}
+		return ErrStaleEpoch
+	}
+	var err error
+	if exact {
+		if err = s.fs.Truncate(p, ino, req.Off); err == nil {
+			s.epochs[ino]++
+			resp.Attr, err = s.fs.Getattr(p, ino)
+		}
+		return err
+	}
+	resp.Attr, err = s.fs.Getattr(p, ino)
+	if err == nil && req.Off > resp.Attr.Size {
+		// Grow-only: idempotent, replayable against any subset of
+		// servers, and deliberately epoch-neutral (see Server.epochs).
+		if err = s.fs.Truncate(p, ino, req.Off); err == nil {
+			resp.Attr, err = s.fs.Getattr(p, ino)
+		}
+	}
+	return err
 }
 
 // readExtents builds the zero-copy reply extents for a read: physical
@@ -176,6 +240,7 @@ func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
 	}
 	resp.N = uint32(n)
 	resp.Attr = attr
+	resp.Epoch = s.epochs[req.Ino]
 	return resp, mem.MergeExtents(xs)
 }
 
@@ -195,6 +260,9 @@ func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 			resp.Attr = a
 		}
 	}
+	// Data writes extend local sizes but never bump the size epoch
+	// (see Server.epochs); the reply still advertises the current one.
+	resp.Epoch = s.epochs[req.Ino]
 	return resp
 }
 

@@ -123,7 +123,12 @@ type (
 
 	// Striped cluster: file data sharded round-robin across several
 	// servers, one session per server (Cluster satisfies FSClient and
-	// FSAsync; one server degenerates to the plain session).
+	// FSAsync; one server degenerates to the plain session). File
+	// sizes are kept coherent across client nodes by the size-epoch
+	// protocol (DESIGN.md §9): the home server is the size authority,
+	// clients hold validated (size, epoch) caches, and OpSetSize —
+	// exported on the cluster as Meta truncates and SetFileSize —
+	// reconciles every server's local size.
 	FSCluster = rfsrv.Cluster
 
 	// Sockets.
@@ -289,8 +294,20 @@ var NewFSCluster = rfsrv.NewCluster
 // NewFSReplicatedCluster is NewFSCluster with a replication factor:
 // every stripe is written to R consecutive servers, reads fail over
 // to a replica when a server faults, and faulting servers are
-// excluded rather than reported as namespace divergence.
+// excluded rather than reported as namespace divergence. Reinstate
+// re-admits a recovered server — refusing, with an error, one that
+// missed namespace or exact-size mutations while excluded (resync it
+// out of band first).
 var NewFSReplicatedCluster = rfsrv.NewReplicatedCluster
+
+// ErrFSStaleEpoch is the size-coherence refusal (wire status StStale):
+// an OpSetSize carried an observed size epoch behind the server's.
+// Cluster clients revalidate and retry internally, so it surfaces only
+// when a MetaBatch carrying size mutations races a foreign client's
+// (the caller re-issues the batch — the cache is already revalidated)
+// or when a truncate/write exhausts its bounded revalidation retries
+// against a pathological storm of foreign size sets.
+var ErrFSStaleEpoch = rfsrv.ErrStaleEpoch
 
 // NewRegCache creates a standalone GMKRC registration cache over a GM
 // port (maxPages 0 disables caching).
