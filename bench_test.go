@@ -183,6 +183,50 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkSmallFile — the PR6 layout suite: small-file storm ops/s
+// under the striped vs whole-on-home policies (see DESIGN.md §10 and
+// the smallfile figures in EXPERIMENTS.md).
+func BenchmarkSmallFile(b *testing.B) {
+	var figs []*figures.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		figs, err = benchConfig().SmallFile()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) == 0 {
+		return
+	}
+	ops := figs[0]
+	for _, s := range ops.Series {
+		b.ReportMetric(at(s, 4).MBps, s.Label+"-4srv-ops/s")
+		b.ReportMetric(at(s, 8).MBps, s.Label+"-8srv-ops/s")
+	}
+	for _, s := range figs[1].Series {
+		if s.Label == "whole-on-home" {
+			b.ReportMetric(at(s, 8).MBps, "whole-setsize/write")
+		}
+	}
+}
+
+// BenchmarkRequestPathAllocs — heap allocations per client-observed
+// cluster operation on the MX request path (the PR6 zero-alloc pass's
+// headline number; alloc_gate_test.go pins its ceiling).
+func BenchmarkRequestPathAllocs(b *testing.B) {
+	var perOp float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		perOp, err = figures.RequestPathAllocs(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Not the builtin "allocs/op" (only shown under -benchmem): this is
+	// the per-cluster-operation count measured inside the simulation.
+	b.ReportMetric(perOp, "req-allocs/op")
+}
+
 // BenchmarkAblationCombining — the paper's §3.3 prediction: request
 // combining (Linux 2.6 style, enabled by vectorial primitives) lifts
 // the buffered-access ceiling.

@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/figures            # everything
-//	go run ./cmd/figures -only fig6 # one experiment
-//	go run ./cmd/figures -iters 20  # more round trips per point
+//	go run ./cmd/figures                      # everything
+//	go run ./cmd/figures -only fig6           # one experiment
+//	go run ./cmd/figures -iters 20            # more round trips per point
+//	go run ./cmd/figures -json BENCH_PR6.json # machine-readable snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,12 +21,76 @@ import (
 	"repro/internal/figures"
 )
 
+// jsonPoint is one measured point of the machine-readable snapshot.
+type jsonPoint struct {
+	Size     int     `json:"size"`
+	OneWayNS int64   `json:"oneway_ns,omitempty"`
+	Value    float64 `json:"value"`
+}
+
+// jsonSeries is one labelled curve.
+type jsonSeries struct {
+	Label  string      `json:"label"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonFigure is one figure of the snapshot: the unit applies to every
+// point's Value (latency figures also carry oneway_ns per point).
+type jsonFigure struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	Unit   string       `json:"unit"`
+	Series []jsonSeries `json:"series"`
+}
+
+// snapshot is the BENCH_PR6.json layout: every figure that ran, plus
+// the allocation profile of the per-request hot path.
+type snapshot struct {
+	Iters   int          `json:"iters"`
+	Figures []jsonFigure `json:"figures"`
+	Allocs  struct {
+		// RequestPathPerOp is the measured heap allocations per
+		// client-observed cluster operation (see
+		// figures.RequestPathAllocs); bench_test.go gates its ceiling.
+		RequestPathPerOp float64 `json:"request_path_per_op"`
+		Ops              int     `json:"ops"`
+	} `json:"allocs"`
+}
+
+// add records a finished figure in the snapshot.
+func (s *snapshot) add(f *figures.Figure) {
+	unit := f.Unit
+	if unit == "" {
+		if f.Latency() {
+			unit = "µs"
+		} else {
+			unit = "MB/s"
+		}
+	}
+	jf := jsonFigure{ID: f.ID, Title: f.Title, Unit: unit}
+	for _, sr := range f.Series {
+		js := jsonSeries{Label: sr.Label}
+		for _, pt := range sr.Points {
+			jp := jsonPoint{Size: pt.Size, Value: pt.MBps}
+			if f.Latency() {
+				jp.OneWayNS = pt.OneWay.Nanoseconds()
+				jp.Value = float64(pt.OneWay.Nanoseconds()) / 1000
+			}
+			js.Points = append(js.Points, jp)
+		}
+		jf.Series = append(jf.Series, js)
+	}
+	s.Figures = append(s.Figures, jf)
+}
+
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile)")
+	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile, smallfile)")
+	jsonPath := flag.String("json", "", "also write a machine-readable snapshot (figures + request-path allocs/op) to this file")
 	flag.Parse()
 
 	cfg := figures.Config{Iters: *iters, Warmup: 2}
+	snap := &snapshot{Iters: *iters}
 	type job struct {
 		id  string
 		fig func() (*figures.Figure, error)
@@ -44,6 +110,10 @@ func main() {
 	}
 	sel := strings.ToLower(*only)
 	ran := false
+	emit := func(f *figures.Figure) {
+		fmt.Println(f.Render(f.Latency()))
+		snap.add(f)
+	}
 	for _, j := range jobs {
 		if sel != "" && sel != j.id {
 			continue
@@ -54,7 +124,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", j.id, err)
 			os.Exit(1)
 		}
-		fmt.Println(f.Render(f.Latency()))
+		emit(f)
 	}
 	if sel == "" || sel == "table1" {
 		ran = true
@@ -65,37 +135,24 @@ func main() {
 		}
 		fmt.Println(t.Render())
 	}
-	if sel == "" || sel == "scalability" {
-		ran = true
-		figs, err := cfg.Scalability()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "scalability: %v\n", err)
-			os.Exit(1)
-		}
-		for _, f := range figs {
-			fmt.Println(f.Render(f.Latency()))
-		}
+	multi := map[string]func() ([]*figures.Figure, error){
+		"scalability": cfg.Scalability,
+		"multiserver": cfg.MultiServer,
+		"sharedfile":  cfg.SharedFile,
+		"smallfile":   cfg.SmallFile,
 	}
-	if sel == "" || sel == "multiserver" {
+	for _, id := range []string{"scalability", "multiserver", "sharedfile", "smallfile"} {
+		if sel != "" && sel != id {
+			continue
+		}
 		ran = true
-		figs, err := cfg.MultiServer()
+		figs, err := multi[id]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "multiserver: %v\n", err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
 		for _, f := range figs {
-			fmt.Println(f.Render(f.Latency()))
-		}
-	}
-	if sel == "" || sel == "sharedfile" {
-		ran = true
-		figs, err := cfg.SharedFile()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sharedfile: %v\n", err)
-			os.Exit(1)
-		}
-		for _, f := range figs {
-			fmt.Println(f.Render(f.Latency()))
+			emit(f)
 		}
 	}
 	if sel == "" || sel == "degraded" {
@@ -110,5 +167,25 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		const allocOps = 512
+		perOp, err := figures.RequestPathAllocs(allocOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "request-path allocs: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Allocs.RequestPathPerOp = perOp
+		snap.Allocs.Ops = allocOps
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

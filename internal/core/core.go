@@ -41,6 +41,7 @@ const (
 	Physical
 )
 
+// String names the address type.
 func (t AddrType) String() string {
 	switch t {
 	case UserVirtual:
@@ -225,6 +226,16 @@ func (v Vector) AllPhysical() bool {
 
 // Extents resolves the whole vector into merged physical extents.
 func (v Vector) Extents() ([]mem.Extent, error) {
+	if len(v) == 1 {
+		// The data path sends single-segment vectors almost
+		// exclusively; Segment.Extents already merges, so skip the
+		// re-merge (and its allocation).
+		xs, err := v[0].Extents()
+		if err != nil {
+			return nil, fmt.Errorf("segment 0: %w", err)
+		}
+		return xs, nil
+	}
 	var out []mem.Extent
 	for i, s := range v {
 		xs, err := s.Extents()

@@ -1,0 +1,102 @@
+package figures
+
+// This file holds the host-allocation probe behind the PR 6 zero-alloc
+// data-path pass: a steady-state measurement of how many Go heap
+// allocations one pipelined request costs on the host, after the
+// per-object scratch (encode buffers, part freelists, slot-staged
+// requests) has warmed up. bench_test.go reports it as a metric and
+// alloc_gate_test.go pins a ceiling on it, so a regression that
+// reintroduces per-request garbage fails CI rather than silently
+// eroding simulation throughput.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/memfs"
+	"repro/internal/mx"
+	"repro/internal/rfsrv"
+	"repro/internal/sim"
+)
+
+// rpaWarmup is how many operations run before counting: enough to
+// populate every freelist and grow every scratch buffer to its
+// steady-state capacity.
+const rpaWarmup = 32
+
+// RequestPathAllocs measures the steady-state host allocations per
+// synchronous 64 KB operation (alternating write and read) through one
+// Session to one MX server, measured over ops operations with
+// runtime.MemStats — the whole request path: encode, slot staging,
+// transfer, server dispatch/worker, decode. The simulation is
+// single-threaded on the host, so the mallocs delta is exact.
+func RequestPathAllocs(ops int) (float64, error) {
+	if ops <= 0 {
+		return 0, fmt.Errorf("figures: RequestPathAllocs needs ops > 0")
+	}
+	env := sim.NewEngine()
+	cl := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	server := cl.AddNode("server")
+	fs := memfs.New("backing", server, 0)
+	if _, err := rfsrv.NewServer(server, fs).ServeMX(mx.Attach(server), 1, 4); err != nil {
+		return 0, err
+	}
+	client := cl.AddNode("client")
+
+	var failure error
+	var allocs float64
+	env.Spawn("probe", func(p *sim.Proc) {
+		fc, err := rfsrv.NewMXClient(mx.Attach(client), 10, true, client.Kernel, server.ID, 1)
+		if err != nil {
+			failure = err
+			return
+		}
+		sess, err := rfsrv.NewSession(p, fc, 8)
+		if err != nil {
+			failure = err
+			return
+		}
+		attr, err := sess.Meta(p, &rfsrv.Req{Op: rfsrv.OpCreate, Ino: 0, Name: "probe"})
+		if err != nil {
+			failure = err
+			return
+		}
+		const chunk = 64 * 1024
+		va, err := client.Kernel.Mmap(chunk, "probe-buf")
+		if err != nil {
+			failure = err
+			return
+		}
+		vec := core.Of(core.KernelSeg(client.Kernel, va, chunk))
+		op := func(i int) error {
+			off := int64(i%8) * chunk
+			if i%2 == 0 {
+				_, err := sess.Write(p, attr.Attr.Ino, off, vec)
+				return err
+			}
+			_, err := sess.Read(p, attr.Attr.Ino, off, vec)
+			return err
+		}
+		for i := 0; i < rpaWarmup; i++ {
+			if failure = op(i); failure != nil {
+				return
+			}
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < ops; i++ {
+			if failure = op(i); failure != nil {
+				return
+			}
+		}
+		runtime.ReadMemStats(&after)
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	})
+	env.Run(0)
+	if failure != nil {
+		return 0, failure
+	}
+	return allocs, nil
+}

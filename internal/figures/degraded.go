@@ -166,7 +166,7 @@ func dgClient(p *sim.Proc, node *hw.Node, servers []hw.NodeID, ino kernel.InodeI
 	reads := dgFilePerCli / msStripe
 	for issued := 0; issued < reads; issued++ {
 		off := int64(issued) * msStripe
-		for len(q) > 0 && (len(q) == window || !cluster.CanStart(off, msStripe)) {
+		for len(q) > 0 && (len(q) == window || !cluster.CanStart(ino, off, msStripe)) {
 			pd := q[0]
 			q = q[1:]
 			if err := retire(pd); err != nil {

@@ -223,7 +223,7 @@ func scalDirectReads(p *sim.Proc, node *hw.Node, sess rfsrv.Async, ino kernel.In
 	reads := scalFilePerCli / scalChunk
 	for issued := 0; issued < reads; issued++ {
 		off := int64(issued) * scalChunk
-		for len(q) > 0 && (len(q) == window || !sess.CanStart(off, scalChunk)) {
+		for len(q) > 0 && (len(q) == window || !sess.CanStart(ino, off, scalChunk)) {
 			pd := q[0].pd
 			q = q[1:]
 			if _, err := pd.Wait(p); err != nil {

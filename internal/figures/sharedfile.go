@@ -312,7 +312,7 @@ func sfReader(p *sim.Proc, node *hw.Node, servers []hw.NodeID, ino kernel.InodeI
 			continue
 		}
 		for ; pos < limit; pos += sfChunk {
-			for len(q) > 0 && (len(q) == window || !cluster.CanStart(pos, sfChunk)) {
+			for len(q) > 0 && (len(q) == window || !cluster.CanStart(ino, pos, sfChunk)) {
 				pd := q[0]
 				q = q[1:]
 				if err := retire(pd); err != nil {

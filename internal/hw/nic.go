@@ -80,6 +80,7 @@ type NIC struct {
 	rxq      *sim.Chan[*frag]
 	handlers map[uint8]Handler
 	seq      uint64
+	fragFree []*frag // recycled fragment records (see getFrag)
 
 	// Fault state (see Kill, StallUntil): a dead NIC drops every frame
 	// it would transmit or deliver; a stalled one delays its pumps.
@@ -97,7 +98,44 @@ type NIC struct {
 type frag struct {
 	msg  *Message
 	idx  int
-	size int // wire bytes of this fragment
+	size int  // wire bytes of this fragment
+	src  *NIC // owner; the record recycles to src's pool when done
+	dst  *NIC // destination NIC, set by linkPump at transmit time
+	// deliver hands the fragment to dst after the wire delay. Built
+	// once per record and reused across recycles, so the per-fragment
+	// delivery path allocates neither a closure nor a frag in steady
+	// state.
+	deliver func()
+}
+
+// getFrag takes a fragment record from the transmit pool.
+func (n *NIC) getFrag(m *Message, idx, size int) *frag {
+	var f *frag
+	if k := len(n.fragFree); k > 0 {
+		f = n.fragFree[k-1]
+		n.fragFree = n.fragFree[:k-1]
+	} else {
+		f = &frag{src: n}
+		f.deliver = func() {
+			// Death is checked at delivery time: a frame already on the
+			// wire when the destination dies hits a dead card and
+			// vanishes.
+			if f.dst.dead {
+				f.dst.Dropped.Add(f.size)
+				f.src.putFrag(f)
+				return
+			}
+			f.dst.rxq.Send(f)
+		}
+	}
+	f.msg, f.idx, f.size = m, idx, size
+	return f
+}
+
+// putFrag recycles a fragment record nobody references anymore.
+func (n *NIC) putFrag(f *frag) {
+	f.msg, f.dst = nil, nil
+	n.fragFree = append(n.fragFree, f)
 }
 
 func newNIC(node *Node, model LinkModel) *NIC {
@@ -225,17 +263,20 @@ func (n *NIC) txPump(p *sim.Proc) {
 		}
 		n.Firmware.Use(p, n.p.FwSendTime(n.isMX(m.Proto), m.frags)+j.FwExtra)
 		gather := j.Gather != nil
+		total := mem.TotalLen(j.Gather) + len(j.Inline)
 		if !gather {
 			// Inline payload (PIO or bounce copy): the application
 			// buffer is already free.
 			m.Payload = j.Inline
 			m.TxDone.Fire()
 		} else {
-			m.Payload = nil
+			// One payload buffer per message, gathered into fragment by
+			// fragment below (a per-fragment Gather would allocate a
+			// slice per 4 KB of every zero-copy send).
+			m.Payload = make([]byte, 0, total)
 		}
-		remaining := j.Gather
+		cursor := gatherCursor{xs: j.Gather}
 		got := 0
-		total := mem.TotalLen(j.Gather) + len(j.Inline)
 		for f := 0; f < m.frags; f++ {
 			if n.dead {
 				// The card died mid-message: the remaining fragments
@@ -270,12 +311,10 @@ func (n *NIC) txPump(p *sim.Proc) {
 				// Bytes leave host memory now: stores after this point
 				// are not part of the message (the hazard pinning and
 				// registration exist to prevent).
-				chunk, rest := takeExtents(remaining, want)
-				remaining = rest
-				m.Payload = append(m.Payload, n.node.Mem.Gather(chunk)...)
+				m.Payload = cursor.appendTo(n.node.Mem, m.Payload, want)
 			}
 			got += want
-			n.linkq.Send(&frag{msg: m, idx: f, size: fb})
+			n.linkq.Send(n.getFrag(m, f, fb))
 			if gather && f == m.frags-1 {
 				m.TxDone.Fire()
 			}
@@ -293,6 +332,40 @@ func (n *NIC) fragBytes(m *Message, f int) int {
 		last = m.wireLen
 	}
 	return last
+}
+
+// gatherCursor walks a gather list front to back without reslicing
+// it: the zero-allocation replacement for splitting the list per
+// fragment (takeExtents) and per-fragment Gather buffers.
+type gatherCursor struct {
+	xs  []mem.Extent
+	idx int // current extent
+	off int // bytes consumed of xs[idx]
+}
+
+// appendTo reads the next want bytes of the gather list into dst
+// (whose capacity the caller sized for the whole payload).
+func (g *gatherCursor) appendTo(m *mem.Memory, dst []byte, want int) []byte {
+	for want > 0 {
+		if g.idx >= len(g.xs) {
+			panic(fmt.Sprintf("hw: gather short by %d bytes", want))
+		}
+		x := g.xs[g.idx]
+		take := x.Len - g.off
+		if take > want {
+			take = want
+		}
+		pos := len(dst)
+		dst = dst[:pos+take]
+		m.ReadAt(x.Addr+mem.PhysAddr(g.off), dst[pos:])
+		g.off += take
+		if g.off == x.Len {
+			g.idx++
+			g.off = 0
+		}
+		want -= take
+	}
+	return dst
 }
 
 // takeExtents splits want bytes off the front of xs.
@@ -326,19 +399,12 @@ func (n *NIC) linkPump(p *sim.Proc) {
 		if n.dead {
 			// Frames still queued for the wire when the card died.
 			n.Dropped.Add(f.size)
+			n.putFrag(f)
 			continue
 		}
 		n.Link.Use(p, n.p.LinkTime(n.model, f.size))
-		dst := n.node.Cluster.Node(f.msg.Dst).NIC
-		// Death is checked at delivery time: a frame already on the wire
-		// when the destination dies hits a dead card and vanishes.
-		env.AfterDetached(n.p.WireProp, func() {
-			if dst.dead {
-				dst.Dropped.Add(f.size)
-				return
-			}
-			dst.rxq.Send(f)
-		})
+		f.dst = n.node.Cluster.Node(f.msg.Dst).NIC
+		env.AfterDetached(n.p.WireProp, f.deliver)
 	}
 }
 
@@ -351,10 +417,15 @@ func (n *NIC) rxPump(p *sim.Proc) {
 		n.stall(p)
 		if n.dead {
 			n.Dropped.Add(f.size)
+			f.src.putFrag(f)
 			continue
 		}
-		n.RxDMA.Use(p, n.p.DMATime(n.model, f.size))
-		m := f.msg
+		// Copy what the rest of the iteration needs and recycle the
+		// record before yielding in RxDMA (the source NIC may reuse it
+		// for a later fragment meanwhile).
+		m, size := f.msg, f.size
+		f.src.putFrag(f)
+		n.RxDMA.Use(p, n.p.DMATime(n.model, size))
 		m.arrived++
 		if m.arrived < m.frags {
 			continue

@@ -25,6 +25,7 @@ const (
 	PCIXE
 )
 
+// String names the card model.
 func (m LinkModel) String() string {
 	if m == PCIXE {
 		return "PCI-XE"

@@ -214,7 +214,7 @@ func (l *Lib) readPipelined(p *sim.Proc, f *file, va vm.VirtAddr, n int) (int, e
 		// servers, and blocking inside StartRead with retired slots in
 		// our own hands would deadlock the pipeline.
 		for len(inflight) > 0 &&
-			(len(inflight) == l.sess.Window() || !l.sess.CanStart(f.off+int64(issued), chunk)) {
+			(len(inflight) == l.sess.Window() || !l.sess.CanStart(f.ino, f.off+int64(issued), chunk)) {
 			s := inflight[0]
 			inflight = inflight[1:]
 			if err := retire(s); err != nil {

@@ -333,7 +333,7 @@ func (f *FS) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fra
 	// page's server has no free slot (possible over a striped cluster,
 	// whose aggregate window the readahead cap is measured against),
 	// retire the readahead we hold instead of deadlocking on it.
-	if !f.sess.CanStart(idx*mem.PageSize, mem.PageSize) {
+	if !f.sess.CanStart(ino, idx*mem.PageSize, mem.PageSize) {
 		f.dropReadahead(p)
 		f.raIno, f.raNext, f.raHigh = ino, idx, idx+1
 	}
@@ -364,7 +364,7 @@ func (f *FS) ReadPage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fra
 // exactly the server that would receive the next prefetch, so striped
 // clusters fill per-server windows without stalling the caller).
 func (f *FS) topUp(p *sim.Proc, ino kernel.InodeID) {
-	for len(f.ra) < f.sess.Window()-1 && f.sess.CanStart(f.raHigh*mem.PageSize, mem.PageSize) {
+	for len(f.ra) < f.sess.Window()-1 && f.sess.CanStart(ino, f.raHigh*mem.PageSize, mem.PageSize) {
 		fr, err := f.node.Mem.AllocFrame()
 		if err != nil {
 			return
@@ -424,7 +424,7 @@ func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fr
 	}
 	// Retire the oldest writes first when the target's window is full,
 	// so the StartWrite below cannot block with nobody left to drain it.
-	for !f.sess.CanStart(idx*mem.PageSize, n) && len(f.wb) > 0 {
+	for !f.sess.CanStart(ino, idx*mem.PageSize, n) && len(f.wb) > 0 {
 		w := f.wb[0]
 		f.wb = f.wb[1:]
 		if _, err := w.pd.Wait(p); err != nil {
@@ -440,7 +440,7 @@ func (f *FS) WritePage(p *sim.Proc, ino kernel.InodeID, idx int64, frame *mem.Fr
 	// Over a striped cluster the blocking slots may be prefetches
 	// rather than writes (another inode's stream can fill one server's
 	// window); they are ours too — retire them rather than deadlock.
-	if !f.sess.CanStart(idx*mem.PageSize, n) {
+	if !f.sess.CanStart(ino, idx*mem.PageSize, n) {
 		f.dropReadahead(p)
 	}
 	shadow, err := f.node.Mem.AllocFrame()

@@ -55,11 +55,15 @@ type Async interface {
 	// InFlight returns the number of requests currently outstanding
 	// (summed over servers on a cluster).
 	InFlight() int
-	// CanStart reports whether a read or write covering [off, off+n)
-	// could be issued right now without blocking on a full window. On a
-	// cluster this consults exactly the servers owning that byte range,
-	// so callers pace per-server pipelines without knowing the layout.
-	CanStart(off int64, n int) bool
+	// CanStart reports whether a read or write on ino covering
+	// [off, off+n) could be issued right now without blocking on a full
+	// window. On a cluster this consults exactly the servers owning
+	// that byte range — which depends on the inode since layouts became
+	// per-file (a whole-on-home file needs one slot on its home where a
+	// striped one spreads) — so callers pace per-server pipelines
+	// without knowing the layout. It never touches the wire: an inode
+	// whose layout is not yet cached is paced as standard.
+	CanStart(ino kernel.InodeID, off int64, n int) bool
 	// Node returns the client node (consumers allocate frames and
 	// charge copies against it).
 	Node() *hw.Node

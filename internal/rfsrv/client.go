@@ -56,15 +56,28 @@ type FabricClient struct {
 	// and non-user data bounces through a registered staging region.
 	noPhys    bool
 	stagingVA vm.VirtAddr
+
+	// encScratch and hdrScratch are the per-request encode and decode
+	// staging slices. A client runs on one simulated process and each
+	// is dead again by the time its using call returns (encodings are
+	// copied into the wire buffer before any yield; decoded replies
+	// copy what they keep), so one of each per client removes the
+	// per-request allocation without changing any ordering.
+	encScratch []byte
+	hdrScratch []byte
 }
 
 // ctlBufs is one set of request/reply-header staging buffers. The
 // synchronous client owns a single set; a Session owns one per window
 // slot, so several requests can be on the wire without sharing
-// staging memory.
+// staging memory. The embedded req is the slot's request-struct
+// staging: issue paths build their request in place instead of
+// allocating one per operation (it is fully encoded before the issue
+// call returns, so slot reuse cannot alias an in-flight request).
 type ctlBufs struct {
 	reqVA, hdrVA vm.VirtAddr
 	reqXS, hdrXS []mem.Extent // kernel side, physical transports: resolved once
+	req          Req
 }
 
 // MXClient is the fabric client over an MX endpoint (kept as a named
@@ -286,9 +299,12 @@ func (c *FabricClient) sendEnc(p *sim.Proc, b *ctlBufs, enc []byte, extra core.V
 	return err
 }
 
-// sendReq encodes and transmits a request.
+// sendReq encodes and transmits a request. The encoding stages through
+// the client's scratch slice: sendEnc copies it into the wire buffer
+// before anything can yield, so the scratch is free again on return.
 func (c *FabricClient) sendReq(p *sim.Proc, b *ctlBufs, req *Req, extra core.Vector) error {
-	return c.sendEnc(p, b, EncodeReq(req), extra)
+	c.encScratch = EncodeReqInto(c.encScratch[:0], req)
+	return c.sendEnc(p, b, c.encScratch, extra)
 }
 
 // postData posts the read-data receive for dst, returning the op, a
@@ -426,10 +442,15 @@ func (c *FabricClient) finish(p *sim.Proc, b *ctlBufs, hdrOp fabric.Op, seq uint
 	if st.Err != nil {
 		return nil, st.Err
 	}
-	raw, err := c.as.ReadBytes(b.hdrVA, st.Len)
-	if err != nil {
+	if cap(c.hdrScratch) < st.Len {
+		c.hdrScratch = make([]byte, HdrBufSize)
+	}
+	raw := c.hdrScratch[:st.Len]
+	if err := c.as.ReadBytesInto(b.hdrVA, raw); err != nil {
 		return nil, err
 	}
+	// DecodeResp copies everything it keeps (names become fresh
+	// strings), so the scratch is free for the next reply.
 	resp, err := DecodeResp(raw)
 	if err != nil {
 		return nil, err
@@ -475,7 +496,8 @@ func (c *FabricClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 	defer c.lock.Release()
 	c.seq++
 	seq := c.seq
-	req := &Req{Op: OpRead, Seq: seq, EP: c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
+	req := &c.ctl.req // slot-staged: encoded before the next request
+	*req = Req{Op: OpRead, Seq: seq, EP: c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
 	hdrOp, err := c.postHdr(p, &c.ctl, seq)
 	if err != nil {
 		return nil, err
@@ -533,7 +555,8 @@ func (c *FabricClient) Write(p *sim.Proc, ino kernel.InodeID, off int64, src cor
 		}
 		c.seq++
 		seq := c.seq
-		req := &Req{Op: OpWrite, Seq: seq, EP: c.myEP, Ino: ino, Off: off + int64(written), Len: uint32(chunk)}
+		req := &c.ctl.req // slot-staged, like Read
+		*req = Req{Op: OpWrite, Seq: seq, EP: c.myEP, Ino: ino, Off: off + int64(written), Len: uint32(chunk)}
 		hdrOp, err := c.postHdr(p, &c.ctl, seq)
 		if err != nil {
 			return nil, err

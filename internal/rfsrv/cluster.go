@@ -104,12 +104,36 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/vm"
 )
 
 // DefaultStripeSize is the stripe width used when NewCluster is given
 // none: 64 KiB, the application chunk size of the scalability suites
 // (so one figure-harness read maps to exactly one stripe).
 const DefaultStripeSize = 64 * 1024
+
+// ErrBadStripe rejects a stripe width that is not a positive
+// page-aligned multiple no larger than MaxWriteChunk. Constructors
+// wrap it with the offending value; errors.Is(err, ErrBadStripe)
+// identifies the class.
+var ErrBadStripe = errors.New("rfsrv: invalid stripe width")
+
+// LayoutPolicy selects how a cluster client classifies files into
+// stripe-layout classes (DESIGN.md §10). The zero value (and a cluster
+// that never calls SetLayoutPolicy) treats every file as
+// LayoutStandard and issues exactly the pre-layout RPC sequence —
+// the bit-identity guarantee every existing figure rests on.
+//
+// All clients of one namespace must run the same policy, like mount
+// options: placement is client-computed, so a policy-free client
+// reading a whole-on-home file another client created would look for
+// stripes on servers that never saw the data.
+type LayoutPolicy struct {
+	// Adaptive classifies unhinted creates as LayoutWhole and promotes
+	// a whole file to LayoutStandard (migrating its bytes) when a write
+	// or published size reaches past PromoteThreshold.
+	Adaptive bool
+}
 
 // Cluster stripes file data across several rfsrv servers, one Session
 // per server, and replicates the namespace to all of them. It
@@ -145,6 +169,42 @@ type Cluster struct {
 	// different epoch invalidates the entry (validated caching — see
 	// the package comment on size coherence).
 	sizes map[kernel.InodeID]sizeEntry
+
+	// policy is the layout policy (SetLayoutPolicy); policyOn gates the
+	// whole per-file layout machinery, so a policy-free cluster never
+	// consults or populates the layout cache and stays bit-identical to
+	// the pre-layout client.
+	policy   LayoutPolicy
+	policyOn bool
+
+	// layouts caches each inode's layout class as learned from create
+	// hints, OpSetLayout fans and reply nibbles (observeResp). Only
+	// populated under an enabled policy. Entries ride the same
+	// validated-cache discipline as sizes: a layout change bumps the
+	// size epoch, so stale placement is caught by the epoch check.
+	layouts map[kernel.InodeID]LayoutClass
+
+	// migVA is the lazily mapped staging buffer promotions copy through
+	// (one MaxWriteChunk region in sessions[0]'s buffer space).
+	migVA vm.VirtAddr
+
+	// Promotions counts whole-on-home files migrated to standard
+	// striping (Bytes carries the migrated volume).
+	Promotions sim.Counter
+
+	// reusable per-operation scratch (a Cluster is used from one
+	// simulated process at a time, and no data-path operation re-enters
+	// another, so one set per cluster suffices — see the zero-alloc
+	// notes in DESIGN.md §10).
+	runScratch    []run
+	needScratch   []int
+	partFree      []*part
+	syncParts     []*part
+	coverScratch  []bool
+	flightScratch []syncMetaFlight
+	targetScratch []int
+	tailScratch   []int
+	fanReq        Req
 
 	// StripeReads and StripeWrites count data bytes issued per
 	// direction; MetaFanout counts replicated metadata requests beyond
@@ -190,11 +250,8 @@ func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int
 	if stripe == 0 {
 		stripe = DefaultStripeSize
 	}
-	if stripe <= 0 || stripe%mem.PageSize != 0 {
-		return nil, fmt.Errorf("rfsrv: stripe size %d is not a positive page multiple", stripe)
-	}
-	if stripe > MaxWriteChunk {
-		return nil, fmt.Errorf("rfsrv: stripe size %d exceeds one %d-byte request", stripe, MaxWriteChunk)
+	if err := ValidateStripe(int64(stripe)); err != nil {
+		return nil, err
 	}
 	node := sessions[0].Node()
 	eps := make(map[uint8]bool)
@@ -218,6 +275,48 @@ func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int
 		sizes:    make(map[kernel.InodeID]sizeEntry),
 	}, nil
 }
+
+// ValidateStripe checks a stripe width: positive, page-aligned (so
+// page-granular consumers never split a page across servers) and at
+// most MaxWriteChunk (so one stripe is one request). Violations wrap
+// ErrBadStripe.
+func ValidateStripe(stripe int64) error {
+	if stripe <= 0 || stripe%mem.PageSize != 0 {
+		return fmt.Errorf("%w: %d is not a positive page multiple", ErrBadStripe, stripe)
+	}
+	if stripe > MaxWriteChunk {
+		return fmt.Errorf("%w: %d exceeds one %d-byte request", ErrBadStripe, stripe, MaxWriteChunk)
+	}
+	return nil
+}
+
+// SetLayoutPolicy enables per-file layout classification (DESIGN.md
+// §10). Call it once, right after construction and before any traffic:
+// placement decisions are cached per inode, so flipping the policy on
+// a cluster that already served files would strand their data. Every
+// client of the namespace must run the same policy (see LayoutPolicy).
+//
+// On a one-server cluster the policy is accepted but inert: every
+// class degenerates to the same single run on server 0, and keeping
+// the machinery off preserves the bit-identity-with-a-plain-Session
+// guarantee under every policy.
+func (cl *Cluster) SetLayoutPolicy(pol LayoutPolicy) {
+	cl.policy = pol
+	cl.policyOn = len(cl.sessions) > 1
+	if cl.policyOn && cl.layouts == nil {
+		cl.layouts = make(map[kernel.InodeID]LayoutClass)
+	}
+}
+
+// LayoutPolicy returns the active policy and whether the layout
+// machinery is engaged (false for policy-free and one-server clusters).
+func (cl *Cluster) LayoutPolicy() (LayoutPolicy, bool) { return cl.policy, cl.policyOn }
+
+// LayoutOf reports the layout class this client would use for the
+// inode right now: the cached class, or LayoutStandard when the
+// machinery is off or the inode has not been resolved yet (tests,
+// stats; the data path uses layoutFor, which fetches unknown inodes).
+func (cl *Cluster) LayoutOf(ino kernel.InodeID) LayoutClass { return cl.layoutCached(ino) }
 
 // sizeEntry is one validated size-cache record: every alive server's
 // local size for the inode is at least size, established while the
@@ -268,6 +367,12 @@ func (cl *Cluster) observeResp(resp *Resp) {
 	if !ok || e.epoch != resp.Epoch {
 		cl.sizes[ino] = cl.entry(0, resp.Epoch)
 	}
+	if cl.policyOn {
+		// Every reply teaches the layout cache alongside the size cache;
+		// with the policy off the nibble is ignored and the map stays
+		// empty (no per-reply map cost on the default path).
+		cl.layouts[ino] = resp.Layout
+	}
 }
 
 // NumServers returns the number of servers data is striped across.
@@ -276,8 +381,11 @@ func (cl *Cluster) NumServers() int { return len(cl.sessions) }
 // Replicas returns the replication factor R.
 func (cl *Cluster) Replicas() int { return cl.replicas }
 
-// StripeSize returns the stripe width in bytes.
-func (cl *Cluster) StripeSize() int { return int(cl.stripe) }
+// StripeSize returns the standard-layout stripe width in bytes. The
+// return type matches the internal int64 arithmetic (offsets and
+// stripe indices are 64-bit); LayoutWide files stripe at
+// WideStripeSize and LayoutWhole files do not stripe at all.
+func (cl *Cluster) StripeSize() int64 { return cl.stripe }
 
 // DownServers returns the indices of servers currently excluded after
 // an observed fault, in server order.
@@ -375,7 +483,7 @@ func (cl *Cluster) InFlight() int {
 	return n
 }
 
-// CanStart implements Async: whether a data operation covering
+// CanStart implements Async: whether a data operation on ino covering
 // [off, off+n) could issue right now without blocking on window slots
 // held by OTHER operations. It checks, per server, that the window has
 // room for the range's runs — capped at the window size, because an
@@ -385,10 +493,20 @@ func (cl *Cluster) InFlight() int {
 // are free. With replication the count covers every alive replica
 // target of each run (what a write needs; reads need only one, so the
 // answer is conservative — callers retire a little earlier, never
-// deadlock).
-func (cl *Cluster) CanStart(off int64, n int) bool {
-	need := make([]int, len(cl.sessions))
-	for _, r := range cl.runs(off, n) {
+// deadlock). Per-file layouts made slot demand inode-dependent — a
+// whole-on-home file needs one slot on its home where a striped file
+// spreads — which is why CanStart takes the inode; it consults only
+// the layout cache (never the wire), so an unresolved inode is paced
+// as standard and corrected by the first reply.
+func (cl *Cluster) CanStart(ino kernel.InodeID, off int64, n int) bool {
+	if cap(cl.needScratch) < len(cl.sessions) {
+		cl.needScratch = make([]int, len(cl.sessions))
+	}
+	need := cl.needScratch[:len(cl.sessions)]
+	for i := range need {
+		need[i] = 0
+	}
+	for _, r := range cl.runs(cl.layoutCached(ino), ino, off, n) {
 		for j := 0; j < cl.replicas; j++ {
 			if idx := (r.owner + j) % len(cl.sessions); !cl.down[idx] {
 				need[idx]++
@@ -422,16 +540,41 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// ownerIdx returns the server index owning the stripe containing off
-// (the primary — replicas follow on the next R-1 servers, wrapping).
+// ownerIdx returns the server index owning the standard-layout stripe
+// containing off (the primary — replicas follow on the next R-1
+// servers, wrapping).
 func (cl *Cluster) ownerIdx(off int64) int {
 	return int((off / cl.stripe) % int64(len(cl.sessions)))
 }
 
-// readIdx returns the preferred read target for the stripe containing
-// off: the primary when alive, else the first alive replica, else -1.
-func (cl *Cluster) readIdx(off int64) int {
-	owner := cl.ownerIdx(off)
+// wholeHome returns the fixed data owner of a whole-on-home file: the
+// same hash homeIdx routes the inode's metadata to, so ONE server
+// answers both getattr and every byte of the file — the point of the
+// class. Unlike homeIdx it does not walk past excluded servers
+// (placement is fixed; reads fail over across the replica set instead).
+func (cl *Cluster) wholeHome(ino kernel.InodeID) int {
+	return int(mix(uint64(ino)) % uint64(len(cl.sessions)))
+}
+
+// ownerAt returns the primary data server for byte off of an inode
+// under its layout class (replicas follow on the next R-1 servers,
+// wrapping, for every class).
+func (cl *Cluster) ownerAt(lay LayoutClass, ino kernel.InodeID, off int64) int {
+	switch lay {
+	case LayoutWhole:
+		return cl.wholeHome(ino)
+	case LayoutWide:
+		return int((off / WideStripeSize) % int64(len(cl.sessions)))
+	default:
+		return cl.ownerIdx(off)
+	}
+}
+
+// readIdx returns the preferred read target for byte off of an inode
+// under its layout: the primary when alive, else the first alive
+// replica, else -1.
+func (cl *Cluster) readIdx(lay LayoutClass, ino kernel.InodeID, off int64) int {
+	owner := cl.ownerAt(lay, ino, off)
 	n := len(cl.sessions)
 	for j := 0; j < cl.replicas; j++ {
 		if k := (owner + j) % n; !cl.down[k] {
@@ -439,6 +582,35 @@ func (cl *Cluster) readIdx(off int64) int {
 		}
 	}
 	return -1
+}
+
+// layoutCached returns the inode's cached layout class without
+// traffic: LayoutStandard when the policy machinery is off or the
+// inode has not been resolved yet.
+func (cl *Cluster) layoutCached(ino kernel.InodeID) LayoutClass {
+	if !cl.policyOn {
+		return LayoutStandard
+	}
+	return cl.layouts[ino]
+}
+
+// layoutFor resolves the layout class a data operation must use. With
+// the policy on, an inode this client has never resolved costs one
+// homed getattr on the control path (the reply teaches both caches);
+// every create, lookup or prior data reply already populated the cache
+// for the normal open-then-read lifecycle, so the fetch is rare.
+func (cl *Cluster) layoutFor(p *sim.Proc, ino kernel.InodeID) (LayoutClass, error) {
+	if !cl.policyOn {
+		return LayoutStandard, nil
+	}
+	if lc, ok := cl.layouts[ino]; ok {
+		return lc, nil
+	}
+	resp, err := cl.homedMeta(p, &Req{Op: OpGetattr, Ino: ino}, func() int { return cl.homeIdx(ino) })
+	if err != nil {
+		return LayoutStandard, err
+	}
+	return resp.Layout, nil
 }
 
 // aliveFrom returns the first non-excluded server at or cyclically
@@ -479,13 +651,14 @@ func (cl *Cluster) allReplicasDown(off int64) error {
 }
 
 // withReplica is the shared issue-time failover policy: run op against
-// the preferred replica of the stripe containing off, excluding each
-// target whose transport faults and retrying on the next alive
-// replica; a non-fault error returns as produced. bytes is the data
-// volume recorded per failover (0 for metadata-sized operations).
-func withReplica[T any](cl *Cluster, off int64, bytes int, op func(idx int) (T, error)) (T, error) {
+// the preferred replica of the byte at off under the inode's layout,
+// excluding each target whose transport faults and retrying on the
+// next alive replica; a non-fault error returns as produced. bytes is
+// the data volume recorded per failover (0 for metadata-sized
+// operations).
+func withReplica[T any](cl *Cluster, lay LayoutClass, ino kernel.InodeID, off int64, bytes int, op func(idx int) (T, error)) (T, error) {
 	for {
-		idx := cl.readIdx(off)
+		idx := cl.readIdx(lay, ino, off)
 		if idx < 0 {
 			var zero T
 			return zero, cl.allReplicasDown(off)
@@ -502,8 +675,8 @@ func withReplica[T any](cl *Cluster, off int64, bytes int, op func(idx int) (T, 
 
 // degenerate runs a zero-length data operation against the offset's
 // preferred replica, with the shared issue-time failover policy.
-func (cl *Cluster) degenerate(p *sim.Proc, off int64, op func(idx int) (*Resp, error)) (*Resp, error) {
-	resp, err := withReplica(cl, off, 0, op)
+func (cl *Cluster) degenerate(p *sim.Proc, lay LayoutClass, ino kernel.InodeID, off int64, op func(idx int) (*Resp, error)) (*Resp, error) {
+	resp, err := withReplica(cl, lay, ino, off, 0, op)
 	if resp == nil && err != nil {
 		resp = &Resp{Status: StatusOf(err)}
 	}
@@ -529,29 +702,44 @@ type run struct {
 	n     int
 }
 
-// runs splits [off, off+n) into maximal contiguous same-owner ranges,
-// in offset order. With one server the whole range is a single run;
-// with several, each stripe (fragment) is its own run.
-func (cl *Cluster) runs(off int64, n int) []run {
-	var out []run
+// runs splits [off, off+n) of an inode into maximal contiguous
+// same-owner ranges under its layout class, in offset order. A
+// whole-on-home file (and any file on a one-server cluster) is a
+// single run; striped files get one run per stripe fragment.
+//
+// The returned slice is the cluster's per-operation scratch: valid
+// until the next runs call, so callers that outlive their own issue
+// loop (StartRead/StartWrite pendings) must copy it.
+func (cl *Cluster) runs(lay LayoutClass, ino kernel.InodeID, off int64, n int) []run {
+	out := cl.runScratch[:0]
+	if lay == LayoutWhole {
+		out = append(out, run{owner: cl.wholeHome(ino), off: off, n: n})
+		cl.runScratch = out
+		return out
+	}
+	width := cl.stripe
+	if lay == LayoutWide {
+		width = WideStripeSize
+	}
 	end := off + int64(n)
 	for off < end {
-		owner := cl.ownerIdx(off)
+		owner := cl.ownerAt(lay, ino, off)
 		cur := off
 		for cur < end {
-			stripeEnd := (cur/cl.stripe + 1) * cl.stripe
+			stripeEnd := (cur/width + 1) * width
 			if stripeEnd >= end {
 				cur = end
 				break
 			}
 			cur = stripeEnd
-			if cl.ownerIdx(cur) != owner {
+			if cl.ownerAt(lay, ino, cur) != owner {
 				break
 			}
 		}
 		out = append(out, run{owner: owner, off: off, n: int(cur - off)})
 		off = cur
 	}
+	cl.runScratch = out
 	return out
 }
 
@@ -577,6 +765,27 @@ func (pt *part) retire(p *sim.Proc) {
 	}
 	pt.resp, pt.err = pt.pd.Wait(p)
 	pt.done = true
+}
+
+// getPart returns a recycled (zeroed) part from the freelist. Parts
+// never escape the cluster — synchronous operations recycle at return,
+// pendings at Wait — so the freelist turns the per-run allocation of
+// the striped hot path into a steady-state zero.
+func (cl *Cluster) getPart() *part {
+	if n := len(cl.partFree); n > 0 {
+		pt := cl.partFree[n-1]
+		cl.partFree = cl.partFree[:n-1]
+		*pt = part{}
+		return pt
+	}
+	return &part{}
+}
+
+// putParts returns retired parts to the freelist. Callers must drop
+// every reference first (results are merged into fresh Resps before
+// any part is recycled).
+func (cl *Cluster) putParts(parts []*part) {
+	cl.partFree = append(cl.partFree, parts...)
 }
 
 // makeRoom retires outstanding parts oldest-first until session s can
@@ -627,12 +836,12 @@ func firstAppError(parts []*part) error {
 	return nil
 }
 
-// issueRead starts one run's read on the stripe's preferred replica,
-// failing over synchronously when the transport rejects the send (dead
-// peer). parts are this operation's earlier issues, retired by
-// makeRoom when the target's window is full.
-func (cl *Cluster) issueRead(p *sim.Proc, ino kernel.InodeID, r run, vec core.Vector, parts []*part) (*part, error) {
-	return withReplica(cl, r.off, r.n, func(idx int) (*part, error) {
+// issueRead starts one run's read on the preferred replica under the
+// inode's layout, failing over synchronously when the transport
+// rejects the send (dead peer). parts are this operation's earlier
+// issues, retired by makeRoom when the target's window is full.
+func (cl *Cluster) issueRead(p *sim.Proc, lay LayoutClass, ino kernel.InodeID, r run, vec core.Vector, parts []*part) (*part, error) {
+	return withReplica(cl, lay, ino, r.off, r.n, func(idx int) (*part, error) {
 		s := cl.sessions[idx]
 		makeRoom(p, s, parts)
 		pd, err := s.startRead(p, ino, r.off, vec)
@@ -640,23 +849,26 @@ func (cl *Cluster) issueRead(p *sim.Proc, ino kernel.InodeID, r run, vec core.Ve
 			return nil, err
 		}
 		cl.StripeReads.Add(r.n)
-		return &part{pd: pd, r: r, target: idx, vec: vec}, nil
+		pt := cl.getPart()
+		pt.pd, pt.r, pt.target, pt.vec = pd, r, idx, vec
+		return pt, nil
 	})
 }
 
 // failoverReads retries, in offset order, every read part that failed
-// with a transport fault, re-reading it from the next alive replica of
-// its stripe (the faulting server is excluded first). Retries travel
-// the replica's synchronous control path — NOT a window slot: failover
-// runs inside some PendingOp.Wait, while the caller's other unretired
-// pendings may legitimately hold every slot of the surviving servers,
-// so a slot-bound retry could deadlock against its own pipeline. A
-// part whose every replica is excluded keeps its fault error.
-func (cl *Cluster) failoverReads(p *sim.Proc, ino kernel.InodeID, parts []*part) {
+// with a transport fault, re-reading it from the next alive replica
+// under the inode's layout (the faulting server is excluded first).
+// Retries travel the replica's synchronous control path — NOT a window
+// slot: failover runs inside some PendingOp.Wait, while the caller's
+// other unretired pendings may legitimately hold every slot of the
+// surviving servers, so a slot-bound retry could deadlock against its
+// own pipeline. A part whose every replica is excluded keeps its fault
+// error.
+func (cl *Cluster) failoverReads(p *sim.Proc, lay LayoutClass, ino kernel.InodeID, parts []*part) {
 	for _, pt := range parts {
 		for pt.err != nil && fabric.IsFault(pt.err) {
 			cl.markDown(pt.target)
-			idx := cl.readIdx(pt.r.off)
+			idx := cl.readIdx(lay, ino, pt.r.off)
 			if idx < 0 {
 				break // every replica gone; the fault stands
 			}
@@ -681,17 +893,25 @@ func (cl *Cluster) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vec
 	if off < 0 {
 		return &Resp{Status: StInval}, ErrInval
 	}
+	lay, lerr := cl.layoutFor(p, ino)
+	if lerr != nil {
+		return &Resp{Status: StatusOf(lerr)}, lerr
+	}
 	total := dst.TotalLen()
 	if total == 0 {
 		// Degenerate read: one attr-only round trip to the offset's
 		// preferred replica, failing over like any other data path.
-		return cl.degenerate(p, off, func(idx int) (*Resp, error) {
+		return cl.degenerate(p, lay, ino, off, func(idx int) (*Resp, error) {
 			return cl.sessions[idx].Read(p, ino, off, dst)
 		})
 	}
-	var parts []*part
-	for _, r := range cl.runs(off, total) {
-		pt, err := cl.issueRead(p, ino, r, dst.Slice(int(r.off-off), r.n), parts)
+	parts := cl.syncParts[:0]
+	defer func() {
+		cl.putParts(parts)
+		cl.syncParts = parts[:0]
+	}()
+	for _, r := range cl.runs(lay, ino, off, total) {
+		pt, err := cl.issueRead(p, lay, ino, r, dst.Slice(int(r.off-off), r.n), parts)
 		if err != nil {
 			drainParts(p, parts)
 			return &Resp{Status: StatusOf(err)}, err
@@ -701,7 +921,7 @@ func (cl *Cluster) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vec
 	for _, pt := range parts {
 		pt.retire(p)
 	}
-	cl.failoverReads(p, ino, parts)
+	cl.failoverReads(p, lay, ino, parts)
 	for _, pt := range parts {
 		cl.observeResp(pt.resp)
 	}
@@ -757,21 +977,34 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 		return &Resp{Status: StInval}, ErrInval
 	}
 	total := src.TotalLen()
+	lay, lerr := cl.layoutFor(p, ino)
+	if lerr != nil {
+		return &Resp{Status: StatusOf(lerr)}, lerr
+	}
 	if total == 0 {
 		// Degenerate write: like the degenerate read, with failover.
-		return cl.degenerate(p, off, func(idx int) (*Resp, error) {
+		return cl.degenerate(p, lay, ino, off, func(idx int) (*Resp, error) {
 			return cl.sessions[idx].Write(p, ino, off, src)
 		})
 	}
-	runs := cl.runs(off, total)
-	var parts []*part
+	if lay, lerr = cl.maybePromote(p, ino, lay, off+int64(total)); lerr != nil {
+		return &Resp{Status: StatusOf(lerr)}, lerr
+	}
+	runs := cl.runs(lay, ino, off, total)
+	parts := cl.syncParts[:0]
+	defer func() {
+		cl.putParts(parts)
+		cl.syncParts = parts[:0]
+	}()
 	fail := func(err error) (*Resp, error) {
 		drainParts(p, parts)
 		return &Resp{Status: StatusOf(err)}, err
 	}
-	var tailTargets []int
+	tailTargets := cl.tailScratch[:0]
+	defer func() { cl.tailScratch = tailTargets[:0] }()
 	for ri, r := range runs {
-		var targets []int
+		live := 0
+		tail := ri == len(runs)-1
 		for j := 0; j < cl.replicas; j++ {
 			idx := (r.owner + j) % len(cl.sessions)
 			if cl.down[idx] {
@@ -779,9 +1012,8 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 			}
 			s := cl.sessions[idx]
 			faulted := false
-			// Runs longer than one request (only possible with a single
-			// server, where all stripes merge) chunk exactly like
-			// Session.Write does.
+			// Runs longer than one request (a merged single-server range
+			// or a wide stripe) chunk exactly like Session.Write does.
 			for done := 0; done < r.n; {
 				chunk := r.n - done
 				if chunk > MaxWriteChunk {
@@ -799,21 +1031,21 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 					return fail(err)
 				}
 				cl.StripeWrites.Add(chunk)
-				parts = append(parts, &part{
-					pd: pd, r: run{owner: r.owner, off: at, n: chunk},
-					want: chunk, ridx: ri, target: idx,
-				})
+				pt := cl.getPart()
+				pt.pd, pt.r = pd, run{owner: r.owner, off: at, n: chunk}
+				pt.want, pt.ridx, pt.target = chunk, ri, idx
+				parts = append(parts, pt)
 				done += chunk
 			}
 			if !faulted {
-				targets = append(targets, idx)
+				live++
+				if tail {
+					tailTargets = append(tailTargets, idx)
+				}
 			}
 		}
-		if len(targets) == 0 {
+		if live == 0 {
 			return fail(cl.allReplicasDown(r.off))
-		}
-		if ri == len(runs)-1 {
-			tailTargets = targets
 		}
 	}
 	for _, pt := range parts {
@@ -831,7 +1063,7 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 	for _, pt := range parts {
 		cl.observeResp(pt.resp)
 	}
-	if err := cl.setSizeTo(p, ino, off+int64(total), tailTargets); err != nil {
+	if err := cl.setSizeTo(p, lay, ino, off+int64(total), tailTargets); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
 	return resp, nil
@@ -870,19 +1102,40 @@ func (cl *Cluster) finishWriteParts(runs []run, parts []*part, total int) (*Resp
 // checkRunCoverage verifies, after a replicated write's parts retired,
 // that every run retains at least one replica all of whose chunks
 // completed cleanly. Parts that faulted mark their (run, target) pair
-// dirty; a run covered by no clean pair has lost its data.
+// dirty; a run covered by no clean pair has lost its data. The
+// fault-free hot path (every write, outside fault-injection tests)
+// allocates nothing: every part issued is a covering part.
 func (cl *Cluster) checkRunCoverage(runs []run, parts []*part) error {
-	type pair struct{ ridx, target int }
-	dirty := make(map[pair]bool)
+	anyErr := false
 	for _, pt := range parts {
 		if pt.err != nil {
-			dirty[pair{pt.ridx, pt.target}] = true
+			anyErr = true
+			break
 		}
 	}
-	covered := make([]bool, len(runs))
-	for _, pt := range parts {
-		if pt.err == nil && !dirty[pair{pt.ridx, pt.target}] {
+	if cap(cl.coverScratch) < len(runs) {
+		cl.coverScratch = make([]bool, len(runs))
+	}
+	covered := cl.coverScratch[:len(runs)]
+	for i := range covered {
+		covered[i] = false
+	}
+	if !anyErr {
+		for _, pt := range parts {
 			covered[pt.ridx] = true
+		}
+	} else {
+		type pair struct{ ridx, target int }
+		dirty := make(map[pair]bool)
+		for _, pt := range parts {
+			if pt.err != nil {
+				dirty[pair{pt.ridx, pt.target}] = true
+			}
+		}
+		for _, pt := range parts {
+			if pt.err == nil && !dirty[pair{pt.ridx, pt.target}] {
+				covered[pt.ridx] = true
+			}
 		}
 	}
 	for ri, ok := range covered {
@@ -907,17 +1160,24 @@ func (cl *Cluster) checkRunCoverage(runs []run, parts []*part) error {
 // (a foreign exact size set ran since): their StStale replies carry
 // the authoritative epoch, the cache entry resets, and the fan
 // retries under the fresh epoch.
-func (cl *Cluster) setSizeTo(p *sim.Proc, ino kernel.InodeID, end int64, tailTargets []int) error {
-	isTail := make(map[int]bool, len(tailTargets))
-	for _, t := range tailTargets {
-		isTail[t] = true
+//
+// A whole-on-home file never reconciles: its single data owner is its
+// metadata home (the same hash picks both), so the only server anyone
+// asks about the file already holds the authoritative size — and with
+// replication, every write landed on the same replica set a re-homed
+// getattr walks. Eliminating these N−1 OpSetSize rounds is the point
+// of the class (DESIGN.md §10); figures.SmallFile audits the zero.
+func (cl *Cluster) setSizeTo(p *sim.Proc, lay LayoutClass, ino kernel.InodeID, end int64, tailTargets []int) error {
+	if lay == LayoutWhole {
+		return nil
 	}
+	skip := tailTargets
 	for attempt := 0; ; attempt++ {
 		e := cl.sizes[ino]
 		if e.size >= end {
 			return nil
 		}
-		stale, err := cl.setSizeFan(p, ino, end, e.epoch, isTail)
+		stale, err := cl.setSizeFan(p, ino, end, e.epoch, skip)
 		if err != nil {
 			return err
 		}
@@ -930,28 +1190,47 @@ func (cl *Cluster) setSizeTo(p *sim.Proc, ino kernel.InodeID, end int64, tailTar
 		// that raced us may have shrunk the tail targets after our data
 		// landed on them, so retries stop skipping anyone. The cap only
 		// guards against a pathological truncate storm.
-		isTail = nil
+		skip = nil
 		if attempt >= 3 {
 			return fmt.Errorf("rfsrv: size reconciliation of inode %d kept racing foreign truncates: %w", ino, ErrStaleEpoch)
 		}
 	}
 }
 
+// skipsServer reports whether server i is in the (tiny, ≤R-entry)
+// skip list — a linear scan beats a map allocation on the per-write
+// reconciliation path.
+func skipsServer(skip []int, i int) bool {
+	for _, s := range skip {
+		if s == i {
+			return true
+		}
+	}
+	return false
+}
+
 // setSizeFan is one round of the grow-only reconciliation: OpSetSize
 // to every alive server not in skip, in parallel on the control paths.
 // Faulting servers are excluded; stale reports whether any server
 // refused the observed epoch (the caller revalidates and retries);
-// other application errors win over staleness.
-func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch uint64, skip map[int]bool) (stale bool, err error) {
-	var flights []*syncMetaFlight
-	var targets []int
+// other application errors win over staleness. Flights live in the
+// cluster's scratch (reconciliation fans never nest with metadata
+// fanout — both run to completion before returning).
+func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch uint64, skip []int) (stale bool, err error) {
+	flights := cl.flightScratch[:0]
+	targets := cl.targetScratch[:0]
+	defer func() {
+		cl.flightScratch = flights[:0]
+		cl.targetScratch = targets[:0]
+	}()
 	var firstErr error
 	for i, s := range cl.sessions {
-		if skip[i] || cl.down[i] {
+		if cl.down[i] || skipsServer(skip, i) {
 			continue
 		}
 		cl.SetSizes.Add(1)
-		fl, err := startSyncMeta(p, s, &Req{Op: OpSetSize, Ino: ino, Off: end, Len: PackSetSize(false, epoch)})
+		cl.fanReq = Req{Op: OpSetSize, Ino: ino, Off: end, Len: PackSetSize(false, epoch)}
+		fl, err := startSyncMeta(p, s, &cl.fanReq)
 		if err != nil {
 			if fabric.IsFault(err) {
 				cl.markDown(i)
@@ -963,8 +1242,8 @@ func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch 
 		flights = append(flights, fl)
 		targets = append(targets, i)
 	}
-	for k, fl := range flights {
-		resp, err := fl.wait(p)
+	for k := range flights {
+		resp, err := flights[k].wait(p)
 		if err != nil && fabric.IsFault(err) {
 			cl.markDown(targets[k])
 			continue
@@ -988,11 +1267,145 @@ func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch 
 // writers need — ORFS write-behind extends only the servers its dirty
 // pages land on, then calls SetFileSize at its sync barrier so homed
 // getattr and striped-read EOF clipping agree with the bytes it wrote.
+// Under an adaptive layout policy, publishing a size past
+// PromoteThreshold is also the async writer's promotion point: the
+// caller has retired its pipeline by the time it publishes (that is
+// what a sync barrier is), so this is the one safe moment to migrate
+// a whole-on-home file that grew past the threshold via StartWrite.
 func (cl *Cluster) SetFileSize(p *sim.Proc, ino kernel.InodeID, size int64) error {
 	if size < 0 {
 		return ErrInval
 	}
-	return cl.setSizeTo(p, ino, size, nil)
+	lay, err := cl.layoutFor(p, ino)
+	if err != nil {
+		return err
+	}
+	if lay, err = cl.maybePromote(p, ino, lay, size); err != nil {
+		return err
+	}
+	return cl.setSizeTo(p, lay, ino, size, nil)
+}
+
+// ---- adaptive promotion ----
+
+// maybePromote is the adaptive-policy trigger: a whole-on-home file
+// about to reach past PromoteThreshold (end is the prospective EOF) is
+// migrated to standard striping first, and the caller proceeds under
+// the returned class. Promotion runs only from synchronous call sites
+// (Write, SetFileSize) — never mid-async-stream, where the caller's
+// own unretired pendings could still be landing bytes the migration
+// would miss; an async writer's promotion point is the SetFileSize at
+// its sync barrier.
+func (cl *Cluster) maybePromote(p *sim.Proc, ino kernel.InodeID, lay LayoutClass, end int64) (LayoutClass, error) {
+	if !cl.policyOn || !cl.policy.Adaptive || lay != LayoutWhole || end <= PromoteThreshold {
+		return lay, nil
+	}
+	if err := cl.promote(p, ino); err != nil {
+		return lay, err
+	}
+	return LayoutStandard, nil
+}
+
+// stagingVec returns an n-byte vector over the cluster's migration
+// staging buffer, mapping it on first use (promotion is rare; clusters
+// that never promote never pay the mapping).
+func (cl *Cluster) stagingVec(n int) (core.Vector, error) {
+	c := cl.sessions[0].c
+	if cl.migVA == 0 {
+		alloc := c.as.Mmap
+		if c.kernSide {
+			alloc = c.as.MmapContig
+		}
+		va, err := alloc(MaxWriteChunk, "rfsrv-promote")
+		if err != nil {
+			return nil, err
+		}
+		cl.migVA = va
+	}
+	return core.Of(c.seg(cl.migVA, n)), nil
+}
+
+// promote migrates a whole-on-home file to standard striping: its
+// bytes are copied from the home to every standard-placement replica
+// they belong on, then an OpSetLayout fans the class flip to every
+// alive server (epoch-bumping, so every client's validated size cache
+// revalidates under the new placement). The copy travels the
+// synchronous control paths — never window slots, so promotion cannot
+// deadlock against a caller's pipeline. Fragments whose standard
+// placement includes the home are not rewritten: whole-on-home stores
+// bytes at their global offsets, which is exactly where standard
+// striping expects them.
+func (cl *Cluster) promote(p *sim.Proc, ino kernel.InodeID) error {
+	src := cl.wholeHome(ino)
+	resp, err := cl.homedMeta(p, &Req{Op: OpGetattr, Ino: ino}, func() int { return cl.homeIdx(ino) })
+	if err != nil {
+		return err
+	}
+	size := resp.Attr.Size
+	for off := int64(0); off < size; {
+		n := int(size - off)
+		if n > MaxWriteChunk {
+			n = MaxWriteChunk
+		}
+		vec, err := cl.stagingVec(n)
+		if err != nil {
+			return err
+		}
+		chunkOff := off
+		rresp, err := withReplica(cl, LayoutWhole, ino, chunkOff, n, func(idx int) (*Resp, error) {
+			return cl.sessions[idx].Client().Read(p, ino, chunkOff, vec)
+		})
+		if err != nil {
+			return err
+		}
+		if int(rresp.N) != n {
+			return fmt.Errorf("rfsrv: promote inode %d: short read (%d of %d) at %d", ino, rresp.N, n, off)
+		}
+		// Scatter the chunk to its standard-placement replicas, one
+		// stripe fragment at a time.
+		end := off + int64(n)
+		for off < end {
+			fragEnd := (off/cl.stripe + 1) * cl.stripe
+			if fragEnd > end {
+				fragEnd = end
+			}
+			frag := int(fragEnd - off)
+			owner := cl.ownerIdx(off)
+			okReplicas := 0
+			for j := 0; j < cl.replicas; j++ {
+				idx := (owner + j) % len(cl.sessions)
+				if cl.down[idx] {
+					continue
+				}
+				if idx == src {
+					okReplicas++ // the home already holds these bytes
+					continue
+				}
+				wresp, werr := cl.sessions[idx].Client().Write(p, ino, off, vec.Slice(int(off-chunkOff), frag))
+				if werr != nil {
+					if fabric.IsFault(werr) {
+						cl.markDown(idx)
+						continue
+					}
+					return werr
+				}
+				if int(wresp.N) != frag {
+					return fmt.Errorf("rfsrv: promote inode %d: short copy (%d of %d) at %d", ino, wresp.N, frag, off)
+				}
+				okReplicas++
+			}
+			if okReplicas == 0 {
+				return cl.allReplicasDown(off)
+			}
+			off = fragEnd
+		}
+	}
+	if _, err := cl.fanout(p, &Req{Op: OpSetLayout, Ino: ino, Len: uint32(LayoutStandard)}); err != nil {
+		return err
+	}
+	cl.layouts[ino] = LayoutStandard
+	cl.Promotions.Add(int(size))
+	return nil
 }
 
 // ---- pipelined data path (Async) ----
@@ -1002,6 +1415,7 @@ func (cl *Cluster) SetFileSize(p *sim.Proc, ino kernel.InodeID, size int64) erro
 type clusterPending struct {
 	cl     *Cluster
 	ino    kernel.InodeID
+	lay    LayoutClass
 	parts  []*part
 	runs   []run // the logical runs (writes: replica coverage check)
 	want   int   // expected total (writes; -1 for reads)
@@ -1012,10 +1426,23 @@ type clusterPending struct {
 	err  error
 }
 
+// seal records the issue time once every part is out (the first part's
+// window-entry instant — the same instant a Session would report,
+// keeping latency accounting bit-identical in the one-server
+// configuration) so Issued keeps answering after Wait recycles the
+// parts.
+func (cp *clusterPending) seal() {
+	if len(cp.parts) > 0 {
+		cp.issued = cp.parts[0].pd.issued
+	}
+}
+
 // Wait implements PendingOp: retires every part and merges. Faulted
 // read parts fail over to their stripe's next alive replica before the
 // merge; faulted write parts exclude their server and are tolerated as
-// long as every run kept a clean replica.
+// long as every run kept a clean replica. The parts return to the
+// cluster's freelist once merged — the memoized (resp, err) is all a
+// second Wait needs.
 func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 	if cp.done {
 		return cp.resp, cp.err
@@ -1025,28 +1452,28 @@ func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 		pt.retire(p)
 	}
 	if cp.want < 0 {
-		cp.cl.failoverReads(p, cp.ino, cp.parts)
+		cp.cl.failoverReads(p, cp.lay, cp.ino, cp.parts)
 		for _, pt := range cp.parts {
 			cp.cl.observeResp(pt.resp)
 		}
 		if err := firstError(cp.parts); err != nil {
 			cp.resp, cp.err = &Resp{Status: StatusOf(err), Attr: mergeAttr(cp.parts)}, err
-			return cp.resp, cp.err
+		} else {
+			cp.resp = mergeRead(cp.parts)
 		}
-		cp.resp = mergeRead(cp.parts)
-		return cp.resp, cp.err
+	} else {
+		cp.resp, cp.err = cp.cl.finishWriteParts(cp.runs, cp.parts, cp.want)
+		for _, pt := range cp.parts {
+			cp.cl.observeResp(pt.resp)
+		}
 	}
-	cp.resp, cp.err = cp.cl.finishWriteParts(cp.runs, cp.parts, cp.want)
-	for _, pt := range cp.parts {
-		cp.cl.observeResp(pt.resp)
-	}
+	cp.cl.putParts(cp.parts)
+	cp.parts = nil
 	return cp.resp, cp.err
 }
 
 // Issued implements PendingOp: the time the first per-server request
-// entered its window — the same instant a Session would report for the
-// same operation, keeping latency accounting bit-identical in the
-// one-server configuration.
+// entered its window (sealed at issue; see seal).
 func (cp *clusterPending) Issued() sim.Time {
 	if len(cp.parts) > 0 {
 		return cp.parts[0].pd.issued
@@ -1062,38 +1489,47 @@ func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst cor
 	if off < 0 {
 		return nil, ErrInval
 	}
+	lay, lerr := cl.layoutFor(p, ino)
+	if lerr != nil {
+		return nil, lerr
+	}
 	total := dst.TotalLen()
-	cp := &clusterPending{cl: cl, ino: ino, want: -1, issued: p.Now()}
+	cp := &clusterPending{cl: cl, ino: ino, lay: lay, want: -1, issued: p.Now()}
 	if total == 0 {
 		// Zero-length read: one attr-only request to the offset's
 		// preferred replica, like the synchronous Read path — with the
 		// same issue-time failover (Wait-time faults fail over through
 		// failoverReads like any other part).
-		pt, err := withReplica(cl, off, 0, func(idx int) (*part, error) {
+		pt, err := withReplica(cl, lay, ino, off, 0, func(idx int) (*part, error) {
 			pd, err := cl.sessions[idx].startRead(p, ino, off, dst)
 			if err != nil {
 				return nil, err
 			}
-			return &part{pd: pd, r: run{owner: cl.ownerIdx(off), off: off}, target: idx, vec: dst}, nil
+			pt := cl.getPart()
+			pt.pd, pt.r, pt.target, pt.vec = pd, run{owner: cl.ownerAt(lay, ino, off), off: off}, idx, dst
+			return pt, nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		cp.parts = append(cp.parts, pt)
+		cp.seal()
 		return cp, nil
 	}
-	for _, r := range cl.runs(off, total) {
+	for _, r := range cl.runs(lay, ino, off, total) {
 		// An operation spanning more same-server stripes than that
 		// server's window retires its own earlier runs to make room
 		// (inside issueRead) — it must never depend on the caller, who
 		// cannot retire a pending it has not been handed yet.
-		pt, err := cl.issueRead(p, ino, r, dst.Slice(int(r.off-off), r.n), cp.parts)
+		pt, err := cl.issueRead(p, lay, ino, r, dst.Slice(int(r.off-off), r.n), cp.parts)
 		if err != nil {
 			drainParts(p, cp.parts)
+			cl.putParts(cp.parts)
 			return nil, err
 		}
 		cp.parts = append(cp.parts, pt)
 	}
+	cp.seal()
 	return cp, nil
 }
 
@@ -1101,39 +1537,52 @@ func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst cor
 // MaxWriteChunk, issued without waiting. Unlike the synchronous Write
 // it does not reconcile sizes across servers — asynchronous writers
 // (ORFS write-behind) track EOF themselves and their dirty data is
-// re-readable from the servers that own it.
+// re-readable from the servers that own it. For the same reason it
+// never promotes a whole-on-home file mid-stream: the caller's
+// unretired pendings could still be landing bytes a migration would
+// miss, so adaptive promotion waits for the SetFileSize at the
+// writer's sync barrier.
 func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (PendingOp, error) {
 	if off < 0 {
 		return nil, ErrInval
+	}
+	lay, lerr := cl.layoutFor(p, ino)
+	if lerr != nil {
+		return nil, lerr
 	}
 	total := src.TotalLen()
 	if total > MaxWriteChunk {
 		return nil, fmt.Errorf("rfsrv: StartWrite of %d bytes exceeds one %d-byte request", total, MaxWriteChunk)
 	}
-	runs := cl.runs(off, total)
-	cp := &clusterPending{cl: cl, ino: ino, runs: runs, want: total, issued: p.Now()}
+	cp := &clusterPending{cl: cl, ino: ino, lay: lay, want: total, issued: p.Now()}
 	if total == 0 {
 		// Zero-length write: one real request to the offset's preferred
 		// replica, like the synchronous degenerate path (so the RPC
 		// trace and the returned attributes match Session.StartWrite).
 		// The synthetic run makes finishWriteParts' coverage check see
 		// a Wait-time fault instead of vacuously succeeding.
-		r := run{owner: cl.ownerIdx(off), off: off}
+		r := run{owner: cl.ownerAt(lay, ino, off), off: off}
 		cp.runs = []run{r}
-		pt, err := withReplica(cl, off, 0, func(idx int) (*part, error) {
+		pt, err := withReplica(cl, lay, ino, off, 0, func(idx int) (*part, error) {
 			pd, err := cl.sessions[idx].startWrite(p, ino, off, src)
 			if err != nil {
 				return nil, err
 			}
-			return &part{pd: pd, r: r, target: idx}, nil
+			pt := cl.getPart()
+			pt.pd, pt.r, pt.target = pd, r, idx
+			return pt, nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		cp.parts = append(cp.parts, pt)
+		cp.seal()
 		return cp, nil
 	}
-	for ri, r := range runs {
+	// The pending outlives this call, so it gets its own copy of the
+	// runs (cl.runs returns per-operation scratch).
+	cp.runs = append(cp.runs, cl.runs(lay, ino, off, total)...)
+	for ri, r := range cp.runs {
 		issued := 0
 		for j := 0; j < cl.replicas; j++ {
 			idx := (r.owner + j) % len(cl.sessions)
@@ -1149,17 +1598,23 @@ func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src co
 					continue
 				}
 				drainParts(p, cp.parts)
+				cl.putParts(cp.parts)
 				return nil, err
 			}
 			cl.StripeWrites.Add(r.n)
-			cp.parts = append(cp.parts, &part{pd: pd, r: r, want: r.n, ridx: ri, target: idx})
+			pt := cl.getPart()
+			pt.pd, pt.r = pd, r
+			pt.want, pt.ridx, pt.target = r.n, ri, idx
+			cp.parts = append(cp.parts, pt)
 			issued++
 		}
 		if issued == 0 {
 			drainParts(p, cp.parts)
+			cl.putParts(cp.parts)
 			return nil, cl.allReplicasDown(r.off)
 		}
 	}
+	cp.seal()
 	// The size cache is deliberately NOT updated here: sizes[ino]
 	// records "every server reconciled to this size", and an async
 	// write extends only the servers its runs touch. The next
@@ -1191,7 +1646,7 @@ type syncMetaFlight struct {
 // striped reads or writes hold every window slot of some server
 // (ORFS readahead can legitimately do this) can still look up, stat
 // and reconcile, because metadata never waits on the data windows.
-func startSyncMeta(p *sim.Proc, s *Session, req *Req) (*syncMetaFlight, error) {
+func startSyncMeta(p *sim.Proc, s *Session, req *Req) (syncMetaFlight, error) {
 	c := s.c
 	c.lock.Acquire(p)
 	c.seq++
@@ -1199,7 +1654,7 @@ func startSyncMeta(p *sim.Proc, s *Session, req *Req) (*syncMetaFlight, error) {
 	hdrOp, err := c.postHdr(p, &c.ctl, req.Seq)
 	if err != nil {
 		c.lock.Release()
-		return nil, err
+		return syncMetaFlight{}, err
 	}
 	if err := c.sendReq(p, &c.ctl, req, nil); err != nil {
 		// The request never left (e.g. dead-peer rejection): withdraw
@@ -1207,9 +1662,9 @@ func startSyncMeta(p *sim.Proc, s *Session, req *Req) (*syncMetaFlight, error) {
 		// for the next requester.
 		fabric.Cancel(p, hdrOp)
 		c.lock.Release()
-		return nil, err
+		return syncMetaFlight{}, err
 	}
-	return &syncMetaFlight{c: c, hdrOp: hdrOp, seq: req.Seq}, nil
+	return syncMetaFlight{c: c, hdrOp: hdrOp, seq: req.Seq}, nil
 }
 
 // wait retires the flight and releases the control path.
@@ -1259,9 +1714,26 @@ func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	case OpSetSize:
 		exact, _ := UnpackSetSize(req.Len)
 		return cl.setSizeMeta(p, req.Ino, req.Off, exact)
+	case OpCreate:
+		return cl.fanout(p, cl.hintCreate(req))
 	default:
 		return cl.fanout(p, req)
 	}
+}
+
+// hintCreate injects the adaptive policy's default layout class into an
+// unhinted create: new files start whole-on-home and are promoted when
+// they outgrow PromoteThreshold. Explicit hints (a caller that knows
+// the file will be huge asks for LayoutWide up front) pass through
+// untouched, as does everything when the policy is off — the request
+// is then byte-identical to the pre-layout protocol.
+func (cl *Cluster) hintCreate(req *Req) *Req {
+	if !cl.policyOn || !cl.policy.Adaptive || req.Len != 0 {
+		return req
+	}
+	r := *req
+	r.Len = uint32(LayoutWhole)
+	return &r
 }
 
 // setSizeMeta fans an OpSetSize to every alive server — exact mode
@@ -1321,8 +1793,12 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 		cl.noteMutation(req, resp, err)
 		return resp, err
 	}
-	flights := make([]*syncMetaFlight, 0, len(cl.sessions))
-	targets := make([]int, 0, len(cl.sessions))
+	flights := cl.flightScratch[:0]
+	targets := cl.targetScratch[:0]
+	defer func() {
+		cl.flightScratch = flights[:0]
+		cl.targetScratch = targets[:0]
+	}()
 	var firstErr error
 	for i, s := range cl.sessions {
 		if cl.down[i] {
@@ -1331,7 +1807,12 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 		if len(flights) > 0 {
 			cl.MetaFanout.Add(1)
 		}
-		fl, err := startSyncMeta(p, s, cloneReq(req))
+		// One reusable request per fan: startSyncMeta stamps and encodes
+		// it into the target's control buffer before returning, so the
+		// next iteration may overwrite it (per-server clones would only
+		// feed the garbage collector).
+		cl.fanReq = *req
+		fl, err := startSyncMeta(p, s, &cl.fanReq)
 		if err != nil {
 			if fabric.IsFault(err) {
 				cl.markDown(i)
@@ -1345,8 +1826,8 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 	}
 	resps := make([]*Resp, 0, len(flights))
 	stale := false
-	for k, fl := range flights {
-		r, err := fl.wait(p)
+	for k := range flights {
+		r, err := flights[k].wait(p)
 		if err != nil && fabric.IsFault(err) {
 			cl.markDown(targets[k])
 			continue // excluded, not divergent
@@ -1405,6 +1886,11 @@ func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
 		cl.nsEpoch++
 		cl.sizes[resp.Attr.Ino] = cl.entry(resp.Attr.Size, resp.Epoch)
 	case OpMkdir, OpUnlink, OpRmdir:
+		cl.nsEpoch++
+	case OpSetLayout:
+		// A layout flip bumps the size epoch on every server (that is
+		// what revalidates other clients' placement); a server that
+		// missed it is desynchronized like any missed exact size set.
 		cl.nsEpoch++
 	case OpTruncate:
 		// Defensive: Meta translates truncates to exact OpSetSize, but a
@@ -1477,6 +1963,8 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			// re-issues with the cache already revalidated).
 			w := r
 			switch r.Op {
+			case OpCreate:
+				w = cl.hintCreate(r)
 			case OpTruncate:
 				w = &Req{Op: OpSetSize, Ino: r.Ino, Off: r.Off, Len: PackSetSize(true, cl.sizes[r.Ino].epoch+bumps[r.Ino])}
 				bumps[r.Ino]++
@@ -1500,7 +1988,10 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 				}
 				first = false
 				shares[s].idx = append(shares[s].idx, i)
-				shares[s].reqs = append(shares[s].reqs, cloneReq(w))
+				// Server batches run one at a time, and Session.MetaBatch
+				// stamps and encodes every request before returning, so
+				// the shares can share one *Req — no per-server clones.
+				shares[s].reqs = append(shares[s].reqs, w)
 			}
 		}
 	}

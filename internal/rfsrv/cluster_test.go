@@ -434,7 +434,7 @@ func TestClusterPipelinedStripedReads(t *testing.T) {
 		}
 		for i := 0; i < size/testStripe; i++ {
 			off := i * testStripe
-			for len(q) > 0 && (len(q) == window || !cl.CanStart(int64(off), testStripe)) {
+			for len(q) > 0 && (len(q) == window || !cl.CanStart(ino, int64(off), testStripe)) {
 				check(q[0])
 				q = q[1:]
 			}

@@ -62,14 +62,71 @@ const (
 	// reply carrying the authoritative (size, epoch) so one round trip
 	// revalidates the caller (see Cluster).
 	OpSetSize
+	// OpSetLayout records a file's stripe-layout class (DESIGN.md §10)
+	// in the serving inode: Len carries the LayoutClass. Changing the
+	// layout relocates data, so the server bumps the inode's size epoch —
+	// every cached (size, layout) view elsewhere is invalidated through
+	// the same validated-cache machinery truncate uses, and a cluster
+	// client counts the fan-out as a namespace mutation (an excluded
+	// server that missed it must resync before Reinstate).
+	OpSetLayout
 )
 
 var opNames = map[Op]string{
 	OpLookup: "lookup", OpGetattr: "getattr", OpReaddir: "readdir",
 	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
 	OpRmdir: "rmdir", OpTruncate: "truncate", OpRead: "read", OpWrite: "write",
-	OpSetSize: "setsize",
+	OpSetSize: "setsize", OpSetLayout: "setlayout",
 }
+
+// LayoutClass is a file's stripe-layout policy, recorded per inode at
+// create time (or changed by OpSetLayout). It rides the wire in bytes
+// that were previously always zero — the high nibble of the reply's
+// kind byte and an OpCreate request's unused Len field — so the
+// layout machinery changed no message length and no fault-free timing.
+type LayoutClass uint8
+
+const (
+	// LayoutStandard stripes at the cluster's configured width (64 KiB
+	// by default), round-robin — bit-identical to the pre-layout
+	// cluster, and what every unhinted create gets.
+	LayoutStandard LayoutClass = iota
+	// LayoutWhole places all of a small file's data on its metadata
+	// home server: no fan-out, no grow-only OpSetSize reconciliation
+	// (the home is the size authority AND the only data server), one
+	// server answering both metadata and data for the file.
+	LayoutWhole
+	// LayoutWide stripes at WideStripeSize for deep per-server
+	// pipelining of huge files.
+	LayoutWide
+
+	layoutMax = LayoutWide
+)
+
+var layoutNames = [...]string{"standard", "whole", "wide"}
+
+// String returns the layout's protocol name.
+func (lc LayoutClass) String() string {
+	if int(lc) < len(layoutNames) {
+		return layoutNames[lc]
+	}
+	return fmt.Sprintf("layout(%d)", uint8(lc))
+}
+
+// ValidLayout reports whether lc is a defined layout class (servers
+// reject create hints and OpSetLayout requests outside the range with
+// StInval instead of recording garbage).
+func ValidLayout(lc LayoutClass) bool { return lc <= layoutMax }
+
+// WideStripeSize is the stripe width of LayoutWide files: 1 MiB, deep
+// enough that one wide file keeps several requests in flight per
+// server without metadata-home hotspots.
+const WideStripeSize = 1 << 20
+
+// PromoteThreshold is the adaptive-policy promotion point: a
+// whole-on-home file whose write reaches past this offset is migrated
+// to standard striping (see Cluster.SetLayoutPolicy).
+const PromoteThreshold = 256 * 1024
 
 // String returns the protocol name of the operation.
 func (o Op) String() string {
@@ -81,12 +138,16 @@ func (o Op) String() string {
 
 // Req is a protocol request. Ino 0 denotes the filesystem root.
 type Req struct {
-	Op   Op
-	Seq  uint64
-	EP   uint8 // client endpoint/port to reply to
-	Ino  kernel.InodeID
-	Off  int64  // offset (read/write) or new size (truncate/setsize)
-	Len  uint32 // read/write byte count; OpSetSize mode+epoch (PackSetSize)
+	Op  Op
+	Seq uint64
+	EP  uint8 // client endpoint/port to reply to
+	Ino kernel.InodeID
+	Off int64 // offset (read/write) or new size (truncate/setsize)
+	// Len is the read/write byte count; OpSetSize packs mode+epoch here
+	// (PackSetSize); OpCreate and OpSetLayout carry a LayoutClass (the
+	// field was always zero for creates before, so an unhinted create is
+	// wire-identical to a LayoutStandard one).
+	Len  uint32
 	Name string // lookup/create/mkdir/unlink/rmdir
 }
 
@@ -152,12 +213,21 @@ func ValidateReq(r *Req) error {
 	return nil
 }
 
-// EncodeReq serializes a request.
+// EncodeReq serializes a request into a fresh slice.
 func EncodeReq(r *Req) []byte {
+	return EncodeReqInto(nil, r)
+}
+
+// EncodeReqInto appends the encoding of r to dst and returns the
+// extended slice — the hot data path encodes into per-client scratch
+// buffers instead of allocating per request.
+func EncodeReqInto(dst []byte, r *Req) []byte {
 	if len(r.Name) > 1<<15 {
 		panic("rfsrv: name too long")
 	}
-	out := make([]byte, reqFixed+len(r.Name))
+	pos := len(dst)
+	dst = append(dst, make([]byte, reqFixed+len(r.Name))...)
+	out := dst[pos:]
 	out[0] = byte(r.Op)
 	binary.LittleEndian.PutUint64(out[1:], r.Seq)
 	out[9] = r.EP
@@ -166,7 +236,7 @@ func EncodeReq(r *Req) []byte {
 	binary.LittleEndian.PutUint32(out[26:], r.Len)
 	binary.LittleEndian.PutUint16(out[30:], uint16(len(r.Name)))
 	copy(out[reqFixed:], r.Name)
-	return out
+	return dst
 }
 
 // DecodeReq parses a request, returning it and the number of bytes
@@ -279,7 +349,13 @@ type Resp struct {
 	// client ever consumed), so introducing the coherence protocol
 	// changed no message length and no fault-free timing; a decoded
 	// Attr.Version is therefore always zero.
-	Epoch   uint64
+	Epoch uint64
+	// Layout is the stripe-layout class of the inode Attr describes
+	// (DESIGN.md §10). On the wire it rides in the high nibble of the
+	// kind byte — file kinds never exceeded the low nibble — so, like
+	// Epoch, introducing it changed no message length and no fault-free
+	// timing; pre-layout replies decode as LayoutStandard.
+	Layout  LayoutClass
 	N       uint32 // data bytes in the companion data transfer
 	Entries []kernel.DirEntry
 }
@@ -291,9 +367,16 @@ const respFixed = 8 + 4 + 8 + 1 + 8 + 8 + 4 + 2
 // part plus room for directory listings.
 const HdrBufSize = 16 * 1024
 
-// EncodeResp serializes a response. It fails only if a directory
-// listing overflows HdrBufSize.
+// EncodeResp serializes a response into a fresh slice. It fails only
+// if a directory listing overflows HdrBufSize.
 func EncodeResp(r *Resp) ([]byte, error) {
+	return EncodeRespInto(nil, r)
+}
+
+// EncodeRespInto appends the encoding of r to dst and returns the
+// extended slice — server workers encode replies into per-worker
+// scratch buffers instead of allocating per reply.
+func EncodeRespInto(dst []byte, r *Resp) ([]byte, error) {
 	size := respFixed
 	for _, e := range r.Entries {
 		size += 8 + 1 + 2 + len(e.Name)
@@ -301,24 +384,30 @@ func EncodeResp(r *Resp) ([]byte, error) {
 	if size > HdrBufSize {
 		return nil, fmt.Errorf("rfsrv: directory listing (%d bytes) exceeds reply buffer", size)
 	}
-	out := make([]byte, size)
+	if r.Attr.Kind < 0 || r.Attr.Kind > 0xf || !ValidLayout(r.Layout) {
+		// Kind and Layout share one wire byte (low/high nibble).
+		return nil, fmt.Errorf("rfsrv: kind %d / layout %d overflow the kind byte", r.Attr.Kind, r.Layout)
+	}
+	pos := len(dst)
+	dst = append(dst, make([]byte, size)...)
+	out := dst[pos:]
 	binary.LittleEndian.PutUint64(out[0:], r.Seq)
 	binary.LittleEndian.PutUint32(out[8:], uint32(r.Status))
 	binary.LittleEndian.PutUint64(out[12:], uint64(r.Attr.Ino))
-	out[20] = byte(r.Attr.Kind)
+	out[20] = byte(r.Attr.Kind) | byte(r.Layout)<<4
 	binary.LittleEndian.PutUint64(out[21:], uint64(r.Attr.Size))
 	binary.LittleEndian.PutUint64(out[29:], r.Epoch)
 	binary.LittleEndian.PutUint32(out[37:], r.N)
 	binary.LittleEndian.PutUint16(out[41:], uint16(len(r.Entries)))
-	pos := respFixed
+	at := respFixed
 	for _, e := range r.Entries {
-		binary.LittleEndian.PutUint64(out[pos:], uint64(e.Ino))
-		out[pos+8] = byte(e.Kind)
-		binary.LittleEndian.PutUint16(out[pos+9:], uint16(len(e.Name)))
-		copy(out[pos+11:], e.Name)
-		pos += 11 + len(e.Name)
+		binary.LittleEndian.PutUint64(out[at:], uint64(e.Ino))
+		out[at+8] = byte(e.Kind)
+		binary.LittleEndian.PutUint16(out[at+9:], uint16(len(e.Name)))
+		copy(out[at+11:], e.Name)
+		at += 11 + len(e.Name)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeResp parses a response.
@@ -331,11 +420,12 @@ func DecodeResp(b []byte) (*Resp, error) {
 		Status: int32(binary.LittleEndian.Uint32(b[8:])),
 		Attr: kernel.Attr{
 			Ino:  kernel.InodeID(binary.LittleEndian.Uint64(b[12:])),
-			Kind: kernel.FileKind(b[20]),
+			Kind: kernel.FileKind(b[20] & 0xf),
 			Size: int64(binary.LittleEndian.Uint64(b[21:])),
 		},
-		Epoch: binary.LittleEndian.Uint64(b[29:]),
-		N:     binary.LittleEndian.Uint32(b[37:]),
+		Epoch:  binary.LittleEndian.Uint64(b[29:]),
+		Layout: LayoutClass(b[20] >> 4),
+		N:      binary.LittleEndian.Uint32(b[37:]),
 	}
 	count := int(binary.LittleEndian.Uint16(b[41:]))
 	pos := respFixed

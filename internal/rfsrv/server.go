@@ -41,15 +41,46 @@ type Server struct {
 	// resolves (Resp.Epoch).
 	epochs map[kernel.InodeID]uint64
 
+	// layouts records each regular file's stripe-layout class
+	// (DESIGN.md §10), set by a create hint or OpSetLayout. Absence
+	// means LayoutStandard — unhinted creates never populate the map,
+	// so a policy-free cluster costs no entries. The server itself
+	// serves whatever byte ranges it is asked for regardless of class;
+	// the class is authoritative placement metadata FOR CLIENTS, carried
+	// in every reply that resolves the inode (Resp.Layout) so any round
+	// trip teaches a cluster client where the file's data lives.
+	layouts map[kernel.InodeID]LayoutClass
+
 	// sessions is the per-client protocol state: one entry per (node,
 	// endpoint) pair that has sent a request, tracking that client's
 	// sliding window as seen from the server.
 	sessions map[clientKey]*ClientSession
 
+	// workFree recycles MX work records (and their header-scratch
+	// buffers) between the dispatcher and the workers — one simulated
+	// host, so a plain freelist needs no locking.
+	workFree []*mxWork
+
 	// Requests counts served operations; Batched counts requests that
 	// arrived packed behind another in one message (§3.3-style
 	// combining, client side).
 	Requests, Batched sim.Counter
+}
+
+// getWork takes a work record from the freelist (or allocates one).
+func (s *Server) getWork() *mxWork {
+	if k := len(s.workFree); k > 0 {
+		w := s.workFree[k-1]
+		s.workFree = s.workFree[:k-1]
+		return w
+	}
+	return &mxWork{rawBuf: make([]byte, 4096)}
+}
+
+// putWork recycles a finished work record.
+func (s *Server) putWork(w *mxWork) {
+	w.req, w.raw, w.buf, w.sess = nil, nil, nil, nil
+	s.workFree = append(s.workFree, w)
 }
 
 type clientKey struct {
@@ -80,6 +111,7 @@ func NewServer(node *hw.Node, fs BackingFS) *Server {
 	return &Server{
 		node: node, fs: fs, zero: zero,
 		epochs:   make(map[kernel.InodeID]uint64),
+		layouts:  make(map[kernel.InodeID]LayoutClass),
 		sessions: make(map[clientKey]*ClientSession),
 	}
 }
@@ -120,7 +152,17 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 	case OpReaddir:
 		resp.Entries, err = s.fs.Readdir(p, ino)
 	case OpCreate:
+		// Len carries the creator's layout-class hint (zero — the wire
+		// default — is LayoutStandard, so pre-layout clients are
+		// unchanged). Out-of-range hints are protocol violations.
+		if !ValidLayout(LayoutClass(req.Len)) {
+			err = ErrInval
+			break
+		}
 		resp.Attr, err = s.fs.Create(p, ino, req.Name)
+		if err == nil && LayoutClass(req.Len) != LayoutStandard {
+			s.layouts[resp.Attr.Ino] = LayoutClass(req.Len)
+		}
 	case OpMkdir:
 		resp.Attr, err = s.fs.Mkdir(p, ino, req.Name)
 	case OpUnlink:
@@ -131,6 +173,7 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		victim, lerr := s.fs.Lookup(p, ino, req.Name)
 		if err = s.fs.Unlink(p, ino, req.Name); err == nil && lerr == nil {
 			delete(s.epochs, victim.Ino)
+			delete(s.layouts, victim.Ino)
 		}
 	case OpRmdir:
 		err = s.fs.Rmdir(p, ino, req.Name)
@@ -144,17 +187,39 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		}
 	case OpSetSize:
 		err = s.handleSetSize(p, ino, req, resp)
+	case OpSetLayout:
+		lc := LayoutClass(req.Len)
+		if !ValidLayout(lc) {
+			err = ErrInval
+			break
+		}
+		if resp.Attr, err = s.fs.Getattr(p, ino); err != nil {
+			break
+		}
+		if lc == LayoutStandard {
+			delete(s.layouts, ino)
+		} else {
+			s.layouts[ino] = lc
+		}
+		// A layout change relocates data, so every cached (size, layout)
+		// view of the file elsewhere is now wrong: bump the size epoch
+		// and let the validated cache invalidate them, exactly like a
+		// truncate (see Server.epochs).
+		s.epochs[ino]++
 	default:
 		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
 	}
 	resp.Status = StatusOf(err)
-	// Every reply advertises the size epoch of the inode it resolved
-	// (the looked-up child when the operation returned one), so any
-	// round trip revalidates a cluster client's size cache.
+	// Every reply advertises the size epoch and layout class of the
+	// inode it resolved (the looked-up child when the operation returned
+	// one), so any round trip revalidates a cluster client's size cache
+	// and teaches it the file's placement.
 	if resp.Attr.Ino != 0 {
 		resp.Epoch = s.epochs[resp.Attr.Ino]
+		resp.Layout = s.layouts[resp.Attr.Ino]
 	} else {
 		resp.Epoch = s.epochs[ino]
+		resp.Layout = s.layouts[ino]
 	}
 	return resp
 }
@@ -241,6 +306,7 @@ func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
 	resp.N = uint32(n)
 	resp.Attr = attr
 	resp.Epoch = s.epochs[req.Ino]
+	resp.Layout = s.layouts[req.Ino]
 	return resp, mem.MergeExtents(xs)
 }
 
@@ -261,8 +327,10 @@ func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 		}
 	}
 	// Data writes extend local sizes but never bump the size epoch
-	// (see Server.epochs); the reply still advertises the current one.
+	// (see Server.epochs); the reply still advertises the current one,
+	// and the layout class along with it.
 	resp.Epoch = s.epochs[req.Ino]
+	resp.Layout = s.layouts[req.Ino]
 	return resp
 }
 
@@ -276,7 +344,9 @@ func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 type mxWork struct {
 	req      *Req
 	src      hw.NodeID
-	raw      []byte
+	raw      []byte // leading <=4096 bytes (header+name, or a packed batch)
+	rawBuf   []byte // backing storage for raw, reused across recycles
+	n        int    // full message length (write payload stays in buf)
 	consumed int
 	buf      *fabric.Buffer
 	sess     *ClientSession
@@ -326,10 +396,25 @@ func (s *Server) mxDispatch(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWor
 			panic(err)
 		}
 		st := rr.Wait(p)
-		raw, _ := kern.ReadBytes(buf.VA(), st.Len)
+		// Only the header (plus a possible packed batch) is decoded on
+		// the host: requests are capped at 4096 bytes by the client, so
+		// a longer message is a write whose payload stays in the bounce
+		// buffer and is consumed in place by the worker. Copying all of
+		// st.Len here would drag up to MaxWriteChunk through the kernel
+		// for nothing.
+		head := st.Len
+		if head > 4096 {
+			head = 4096
+		}
+		w := s.getWork()
+		raw := w.rawBuf[:head]
+		if err := kern.ReadBytesInto(buf.VA(), raw); err != nil {
+			panic(err)
+		}
 		req, consumed, err := DecodeReq(raw)
 		if err != nil {
 			buf.Release()
+			s.putWork(w)
 			continue // malformed: drop
 		}
 		s.Requests.Add(st.Len)
@@ -338,7 +423,8 @@ func (s *Server) mxDispatch(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWor
 		if sess.Outstanding > sess.MaxOutstanding {
 			sess.MaxOutstanding = sess.Outstanding
 		}
-		queue.Send(&mxWork{req: req, src: st.Src, raw: raw, consumed: consumed, buf: buf, sess: sess})
+		w.req, w.src, w.raw, w.n, w.consumed, w.buf, w.sess = req, st.Src, raw, st.Len, consumed, buf, sess
+		queue.Send(w)
 	}
 }
 
@@ -349,6 +435,7 @@ func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWork]
 		panic(err)
 	}
 	hdrVA := hdrBuf.VA()
+	encBuf := make([]byte, 0, respFixed)
 	for {
 		w := queue.Recv(p)
 		s.node.CPU.VFS(p) // request dispatch
@@ -365,26 +452,27 @@ func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWork]
 			if _, err := ep.Send(p, w.src, w.req.EP, tag(w.req.Seq, w.req.EP, kindData), dataVec); err != nil {
 				panic(err)
 			}
-			s.replyMX(p, ep, kern, hdrVA, w.src, w.req, resp)
+			encBuf = s.replyMX(p, ep, kern, hdrVA, encBuf, w.src, w.req, resp)
 		case OpWrite:
-			src := core.Of(core.KernelSeg(kern, w.buf.VA()+vm.VirtAddr(w.consumed), len(w.raw)-w.consumed))
+			src := core.Of(core.KernelSeg(kern, w.buf.VA()+vm.VirtAddr(w.consumed), w.n-w.consumed))
 			resp := s.handleWrite(p, w.req, src)
-			s.replyMX(p, ep, kern, hdrVA, w.src, w.req, resp)
+			encBuf = s.replyMX(p, ep, kern, hdrVA, encBuf, w.src, w.req, resp)
 		default:
 			resp := s.handleMeta(p, w.req)
-			s.replyMX(p, ep, kern, hdrVA, w.src, w.req, resp)
+			encBuf = s.replyMX(p, ep, kern, hdrVA, encBuf, w.src, w.req, resp)
 			// Trailing bytes after a metadata request are further
 			// packed requests (client-side combining): answer each.
 			for _, extra := range s.unpack(w.raw[w.consumed:]) {
 				s.Batched.Add(1)
 				w.sess.Served.Add(1)
 				resp := s.handleMeta(p, extra)
-				s.replyMX(p, ep, kern, hdrVA, w.src, extra, resp)
+				encBuf = s.replyMX(p, ep, kern, hdrVA, encBuf, w.src, extra, resp)
 			}
 		}
 		w.sess.Served.Add(1)
 		w.sess.Outstanding--
 		w.buf.Release()
+		s.putWork(w)
 	}
 }
 
@@ -404,11 +492,14 @@ func (s *Server) unpack(raw []byte) []*Req {
 	return out
 }
 
-func (s *Server) replyMX(p *sim.Proc, ep *mx.Endpoint, kern *vm.AddressSpace, hdrVA vm.VirtAddr, dst hw.NodeID, req *Req, resp *Resp) {
-	hdr, err := EncodeResp(resp)
+// replyMX encodes resp into enc (a per-worker scratch, safe because
+// the bytes are copied into the worker's header buffer before Send)
+// and returns the scratch for reuse.
+func (s *Server) replyMX(p *sim.Proc, ep *mx.Endpoint, kern *vm.AddressSpace, hdrVA vm.VirtAddr, enc []byte, dst hw.NodeID, req *Req, resp *Resp) []byte {
+	hdr, err := EncodeRespInto(enc[:0], resp)
 	if err != nil {
 		resp = &Resp{Seq: req.Seq, Status: StIO}
-		hdr, _ = EncodeResp(resp)
+		hdr, _ = EncodeRespInto(enc[:0], resp)
 	}
 	if err := kern.WriteBytes(hdrVA, hdr); err != nil {
 		panic(err)
@@ -416,6 +507,7 @@ func (s *Server) replyMX(p *sim.Proc, ep *mx.Endpoint, kern *vm.AddressSpace, hd
 	if _, err := ep.Send(p, dst, req.EP, tag(req.Seq, req.EP, kindHdr), core.Of(core.KernelSeg(kern, hdrVA, len(hdr)))); err != nil {
 		panic(err)
 	}
+	return hdr
 }
 
 // ---- GM transport ----
@@ -489,12 +581,20 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 	}
 	bounceVA := bounceBuf.VA()
 	replies := &gmReplies{pending: make(map[uint64][]*fabric.Buffer)}
+	// Request bytes are decoded in place from this scratch each
+	// iteration: DecodeReq copies everything it keeps (names included),
+	// and the GM loop is strictly sequential, so reuse is safe.
+	rawScratch := make([]byte, 4096)
+	encBuf := make([]byte, 0, respFixed)
 	for {
 		if err := port.PostRecvPhysical(p, reqTag, reqXS); err != nil {
 			panic(err)
 		}
 		ev := s.gmWaitRecv(p, port, replies, reqTag)
-		raw, _ := kern.ReadBytes(reqVA, ev.Len)
+		raw := rawScratch[:ev.Len]
+		if err := kern.ReadBytesInto(reqVA, raw); err != nil {
+			panic(err)
+		}
 		req, consumed, err := DecodeReq(raw)
 		if err != nil {
 			continue
@@ -516,14 +616,14 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 			if err := port.SendPhysical(p, ev.Src, req.EP, tag(req.Seq, req.EP, kindData), xs); err != nil {
 				panic(err)
 			}
-			s.replyGM(p, port, kern, replies, ev.Src, req, resp)
+			encBuf = s.replyGM(p, port, kern, replies, encBuf, ev.Src, req, resp)
 		case OpWrite:
 			// The data message follows the request; post the bounce now
 			// (it has usually already arrived and sits in the
 			// unexpected queue — GM's eager staging).
 			n := int(req.Len)
 			if n > MaxWriteChunk {
-				s.replyGM(p, port, kern, replies, ev.Src, req, &Resp{Seq: req.Seq, Status: StIO})
+				encBuf = s.replyGM(p, port, kern, replies, encBuf, ev.Src, req, &Resp{Seq: req.Seq, Status: StIO})
 				sess.Served.Add(1)
 				sess.Outstanding--
 				continue
@@ -534,15 +634,15 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 			}
 			s.gmWaitRecv(p, port, replies, tag(req.Seq, req.EP, kindData))
 			resp := s.handleWrite(p, req, core.Of(core.KernelSeg(kern, bounceVA, n)))
-			s.replyGM(p, port, kern, replies, ev.Src, req, resp)
+			encBuf = s.replyGM(p, port, kern, replies, encBuf, ev.Src, req, resp)
 		default:
 			resp := s.handleMeta(p, req)
-			s.replyGM(p, port, kern, replies, ev.Src, req, resp)
+			encBuf = s.replyGM(p, port, kern, replies, encBuf, ev.Src, req, resp)
 			for _, extra := range s.unpack(raw[consumed:]) {
 				s.Batched.Add(1)
 				sess.Served.Add(1)
 				resp := s.handleMeta(p, extra)
-				s.replyGM(p, port, kern, replies, ev.Src, extra, resp)
+				encBuf = s.replyGM(p, port, kern, replies, encBuf, ev.Src, extra, resp)
 			}
 		}
 		sess.Served.Add(1)
@@ -563,11 +663,14 @@ func (s *Server) gmWaitRecv(p *sim.Proc, port *gm.Port, replies *gmReplies, want
 	}
 }
 
-func (s *Server) replyGM(p *sim.Proc, port *gm.Port, kern *vm.AddressSpace, replies *gmReplies, dst hw.NodeID, req *Req, resp *Resp) {
-	hdr, err := EncodeResp(resp)
+// replyGM encodes resp into enc (the worker's scratch — the bytes are
+// copied into a pooled staging buffer before Send) and returns the
+// scratch for reuse.
+func (s *Server) replyGM(p *sim.Proc, port *gm.Port, kern *vm.AddressSpace, replies *gmReplies, enc []byte, dst hw.NodeID, req *Req, resp *Resp) []byte {
+	hdr, err := EncodeRespInto(enc[:0], resp)
 	if err != nil {
 		resp = &Resp{Seq: req.Seq, Status: StIO}
-		hdr, _ = EncodeResp(resp)
+		hdr, _ = EncodeRespInto(enc[:0], resp)
 	}
 	// Each reply stages in its own pooled buffer: GM gathers the
 	// payload at DMA time, so the buffer stays reserved until its
@@ -584,4 +687,5 @@ func (s *Server) replyGM(p *sim.Proc, port *gm.Port, kern *vm.AddressSpace, repl
 		panic(err)
 	}
 	replies.sent(hdrTag, buf)
+	return hdr
 }

@@ -34,6 +34,14 @@ type Session struct {
 
 	inFlight, maxInFlight int
 
+	// Reusable MetaBatch staging (a session serves one simulated
+	// process, and every flight's contents are encoded and sent before
+	// the next flight starts, so one set per session suffices).
+	packScratch []byte
+	batchBufs   []*ctlBufs
+	batchHdrs   []fabric.Op
+	batchSeqs   []uint64
+
 	// Issued/Completed count requests through the window; Batched
 	// counts metadata requests that shared a fabric send (MetaBatch).
 	Issued, Completed, Batched sim.Counter
@@ -89,9 +97,9 @@ func (s *Session) Node() *hw.Node { return s.c.t.Node() }
 func (s *Session) InFlight() int { return s.inFlight }
 
 // CanStart implements Async: whether one more request fits the window
-// right now. A session talks to a single server, so the byte range is
-// irrelevant.
-func (s *Session) CanStart(off int64, n int) bool { return s.inFlight < s.window }
+// right now. A session talks to a single server, so the inode and byte
+// range are irrelevant.
+func (s *Session) CanStart(ino kernel.InodeID, off int64, n int) bool { return s.inFlight < s.window }
 
 // MaxInFlight returns the high-water mark of concurrently outstanding
 // requests (tests use it to verify backpressure).
@@ -182,7 +190,10 @@ func (s *Session) startRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core
 	b := s.acquire(p)
 	s.c.seq++
 	seq := s.c.seq
-	req := &Req{Op: OpRead, Seq: seq, EP: s.c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
+	// The request struct stages in the slot (encoded before this call
+	// returns), so the issue path allocates nothing.
+	req := &b.req
+	*req = Req{Op: OpRead, Seq: seq, EP: s.c.myEP, Ino: ino, Off: off, Len: uint32(dst.TotalLen())}
 	hdrOp, err := s.c.postHdr(p, b, seq)
 	if err != nil {
 		s.put(b)
@@ -233,7 +244,8 @@ func (s *Session) startWrite(p *sim.Proc, ino kernel.InodeID, off int64, src cor
 	b := s.acquire(p)
 	s.c.seq++
 	seq := s.c.seq
-	req := &Req{Op: OpWrite, Seq: seq, EP: s.c.myEP, Ino: ino, Off: off, Len: uint32(n)}
+	req := &b.req // slot-staged, like startRead
+	*req = Req{Op: OpWrite, Seq: seq, EP: s.c.myEP, Ino: ino, Off: off, Len: uint32(n)}
 	hdrOp, err := s.c.postHdr(p, b, seq)
 	if err != nil {
 		s.put(b)
@@ -429,13 +441,12 @@ func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 	resps := make([]*Resp, 0, len(reqs))
 	for start := 0; start < len(reqs); {
 		// One flight: up to window requests whose encodings fit the
-		// 4 KB request buffer.
-		var (
-			bufs   []*ctlBufs
-			hdrs   []fabric.Op
-			seqs   []uint64
-			packed []byte
-		)
+		// 4 KB request buffer. Staging slices are session scratch —
+		// everything in them is consumed before the flight returns.
+		bufs := s.batchBufs[:0]
+		hdrs := s.batchHdrs[:0]
+		seqs := s.batchSeqs[:0]
+		packed := s.packScratch[:0]
 		// abort returns every slot of the aborted flight, withdrawing
 		// its posted header receive first (each is tagged with a
 		// sequence number that was never sent, so cancellation cannot
@@ -445,14 +456,18 @@ func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 				fabric.Cancel(p, hdrs[i])
 				s.put(b)
 			}
+			s.batchBufs, s.batchHdrs = bufs[:0], hdrs[:0]
+			s.batchSeqs, s.packScratch = seqs[:0], packed[:0]
 		}
 		end := start
 		for end < len(reqs) && end-start < s.window {
 			r := reqs[end]
 			s.c.seq++
 			r.Seq, r.EP = s.c.seq, s.c.myEP
-			enc := EncodeReq(r)
-			if len(packed)+len(enc) > 4096 && end > start {
+			pre := len(packed)
+			packed = EncodeReqInto(packed, r)
+			if len(packed) > 4096 && end > start {
+				packed = packed[:pre]
 				s.c.seq-- // undo; goes in the next flight
 				break
 			}
@@ -466,7 +481,6 @@ func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			bufs = append(bufs, b)
 			hdrs = append(hdrs, hdrOp)
 			seqs = append(seqs, r.Seq)
-			packed = append(packed, enc...)
 			end++
 		}
 		// The packed message stages through the first slot's request
@@ -493,6 +507,8 @@ func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			s.Completed.Add(1)
 			s.put(bufs[i])
 		}
+		s.batchBufs, s.batchHdrs = bufs[:0], hdrs[:0]
+		s.batchSeqs, s.packScratch = seqs[:0], packed[:0]
 		if firstErr != nil {
 			return resps, firstErr
 		}

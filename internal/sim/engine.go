@@ -44,25 +44,36 @@ type event struct {
 	index     int  // heap index, maintained by eventHeap
 }
 
+// eventHeap orders pending events by (time, sequence); it implements
+// heap.Interface.
 type eventHeap []*event
 
+// Len implements heap.Interface.
 func (h eventHeap) Len() int { return len(h) }
+
+// Less orders by fire time, then by issue sequence for determinism.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
+
+// Swap implements heap.Interface, maintaining the per-event index.
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
+
+// Push implements heap.Interface.
 func (h *eventHeap) Push(x any) {
 	e := x.(*event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
+
+// Pop implements heap.Interface.
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

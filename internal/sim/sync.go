@@ -81,9 +81,19 @@ func (s *Signal) remove(p *Proc) {
 // Senders never block (protocol-level flow control, where the paper's
 // systems need it, is modelled explicitly with Resources or credits).
 type Chan[T any] struct {
-	e       *Engine
+	e *Engine
+	// buf and waiters pop from the front by advancing a head index
+	// (resetting to a length-0 slice when drained) instead of
+	// reslicing: reslicing strands the backing array's front, so a hot
+	// channel would reallocate on append every few operations.
 	buf     []T
+	bufHead int
 	waiters []*chanWaiter[T]
+	wHead   int
+	// free recycles waiter records: every blocking Recv on a hot
+	// channel (NIC pumps, server queues) would otherwise allocate one,
+	// and channels are the inner loop of every transfer.
+	free []*chanWaiter[T]
 }
 
 type chanWaiter[T any] struct {
@@ -92,18 +102,56 @@ type chanWaiter[T any] struct {
 	valid bool
 }
 
+// getWaiter takes a waiter from the freelist (or allocates one) and
+// arms it for p.
+func (c *Chan[T]) getWaiter(p *Proc) *chanWaiter[T] {
+	var w *chanWaiter[T]
+	if n := len(c.free); n > 0 {
+		w = c.free[n-1]
+		c.free = c.free[:n-1]
+		w.valid = false
+	} else {
+		w = &chanWaiter[T]{}
+	}
+	w.p = p
+	return w
+}
+
+// putWaiter recycles a waiter that is off the waiter list.
+func (c *Chan[T]) putWaiter(w *chanWaiter[T]) {
+	var zero T
+	w.val, w.p = zero, nil
+	c.free = append(c.free, w)
+}
+
 // NewChan returns an empty queue bound to e.
 func NewChan[T any](e *Engine) *Chan[T] { return &Chan[T]{e: e} }
 
 // Len returns the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.bufHead }
+
+// popBuf dequeues the oldest buffered value (caller checked Len > 0).
+func (c *Chan[T]) popBuf() T {
+	v := c.buf[c.bufHead]
+	var zero T
+	c.buf[c.bufHead] = zero
+	c.bufHead++
+	if c.bufHead == len(c.buf) {
+		c.buf, c.bufHead = c.buf[:0], 0
+	}
+	return v
+}
 
 // Send enqueues v, waking the oldest waiting receiver if any. Send may
 // be called from a Proc or from scheduler context and never blocks.
 func (c *Chan[T]) Send(v T) {
-	if len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	if c.wHead < len(c.waiters) {
+		w := c.waiters[c.wHead]
+		c.waiters[c.wHead] = nil
+		c.wHead++
+		if c.wHead == len(c.waiters) {
+			c.waiters, c.wHead = c.waiters[:0], 0
+		}
 		w.val = v
 		w.valid = true
 		c.e.wake(w.p)
@@ -114,53 +162,55 @@ func (c *Chan[T]) Send(v T) {
 
 // Recv dequeues the oldest value, blocking p until one is available.
 func (c *Chan[T]) Recv(p *Proc) T {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
-		return v
+	if c.Len() > 0 {
+		return c.popBuf()
 	}
-	w := &chanWaiter[T]{p: p}
+	w := c.getWaiter(p)
 	c.waiters = append(c.waiters, w)
 	p.park()
 	if !w.valid {
 		panic("sim: Chan.Recv resumed without a value (killed proc?)")
 	}
-	return w.val
+	v := w.val
+	c.putWaiter(w)
+	return v
 }
 
 // TryRecv dequeues a value without blocking; ok reports success.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) == 0 {
+	if c.Len() == 0 {
 		return v, false
 	}
-	v = c.buf[0]
-	c.buf = c.buf[1:]
-	return v, true
+	return c.popBuf(), true
 }
 
 // RecvTimeout dequeues the oldest value, blocking p for at most d.
 // ok reports whether a value was received.
 func (c *Chan[T]) RecvTimeout(p *Proc, d Time) (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
-		return v, true
+	if c.Len() > 0 {
+		return c.popBuf(), true
 	}
-	w := &chanWaiter[T]{p: p}
+	w := c.getWaiter(p)
 	c.waiters = append(c.waiters, w)
 	timer := c.e.wakeAt(c.e.now+d, p)
 	p.park()
 	if w.valid {
 		c.e.Cancel(timer)
-		return w.val, true
+		v = w.val
+		c.putWaiter(w)
+		return v, true
 	}
 	// Timeout path: withdraw from the waiter list.
-	for i, cw := range c.waiters {
-		if cw == w {
+	for i := c.wHead; i < len(c.waiters); i++ {
+		if c.waiters[i] == w {
 			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
 			break
 		}
 	}
+	if c.wHead == len(c.waiters) {
+		c.waiters, c.wHead = c.waiters[:0], 0
+	}
+	c.putWaiter(w)
 	return v, false
 }
 

@@ -41,10 +41,13 @@ func (a VirtAddr) PageAligned() bool { return a.Offset() == 0 }
 type Kind int
 
 const (
+	// User is a per-process user address space.
 	User Kind = iota
+	// Kernel is the single shared kernel address space of a node.
 	Kernel
 )
 
+// String names the address-space kind.
 func (k Kind) String() string {
 	if k == Kernel {
 		return "kernel"
@@ -336,7 +339,13 @@ func (as *AddressSpace) Resolve(va VirtAddr, n int) ([]mem.Extent, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("vm: Resolve negative length %d", n)
 	}
-	var xs []mem.Extent
+	if n == 0 {
+		return nil, nil
+	}
+	// Pre-size for the worst case (one extent per page) and merge
+	// adjacent pages as they are appended: one allocation per call, on
+	// a path every request resolves through.
+	xs := make([]mem.Extent, 0, mem.PagesIn(va.Offset(), n))
 	for n > 0 {
 		pa, err := as.Translate(va)
 		if err != nil {
@@ -346,11 +355,15 @@ func (as *AddressSpace) Resolve(va VirtAddr, n int) ([]mem.Extent, error) {
 		if chunk > n {
 			chunk = n
 		}
-		xs = append(xs, mem.Extent{Addr: pa, Len: chunk})
+		if last := len(xs) - 1; last >= 0 && xs[last].End() == pa {
+			xs[last].Len += chunk
+		} else {
+			xs = append(xs, mem.Extent{Addr: pa, Len: chunk})
+		}
 		va += VirtAddr(chunk)
 		n -= chunk
 	}
-	return mem.MergeExtents(xs), nil
+	return xs, nil
 }
 
 // Pin pins the pages covering [va, va+n) in physical memory, taking a
@@ -412,11 +425,32 @@ func (as *AddressSpace) PinCount(va VirtAddr) int {
 // ReadBytes copies n bytes at va into a fresh slice, via translation
 // (the simulated CPU's view of memory).
 func (as *AddressSpace) ReadBytes(va VirtAddr, n int) ([]byte, error) {
-	xs, err := as.Resolve(va, n)
-	if err != nil {
+	out := make([]byte, n)
+	if err := as.ReadBytesInto(va, out); err != nil {
 		return nil, err
 	}
-	return as.mem.Gather(xs), nil
+	return out, nil
+}
+
+// ReadBytesInto copies len(dst) bytes at va into dst via translation —
+// ReadBytes without the slice allocation, for hot paths that stage
+// replies through a reusable scratch buffer. It walks the page table
+// directly instead of materializing an extent list.
+func (as *AddressSpace) ReadBytesInto(va VirtAddr, dst []byte) error {
+	for len(dst) > 0 {
+		pa, err := as.Translate(va)
+		if err != nil {
+			return err
+		}
+		chunk := PageSize - va.Offset()
+		if chunk > len(dst) {
+			chunk = len(dst)
+		}
+		as.mem.ReadAt(pa, dst[:chunk])
+		dst = dst[chunk:]
+		va += VirtAddr(chunk)
+	}
+	return nil
 }
 
 // WriteBytes copies data into memory at va via translation.

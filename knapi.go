@@ -131,6 +131,12 @@ type (
 	// reconciles every server's local size.
 	FSCluster = rfsrv.Cluster
 
+	// Per-file layout classes (DESIGN.md §10): how a cluster places a
+	// file's bytes. SetLayoutPolicy on the cluster turns the machinery
+	// on; it is inert on a one-server cluster.
+	FSLayoutClass  = rfsrv.LayoutClass
+	FSLayoutPolicy = rfsrv.LayoutPolicy
+
 	// Sockets.
 	Conn     = sockets.Conn
 	Listener = sockets.Listener
@@ -308,6 +314,34 @@ var NewFSReplicatedCluster = rfsrv.NewReplicatedCluster
 // or when a truncate/write exhausts its bounded revalidation retries
 // against a pathological storm of foreign size sets.
 var ErrFSStaleEpoch = rfsrv.ErrStaleEpoch
+
+// Layout classes a cluster file can carry (DESIGN.md §10): standard
+// round-robin striping (the default, bit-identical to the pre-layout
+// protocol), whole-on-home for small files (all bytes on the inode's
+// hash home: no fan-out, no size-reconciliation RPCs), and wide
+// striping for very large files.
+const (
+	FSLayoutStandard = rfsrv.LayoutStandard
+	FSLayoutWhole    = rfsrv.LayoutWhole
+	FSLayoutWide     = rfsrv.LayoutWide
+)
+
+// Stripe geometry: the default and wide stripe widths, and the size at
+// which the adaptive policy promotes a whole-on-home file to standard
+// striping.
+const (
+	FSDefaultStripeSize = rfsrv.DefaultStripeSize
+	FSWideStripeSize    = rfsrv.WideStripeSize
+	FSPromoteThreshold  = rfsrv.PromoteThreshold
+)
+
+// ErrFSBadStripe rejects a stripe width that is not a positive
+// page-aligned multiple no larger than the write chunk; ValidateFSStripe
+// is the check the cluster constructors apply.
+var (
+	ErrFSBadStripe   = rfsrv.ErrBadStripe
+	ValidateFSStripe = rfsrv.ValidateStripe
+)
 
 // NewRegCache creates a standalone GMKRC registration cache over a GM
 // port (maxPages 0 disables caching).
