@@ -24,6 +24,7 @@ const (
 	maxRequestPathAllocsPerOp = 110   // measured 87.0
 	maxFig5aAllocs            = 22000 // measured 17620
 	maxFig5bAllocs            = 51000 // measured 40795
+	maxSizePublishAllocsPerOp = 88    // measured 70.0 (PR 7)
 )
 
 // figAllocs generates the figure twice — once to warm lazy caches and
@@ -56,6 +57,22 @@ func TestAllocGateRequestPath(t *testing.T) {
 	if perOp > maxRequestPathAllocsPerOp {
 		t.Errorf("request path allocates %.2f/op, above the %d ceiling — a hot-path allocation crept back in",
 			perOp, maxRequestPathAllocsPerOp)
+	}
+}
+
+// TestAllocGateSizePublish gates heap allocations per extending write
+// on the batched size-publish path (PR 7): the write plus the amortized
+// share of the coalesced flush must stay below the plain request path,
+// not regrow per-write reconciliation garbage.
+func TestAllocGateSizePublish(t *testing.T) {
+	perOp, err := figures.SizePublishAllocs(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batched size publish: %.2f allocs/op (ceiling %d)", perOp, maxSizePublishAllocsPerOp)
+	if perOp > maxSizePublishAllocsPerOp {
+		t.Errorf("batched size-publish path allocates %.2f/op, above the %d ceiling — per-write garbage crept back into the coalescing queue",
+			perOp, maxSizePublishAllocsPerOp)
 	}
 }
 

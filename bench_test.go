@@ -14,6 +14,7 @@
 package knapi
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/figures"
@@ -208,6 +209,44 @@ func BenchmarkSmallFile(b *testing.B) {
 			b.ReportMetric(at(s, 8).MBps, "whole-setsize/write")
 		}
 	}
+}
+
+// BenchmarkMetadataStorm — the PR7 sharded-namespace suite: aggregate
+// namespace ops/s of the create/unlink, readdir and rename storms
+// under the replicated fan-out vs the directory-owned sharded
+// namespace (see DESIGN.md §11 and the metadata figure in
+// EXPERIMENTS.md).
+func BenchmarkMetadataStorm(b *testing.B) {
+	var figs []*figures.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		figs, err = benchConfig().Metadata()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(figs) == 0 {
+		return
+	}
+	for _, s := range figs[0].Series {
+		label := strings.ReplaceAll(s.Label, " ", "-")
+		b.ReportMetric(at(s, 1).MBps, label+"-1srv-ops/s")
+		b.ReportMetric(at(s, 8).MBps, label+"-8srv-ops/s")
+	}
+}
+
+// BenchmarkSizePublishAllocs — heap allocations per extending write on
+// the batched size-publish path (alloc_gate_test.go pins its ceiling).
+func BenchmarkSizePublishAllocs(b *testing.B) {
+	var perOp float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		perOp, err = figures.SizePublishAllocs(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(perOp, "pub-allocs/op")
 }
 
 // BenchmarkRequestPathAllocs — heap allocations per client-observed

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/figures                      # everything
-//	go run ./cmd/figures -only fig6           # one experiment
-//	go run ./cmd/figures -iters 20            # more round trips per point
-//	go run ./cmd/figures -json BENCH_PR6.json # machine-readable snapshot
+//	go run ./cmd/figures                            # everything
+//	go run ./cmd/figures -only fig6                 # one experiment
+//	go run ./cmd/figures -only smallfile,metadata   # a comma-separated few
+//	go run ./cmd/figures -iters 20                  # more round trips per point
+//	go run ./cmd/figures -json BENCH_PR7.json       # machine-readable snapshot
 package main
 
 import (
@@ -51,8 +52,11 @@ type snapshot struct {
 	Allocs  struct {
 		// RequestPathPerOp is the measured heap allocations per
 		// client-observed cluster operation (see
-		// figures.RequestPathAllocs); bench_test.go gates its ceiling.
+		// figures.RequestPathAllocs); alloc_gate_test.go gates its
+		// ceiling. SizePublishPerOp is the same number for an extending
+		// write on the batched size-publish path (DESIGN.md §11).
 		RequestPathPerOp float64 `json:"request_path_per_op"`
+		SizePublishPerOp float64 `json:"size_publish_per_op"`
 		Ops              int     `json:"ops"`
 	} `json:"allocs"`
 }
@@ -85,12 +89,19 @@ func (s *snapshot) add(f *figures.Figure) {
 
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only this experiment id (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile, smallfile)")
-	jsonPath := flag.String("json", "", "also write a machine-readable snapshot (figures + request-path allocs/op) to this file")
+	only := flag.String("only", "", "run only these comma-separated experiment ids (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile, smallfile, metadata)")
+	jsonPath := flag.String("json", "", "also write a machine-readable snapshot (figures + hot-path allocs/op) to this file")
 	flag.Parse()
 
 	cfg := figures.Config{Iters: *iters, Warmup: 2}
 	snap := &snapshot{Iters: *iters}
+	sel := make(map[string]bool)
+	for _, id := range strings.Split(strings.ToLower(*only), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			sel[id] = true
+		}
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[id] }
 	type job struct {
 		id  string
 		fig func() (*figures.Figure, error)
@@ -108,14 +119,13 @@ func main() {
 		{"fig8a", cfg.Fig8a},
 		{"fig8b", cfg.Fig8b},
 	}
-	sel := strings.ToLower(*only)
 	ran := false
 	emit := func(f *figures.Figure) {
 		fmt.Println(f.Render(f.Latency()))
 		snap.add(f)
 	}
 	for _, j := range jobs {
-		if sel != "" && sel != j.id {
+		if !want(j.id) {
 			continue
 		}
 		ran = true
@@ -126,7 +136,7 @@ func main() {
 		}
 		emit(f)
 	}
-	if sel == "" || sel == "table1" {
+	if want("table1") {
 		ran = true
 		t, err := cfg.Table1()
 		if err != nil {
@@ -140,9 +150,10 @@ func main() {
 		"multiserver": cfg.MultiServer,
 		"sharedfile":  cfg.SharedFile,
 		"smallfile":   cfg.SmallFile,
+		"metadata":    cfg.Metadata,
 	}
-	for _, id := range []string{"scalability", "multiserver", "sharedfile", "smallfile"} {
-		if sel != "" && sel != id {
+	for _, id := range []string{"scalability", "multiserver", "sharedfile", "smallfile", "metadata"} {
+		if !want(id) {
 			continue
 		}
 		ran = true
@@ -155,7 +166,7 @@ func main() {
 			emit(f)
 		}
 	}
-	if sel == "" || sel == "degraded" {
+	if want("degraded") {
 		ran = true
 		tbl, err := cfg.Degraded()
 		if err != nil {
@@ -175,7 +186,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "request-path allocs: %v\n", err)
 			os.Exit(1)
 		}
+		pubOp, err := figures.SizePublishAllocs(allocOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "size-publish allocs: %v\n", err)
+			os.Exit(1)
+		}
 		snap.Allocs.RequestPathPerOp = perOp
+		snap.Allocs.SizePublishPerOp = pubOp
 		snap.Allocs.Ops = allocOps
 		out, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {

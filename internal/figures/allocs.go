@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/mx"
 	"repro/internal/rfsrv"
@@ -25,6 +26,94 @@ import (
 // populate every freelist and grow every scratch buffer to its
 // steady-state capacity.
 const rpaWarmup = 32
+
+// SizePublishAllocs measures the steady-state host allocations per
+// extending one-page write through a 3-server striped cluster with the
+// batched size-publish queue on (DESIGN.md §11): the write itself plus
+// the amortized share of the combined flush that drains every
+// DefaultSizePublishBatch writes. The PR 7 gate pins this so the
+// coalescing path cannot quietly regrow per-write garbage.
+func SizePublishAllocs(ops int) (float64, error) {
+	if ops <= 0 {
+		return 0, fmt.Errorf("figures: SizePublishAllocs needs ops > 0")
+	}
+	env := sim.NewEngine()
+	cl := hw.NewCluster(env, hw.DefaultParams(), hw.PCIXD)
+	var serverIDs []hw.NodeID
+	for j := 0; j < 3; j++ {
+		n := cl.AddNode(fmt.Sprintf("server%d", j))
+		serverIDs = append(serverIDs, n.ID)
+		fs := memfs.New(fmt.Sprintf("backing%d", j), n, 0)
+		if _, err := rfsrv.NewServer(n, fs).ServeMX(mx.Attach(n), 1, 4); err != nil {
+			return 0, err
+		}
+	}
+	client := cl.AddNode("client")
+
+	var failure error
+	var allocs float64
+	env.Spawn("probe", func(p *sim.Proc) {
+		cmx := mx.Attach(client)
+		sessions := make([]*rfsrv.Session, len(serverIDs))
+		for i, id := range serverIDs {
+			fc, err := rfsrv.NewMXClient(cmx, uint8(10+i), true, client.Kernel, id, 1)
+			if err != nil {
+				failure = err
+				return
+			}
+			if sessions[i], err = rfsrv.NewSession(p, fc, 8); err != nil {
+				failure = err
+				return
+			}
+		}
+		cluster, err := rfsrv.NewCluster(p, sessions, mem.PageSize)
+		if err != nil {
+			failure = err
+			return
+		}
+		if err := cluster.SetSizePublishBatch(rfsrv.DefaultSizePublishBatch); err != nil {
+			failure = err
+			return
+		}
+		attr, err := cluster.Meta(p, &rfsrv.Req{Op: rfsrv.OpCreate, Ino: 0, Name: "probe"})
+		if err != nil {
+			failure = err
+			return
+		}
+		va, err := client.Kernel.Mmap(mem.PageSize, "probe-buf")
+		if err != nil {
+			failure = err
+			return
+		}
+		vec := core.Of(core.KernelSeg(client.Kernel, va, mem.PageSize))
+		op := func(i int) error {
+			_, err := cluster.Write(p, attr.Attr.Ino, int64(i)*mem.PageSize, vec)
+			return err
+		}
+		n := 0
+		for i := 0; i < rpaWarmup; i++ {
+			if failure = op(n); failure != nil {
+				return
+			}
+			n++
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < ops; i++ {
+			if failure = op(n); failure != nil {
+				return
+			}
+			n++
+		}
+		runtime.ReadMemStats(&after)
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	})
+	env.Run(0)
+	if failure != nil {
+		return 0, failure
+	}
+	return allocs, nil
+}
 
 // RequestPathAllocs measures the steady-state host allocations per
 // synchronous 64 KB operation (alternating write and read) through one

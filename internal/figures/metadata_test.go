@@ -1,0 +1,58 @@
+package figures
+
+// Tests for the metadata suite: the sharded-namespace acceptance bar
+// (create/unlink throughput must scale with the server count) and the
+// fan-out baseline staying exercised.
+
+import "testing"
+
+// TestMetadataShardedScales is the acceptance bar: the sharded
+// create/unlink storm must deliver at least 1.5× the aggregate ops/s
+// at 8 servers that it does at 1 — the scaling the replicated
+// namespace's O(N) fan structurally cannot produce. Short mode
+// checks 4 servers against the same bar.
+func TestMetadataShardedScales(t *testing.T) {
+	c := DefaultConfig()
+	wide := 8
+	if testing.Short() {
+		wide = 4
+	}
+	one, err := c.mdRun("create-unlink", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := c.mdRun("create-unlink", true, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many < 1.5*one {
+		t.Errorf("sharded create/unlink: %.0f ops/s at %d servers vs %.0f at 1 (%.2fx, want >= 1.5x)",
+			many, wide, one, many/one)
+	}
+	t.Logf("sharded create/unlink: %.0f ops/s at 1 server, %.0f at %d (%.2fx)", one, many, wide, many/one)
+}
+
+// TestMetadataFanoutRuns keeps the baseline honest: the replicated
+// fan-out configuration must still complete every scenario (its
+// create/unlink storm serialized, the rest concurrent).
+func TestMetadataFanoutRuns(t *testing.T) {
+	c := DefaultConfig()
+	for _, scen := range mdScenarios {
+		if _, err := c.mdRun(scen, false, 2); err != nil {
+			t.Fatalf("%s fan-out: %v", scen, err)
+		}
+	}
+}
+
+// TestMetadataRenameSharded drives the rename chains over the sharded
+// namespace — every adjacent directory pair with distinct owner
+// groups takes the cross-owner multi-phase path.
+func TestMetadataRenameSharded(t *testing.T) {
+	c := DefaultConfig()
+	if _, err := c.mdRun("rename", true, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.mdRun("readdir", true, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,15 @@ type FS struct {
 	inodes   map[kernel.InodeID]*inode
 	next     kernel.InodeID
 	pageCost sim.Time // simulated disk latency per page (0 = RAM)
+
+	// Inode partitioning (see SetInodePartition): when partN > 1 this
+	// instance mints from its own collision-free slice of the inode
+	// space instead of the sequential counter, so partN servers can
+	// create files independently without ever assigning the same
+	// number twice.
+	partIdx int
+	partN   int
+	seq     uint64 // per-partition mint sequence
 }
 
 type inode struct {
@@ -50,16 +59,56 @@ func New(name string, node *hw.Node, pageCost sim.Time) *FS {
 }
 
 func (fs *FS) newInode(kind kernel.FileKind) *inode {
+	return fs.newInodeR(kind, -1)
+}
+
+// newInodeR mints an inode. Under partitioning (partN > 1) the number
+// encodes both the minter and a routing residue — see mintIno;
+// residue < 0 defaults the residue to the minter's own index. Without
+// partitioning the legacy sequential counter is used and residue is
+// ignored.
+func (fs *FS) newInodeR(kind kernel.FileKind, residue int) *inode {
+	id := fs.next
+	if fs.partN > 1 {
+		if residue < 0 {
+			residue = fs.partIdx
+		}
+		id = fs.mintIno(residue)
+	}
 	ino := &inode{
-		attr:   kernel.Attr{Ino: fs.next, Kind: kind, Version: 1},
+		attr:   kernel.Attr{Ino: id, Kind: kind, Version: 1},
 		blocks: make(map[int64]*mem.Frame),
 	}
 	if kind == kernel.Directory {
 		ino.dir = make(map[string]kernel.InodeID)
 	}
-	fs.inodes[fs.next] = ino
-	fs.next++
+	fs.inodes[id] = ino
+	if fs.partN <= 1 {
+		fs.next++
+	}
 	return ino
+}
+
+// mintIno returns the next unused inode number of this partition that
+// carries the given routing residue: ino = 2 + (seq·partN + partIdx)·partN
+// + residue. Different minters differ in the middle term, so two
+// partitions can never mint the same number; (ino−2) mod partN
+// recovers the residue, which is what clients route ownership by.
+// Root stays at inode 1 outside the partitioned space.
+func (fs *FS) mintIno(residue int) kernel.InodeID {
+	n := uint64(fs.partN)
+	id := kernel.InodeID(2 + (fs.seq*n+uint64(fs.partIdx))*n + uint64(residue)%n)
+	fs.seq++
+	return id
+}
+
+// SetInodePartition declares this instance to be minter index of
+// count cooperating namespace shards: newly created inodes come from a
+// collision-free per-minter slice of the inode space (see mintIno)
+// instead of the sequential counter. Must be called before any
+// partitioned create; the root inode (1) is shared by convention.
+func (fs *FS) SetInodePartition(index, count int) {
+	fs.partIdx, fs.partN = index, count
 }
 
 func (fs *FS) get(id kernel.InodeID) (*inode, error) {
@@ -97,7 +146,13 @@ func (fs *FS) Lookup(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr,
 	if !ok {
 		return kernel.Attr{}, kernel.ErrNotFound
 	}
-	return fs.inodes[id].attr, nil
+	child := fs.inodes[id]
+	if child == nil {
+		// Dangling entry left by a sharded peer's Scrub: report the
+		// number so callers can still route by it.
+		return kernel.Attr{Ino: id, Kind: kernel.RegularFile}, nil
+	}
+	return child.attr, nil
 }
 
 // Getattr implements kernel.FileSystem.
@@ -122,8 +177,12 @@ func (fs *FS) Readdir(p *sim.Proc, dir kernel.InodeID) ([]kernel.DirEntry, error
 	sort.Strings(names)
 	out := make([]kernel.DirEntry, 0, len(names))
 	for _, n := range names {
-		child := fs.inodes[d.dir[n]]
-		out = append(out, kernel.DirEntry{Name: n, Ino: child.attr.Ino, Kind: child.attr.Kind})
+		id := d.dir[n]
+		kind := kernel.RegularFile
+		if child := fs.inodes[id]; child != nil {
+			kind = child.attr.Kind
+		}
+		out = append(out, kernel.DirEntry{Name: n, Ino: id, Kind: kind})
 	}
 	return out, nil
 }
@@ -139,6 +198,10 @@ func (fs *FS) Mkdir(p *sim.Proc, dir kernel.InodeID, name string) (kernel.Attr, 
 }
 
 func (fs *FS) makeNode(dir kernel.InodeID, name string, kind kernel.FileKind) (kernel.Attr, error) {
+	return fs.makeNodeR(dir, name, kind, -1)
+}
+
+func (fs *FS) makeNodeR(dir kernel.InodeID, name string, kind kernel.FileKind, residue int) (kernel.Attr, error) {
 	d, err := fs.getDir(dir)
 	if err != nil {
 		return kernel.Attr{}, err
@@ -149,7 +212,7 @@ func (fs *FS) makeNode(dir kernel.InodeID, name string, kind kernel.FileKind) (k
 	if _, exists := d.dir[name]; exists {
 		return kernel.Attr{}, kernel.ErrExists
 	}
-	ino := fs.newInode(kind)
+	ino := fs.newInodeR(kind, residue)
 	d.dir[name] = ino.attr.Ino
 	d.attr.Version++
 	return ino.attr, nil
@@ -175,6 +238,14 @@ func (fs *FS) removeNode(dir kernel.InodeID, name string, kind kernel.FileKind) 
 		return kernel.ErrNotFound
 	}
 	victim := fs.inodes[id]
+	if victim == nil {
+		// Dangling entry: a sharded peer already scrubbed the object
+		// (see Scrub) and only the name survives here. Dropping the
+		// name is all that is left to do.
+		delete(d.dir, name)
+		d.attr.Version++
+		return nil
+	}
 	if kind == kernel.Directory {
 		if victim.attr.Kind != kernel.Directory {
 			return kernel.ErrNotDir

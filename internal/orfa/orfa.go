@@ -362,6 +362,32 @@ func (l *Lib) Unlink(p *sim.Proc, path string) error {
 	return err
 }
 
+// Rename moves srcPath to dstPath. Both parents are walked (ORFA has
+// no caches), then the protocol client's native rename runs
+// (rfsrv.Renamer: one local rename on a single server, the
+// cross-owner multi-phase protocol on a sharded cluster). An
+// interrupted cross-owner run surfaces as rfsrv.ErrRenameInDoubt;
+// re-driving the same rename resolves it.
+func (l *Lib) Rename(p *sim.Proc, srcPath, dstPath string) error {
+	rn, ok := l.cl.(rfsrv.Renamer)
+	if !ok {
+		return fmt.Errorf("orfa: client %T does not support rename", l.cl)
+	}
+	srcDirPath, srcName := splitDir(srcPath)
+	srcDir, err := l.walk(p, srcDirPath)
+	if err != nil {
+		return err
+	}
+	dstDirPath, dstName := splitDir(dstPath)
+	dstDir, err := l.walk(p, dstDirPath)
+	if err != nil {
+		return err
+	}
+	l.MetaRPCs.Add(1)
+	_, err = rn.Rename(p, srcDir.Ino, srcName, dstDir.Ino, dstName)
+	return err
+}
+
 // Truncate sets a file's size via its descriptor.
 func (l *Lib) Truncate(p *sim.Proc, fd int, size int64) error {
 	f, err := l.file(fd)

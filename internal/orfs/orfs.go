@@ -18,6 +18,7 @@
 package orfs
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -273,6 +274,26 @@ func (f *FS) Unlink(p *sim.Proc, dir kernel.InodeID, name string) error {
 // Rmdir implements kernel.FileSystem.
 func (f *FS) Rmdir(p *sim.Proc, dir kernel.InodeID, name string) error {
 	_, err := f.meta(p, &rfsrv.Req{Op: rfsrv.OpRmdir, Ino: dir, Name: name})
+	return err
+}
+
+// Rename moves (srcName in srcDir) to (dstName in dstDir). The
+// protocol client carries it natively (rfsrv.Renamer: a single server
+// applies one local rename; a sharded cluster runs the cross-owner
+// multi-phase protocol, whose interrupted runs surface as
+// rfsrv.ErrRenameInDoubt — re-drive the same rename to resolve).
+// Ordered behind the write-behind pipeline like any metadata
+// operation.
+func (f *FS) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) error {
+	rn, ok := f.cl.(rfsrv.Renamer)
+	if !ok {
+		return fmt.Errorf("orfs: client %T does not support rename", f.cl)
+	}
+	if err := f.barrier(p, false); err != nil {
+		return err
+	}
+	f.MetaOps.Add(1)
+	_, err := rn.Rename(p, srcDir, srcName, dstDir, dstName)
 	return err
 }
 

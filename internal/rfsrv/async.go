@@ -69,8 +69,24 @@ type Async interface {
 	Node() *hw.Node
 }
 
-// Compile-time checks: both pipelined clients satisfy Async.
+// Renamer is the optional rename capability of a protocol client:
+// move (srcName in srcDir) to (dstName in dstDir). On a single server
+// it is one OpRenameLocal; on a sharded cluster it is the two-phase
+// cross-owner protocol, whose interrupted runs surface as
+// ErrRenameInDoubt (re-drive the same rename to resolve). Consumers
+// (orfs, orfa) type-assert for it so clients without rename keep
+// working.
+type Renamer interface {
+	Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) (*Resp, error)
+}
+
+// Compile-time checks: both pipelined clients satisfy Async, and all
+// three clients rename.
 var (
 	_ Async = (*Session)(nil)
 	_ Async = (*Cluster)(nil)
+
+	_ Renamer = (*FabricClient)(nil)
+	_ Renamer = (*Session)(nil)
+	_ Renamer = (*Cluster)(nil)
 )

@@ -486,6 +486,14 @@ func (c *FabricClient) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	return c.finish(p, &c.ctl, hdrOp, req.Seq, c.timeout)
 }
 
+// Rename implements Renamer over one server: a single OpRenameLocal.
+func (c *FabricClient) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) (*Resp, error) {
+	return c.Meta(p, &Req{
+		Op: OpRenameLocal, Ino: srcDir, Off: int64(dstDir),
+		Name: PackRenameNames(srcName, dstName),
+	})
+}
+
 // Read implements Client: data lands directly in dst wherever the
 // transport allows it.
 func (c *FabricClient) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {

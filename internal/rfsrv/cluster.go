@@ -154,13 +154,49 @@ type Cluster struct {
 	// excluded servers are skipped by every path until Reinstate.
 	down []bool
 
-	// nsEpoch counts namespace-and-size mutations this client fanned
-	// out (create/mkdir/unlink/rmdir and exact size sets) — mutations
-	// an excluded server misses unrecoverably. downNs snapshots it at
-	// exclusion time, so Reinstate can tell whether the server's
-	// replicated state diverged while it was out.
-	nsEpoch uint64
-	downNs  []uint64
+	// nsEpochs counts, PER SERVER, the namespace-and-size mutations
+	// this client directed at it (create/mkdir/unlink/rmdir, renames
+	// and exact size sets) — mutations an excluded server misses
+	// unrecoverably. A replicated cluster bumps every server's count on
+	// each mutation (including excluded ones: a down server that missed
+	// a fanned mutation must be refused Reinstate, so the bump may
+	// never skip it); a sharded cluster bumps only the mutated
+	// directory's owner group, which is what lets a server whose owned
+	// slice stayed quiet reinstate while foreign slices churned. downNs
+	// snapshots a server's count at exclusion time, so Reinstate can
+	// tell whether the server's slice diverged while it was out.
+	nsEpochs []uint64
+	downNs   []uint64
+
+	// sharded routes namespace mutations to per-directory owner groups
+	// instead of fanning them to every server (EnableShardedNamespace;
+	// DESIGN.md §11). Data striping and size coherence are unchanged.
+	sharded bool
+
+	// pubBatch, when positive, defers the grow-only size publishes of
+	// the write path: instead of fanning an OpSetSize after every
+	// extending write, the cluster coalesces the highest pending
+	// end-of-file per inode (pendPub, flushed in pendOrder insertion
+	// order for determinism) and flushes them — plus the lazy OpScrub
+	// fan for unlinked inodes (pendScrub) — in one combined batch per
+	// server once pubSince reaches pubBatch, or at the next metadata
+	// operation, whichever comes first (SetSizePublishBatch,
+	// FlushSizes). Zero keeps the per-write reconciliation fan and the
+	// bit-identical default path.
+	pubBatch  int
+	pubSince  int
+	pendPub   map[kernel.InodeID]int64
+	pendOrder []kernel.InodeID
+	pendScrub []kernel.InodeID
+
+	// flush scratch (FlushSizes is the amortized per-write path, so it
+	// reuses cluster-owned slices instead of allocating per flush).
+	flushReqStore []Req
+	flushReqs     []*Req
+	flushStarts   []int
+	flushFlights  []*batchFlight
+	flushTargets  []int
+	flushResps    []*Resp
 
 	// sizes caches, per inode, the highest end-of-file this client has
 	// established on every alive server, together with the size epoch
@@ -271,6 +307,7 @@ func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int
 		node:     node,
 		replicas: replicas,
 		down:     make([]bool, len(sessions)),
+		nsEpochs: make([]uint64, len(sessions)),
 		downNs:   make([]uint64, len(sessions)),
 		sizes:    make(map[kernel.InodeID]sizeEntry),
 	}, nil
@@ -415,17 +452,21 @@ func (cl *Cluster) DownServers() []int {
 // homed lookups and getattrs with stale results — and a missed epoch
 // bump would desynchronize it from the coherence protocol for good.
 // Reinstate therefore refuses, with an error, to re-admit a server
-// when any such mutation fanned out during its exclusion: the caller
-// must resynchronize the server's backing store out of band (rebuild
-// it from a live replica's state) and retry, or rebuild the cluster
-// client. The server stays excluded after a refusal.
+// when any such mutation was directed at it during its exclusion: the
+// caller must resynchronize the server's backing store out of band
+// (rebuild it from a live replica's state) and retry, or rebuild the
+// cluster client. The server stays excluded after a refusal. The
+// check is per server: on a sharded cluster, mutations bump only the
+// mutated directory's owner group, so a server whose owned slice saw
+// no mutations reinstates cleanly no matter how much foreign slices
+// churned while it was out.
 func (cl *Cluster) Reinstate(i int) error {
 	if !cl.down[i] {
 		return nil
 	}
-	if cl.downNs[i] != cl.nsEpoch {
-		return fmt.Errorf("rfsrv: reinstate server %d: %d namespace/size mutation(s) ran during its exclusion; resync its backing store out of band first",
-			i, cl.nsEpoch-cl.downNs[i])
+	if cl.downNs[i] != cl.nsEpochs[i] {
+		return fmt.Errorf("rfsrv: reinstate server %d: %d namespace/size mutation(s) ran against its slice during its exclusion; resync its backing store out of band first",
+			i, cl.nsEpochs[i]-cl.downNs[i])
 	}
 	cl.down[i] = false
 	for ino, e := range cl.sizes {
@@ -442,7 +483,7 @@ func (cl *Cluster) Reinstate(i int) error {
 func (cl *Cluster) markDown(i int) {
 	if !cl.down[i] {
 		cl.down[i] = true
-		cl.downNs[i] = cl.nsEpoch
+		cl.downNs[i] = cl.nsEpochs[i]
 		cl.Excluded.Add(0)
 	}
 }
@@ -1063,7 +1104,16 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 	for _, pt := range parts {
 		cl.observeResp(pt.resp)
 	}
-	if err := cl.setSizeTo(p, lay, ino, off+int64(total), tailTargets); err != nil {
+	if cl.pubBatch > 0 && lay != LayoutWhole && len(cl.sessions) > 1 {
+		// Batched publish mode: enqueue the new end instead of fanning
+		// an OpSetSize now; the coalesced batch flushes at the publish
+		// window or the next metadata operation. Every part retired
+		// above, so a window-triggered flush never contends with this
+		// write's own slots.
+		if err := cl.enqueueSizePub(p, ino, off+int64(total)); err != nil {
+			return &Resp{Status: StatusOf(err)}, err
+		}
+	} else if err := cl.setSizeTo(p, lay, ino, off+int64(total), tailTargets); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
 	return resp, nil
@@ -1165,8 +1215,16 @@ func (cl *Cluster) checkRunCoverage(runs []run, parts []*part) error {
 // metadata home (the same hash picks both), so the only server anyone
 // asks about the file already holds the authoritative size — and with
 // replication, every write landed on the same replica set a re-homed
-// getattr walks. Eliminating these N−1 OpSetSize rounds is the point
-// of the class (DESIGN.md §10); figures.SmallFile audits the zero.
+// getattr walks. That class sidesteps the fan by placement (DESIGN.md
+// §10); every other layout now has a second way out, batched size
+// publishes (SetSizePublishBatch, DESIGN.md §11): instead of fanning
+// after every extending write, the cluster coalesces the highest
+// pending end per inode and flushes one combined OpSetSize batch per
+// server at the publish window, taking the per-write cost from N−1
+// round trips to an amortized fraction of one. This function is the
+// immediate (unbatched) path; Write diverts to enqueueSizePub when a
+// publish window is configured. figures.SmallFile audits the
+// whole-on-home zero and figures.SharedFile the amortized fraction.
 func (cl *Cluster) setSizeTo(p *sim.Proc, lay LayoutClass, ino kernel.InodeID, end int64, tailTargets []int) error {
 	if lay == LayoutWhole {
 		return nil
@@ -1282,6 +1340,20 @@ func (cl *Cluster) SetFileSize(p *sim.Proc, ino kernel.InodeID, size int64) erro
 	}
 	if lay, err = cl.maybePromote(p, ino, lay, size); err != nil {
 		return err
+	}
+	if cl.pubBatch > 0 && lay != LayoutWhole && len(cl.sessions) > 1 {
+		// A size publish IS a barrier: enqueue, then flush everything
+		// pending, so the caller's EOF is on every alive server when
+		// this returns (what ORFS write-behind's sync point needs).
+		if e := cl.sizes[ino]; e.size < size {
+			if _, ok := cl.pendPub[ino]; !ok {
+				cl.pendOrder = append(cl.pendOrder, ino)
+				cl.pendPub[ino] = size
+			} else if size > cl.pendPub[ino] {
+				cl.pendPub[ino] = size
+			}
+		}
+		return cl.FlushSizes(p)
 	}
 	return cl.setSizeTo(p, lay, ino, size, nil)
 }
@@ -1696,9 +1768,21 @@ func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	if err := ValidateReq(req); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
-	switch req.Op {
-	case OpRead, OpWrite:
+	if req.Op == OpRead || req.Op == OpWrite {
 		return &Resp{Status: StInval}, ErrInval
+	}
+	// Pending size publishes flush before any metadata operation, so a
+	// getattr after a batched write observes the written size and a
+	// namespace mutation never reorders ahead of the publishes that
+	// preceded it. (Data reads don't flush: an unpublished size only
+	// makes reads short, never wrong.)
+	if err := cl.flushDueSizes(p); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	if cl.sharded {
+		return cl.shardMeta(p, req)
+	}
+	switch req.Op {
 	case OpLookup:
 		// Read-only answers feed only the EPOCH side of the size cache
 		// (observeResp): sizes[ino].size means "every alive server
@@ -1871,35 +1955,58 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 	return base, firstErr
 }
 
-// noteMutation updates the size cache and the namespace mutation epoch
-// after a replicated mutation succeeded on every alive server. Exact
-// size sets and namespace mutations advance nsEpoch — they are exactly
-// the operations an excluded server misses unrecoverably (Reinstate
-// refuses when any ran); grow-only reconciliation is replayable and
-// advances nothing.
+// bumpAllNs records a mutation every server was (or should have been)
+// told about: every per-server mutation count advances, INCLUDING the
+// excluded servers' — a down server missed the fan, which is exactly
+// why its Reinstate must be refused. Used by the replicated (unsharded)
+// fan-out and by the global operations that still fan under sharding
+// (exact size sets, truncate, layout flips).
+func (cl *Cluster) bumpAllNs() {
+	for i := range cl.nsEpochs {
+		cl.nsEpochs[i]++
+	}
+}
+
+// bumpGroupNs records a mutation of the namespace slice owned by the
+// given residue: the R servers of its owner group advance, including
+// excluded members (they missed it and must resync before Reinstate);
+// everyone else's slice is untouched and their counts stay put.
+func (cl *Cluster) bumpGroupNs(owner int) {
+	n := len(cl.sessions)
+	for j := 0; j < cl.replicas; j++ {
+		cl.nsEpochs[(owner+j)%n]++
+	}
+}
+
+// noteMutation updates the size cache and the per-server mutation
+// counts after a replicated mutation succeeded on every alive server.
+// Exact size sets and namespace mutations advance the counts — they
+// are exactly the operations an excluded server misses unrecoverably
+// (Reinstate refuses when any ran); grow-only reconciliation is
+// replayable and advances nothing.
 func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
 	if err != nil || resp == nil {
 		return
 	}
 	switch req.Op {
 	case OpCreate:
-		cl.nsEpoch++
+		cl.bumpAllNs()
 		cl.sizes[resp.Attr.Ino] = cl.entry(resp.Attr.Size, resp.Epoch)
-	case OpMkdir, OpUnlink, OpRmdir:
-		cl.nsEpoch++
+	case OpMkdir, OpUnlink, OpRmdir, OpRenameLocal:
+		cl.bumpAllNs()
 	case OpSetLayout:
 		// A layout flip bumps the size epoch on every server (that is
 		// what revalidates other clients' placement); a server that
 		// missed it is desynchronized like any missed exact size set.
-		cl.nsEpoch++
+		cl.bumpAllNs()
 	case OpTruncate:
 		// Defensive: Meta translates truncates to exact OpSetSize, but a
 		// raw fan-out (MetaBatch carrying one) records the same facts.
-		cl.nsEpoch++
+		cl.bumpAllNs()
 		cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
 	case OpSetSize:
 		if exact, _ := UnpackSetSize(req.Len); exact {
-			cl.nsEpoch++
+			cl.bumpAllNs()
 			cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
 		} else if e, ok := cl.sizes[req.Ino]; !ok || e.epoch == resp.Epoch && req.Off > e.size {
 			cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
@@ -1918,16 +2025,17 @@ func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
 // servers but do not retry mid-batch faults — a fault surfaces as the
 // batch's error and the caller re-issues (Meta retries per request).
 func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
-	for _, r := range reqs {
-		if r.Op == OpRead || r.Op == OpWrite {
-			return nil, fmt.Errorf("rfsrv: MetaBatch cannot carry %v", r.Op)
-		}
-		if err := ValidateReq(r); err != nil {
-			return nil, err
-		}
+	if err := validateBatch(reqs); err != nil {
+		return nil, err
+	}
+	if err := cl.flushDueSizes(p); err != nil {
+		return nil, err
 	}
 	if cl.aliveCount() == 0 {
 		return nil, fmt.Errorf("rfsrv: MetaBatch: every server excluded: %w", fabric.ErrPeerDead)
+	}
+	if cl.sharded {
+		return cl.shardMetaBatch(p, reqs)
 	}
 	if len(cl.sessions) == 1 {
 		return cl.sessions[0].MetaBatch(p, reqs)

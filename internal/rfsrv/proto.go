@@ -70,6 +70,42 @@ const (
 	// client counts the fan-out as a namespace mutation (an excluded
 	// server that missed it must resync before Reinstate).
 	OpSetLayout
+	// OpLink enters an existing inode into a directory under a new name
+	// without minting anything: Off carries the child inode, Len its
+	// FileKind. It is the replication verb of the sharded namespace
+	// (copying a fresh dentry to the owner group's replicas) and the
+	// commit half of the two-phase rename. Linking the same child under
+	// the same name twice is an idempotent success.
+	OpLink
+	// OpMaterialize ensures the server holds an object for the inode
+	// (Len carries the FileKind of the stub to create if it does not).
+	// Sharded clusters use it to place a freshly minted directory at
+	// its routing owner group, which generally differs from the group
+	// that owns the parent's dentry.
+	OpMaterialize
+	// OpScrub frees the server's object for a dead inode, dangling
+	// names tolerated — the lazy space-reclamation fan that follows a
+	// sharded unlink. Len bit 0 set turns it into the rmdir emptiness
+	// check: the object must be an empty directory (or absent) and is
+	// only scrubbed then.
+	OpScrub
+	// OpRenamePrepare / OpRenameFinalize / OpRenameAbort are the
+	// source-side phases of the cross-owner rename (DESIGN.md §11).
+	// Prepare marks (Ino, Name) as renaming toward the destination
+	// directory in Off and returns the child's attributes; a marked
+	// entry refuses unlinks and conflicting prepares with StBusy until
+	// finalized or aborted. Finalize (child in Off) detaches the source
+	// entry and clears the mark; Abort just clears the mark. All three
+	// are idempotent so an in-doubt client can re-drive them.
+	OpRenamePrepare
+	OpRenameFinalize
+	OpRenameAbort
+	// OpRenameLocal is the one-home rename: source dir in Ino,
+	// destination dir in Off, and Name carrying both names separated by
+	// a NUL (PackRenameNames). Used whole when source and destination
+	// share an owner group, and by unsharded replicated clusters and
+	// single-server sessions, where every server can apply it locally.
+	OpRenameLocal
 )
 
 var opNames = map[Op]string{
@@ -77,6 +113,29 @@ var opNames = map[Op]string{
 	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
 	OpRmdir: "rmdir", OpTruncate: "truncate", OpRead: "read", OpWrite: "write",
 	OpSetSize: "setsize", OpSetLayout: "setlayout",
+	OpLink: "link", OpMaterialize: "materialize", OpScrub: "scrub",
+	OpRenamePrepare: "renameprepare", OpRenameFinalize: "renamefinalize",
+	OpRenameAbort: "renameabort", OpRenameLocal: "renamelocal",
+}
+
+// ScrubRequireEmptyDir is the OpScrub Len bit that turns the scrub
+// into the sharded rmdir's emptiness check-and-remove: the inode must
+// be an absent or empty directory.
+const ScrubRequireEmptyDir = 1
+
+// PackRenameNames joins an OpRenameLocal's source and destination
+// names into the request's single Name field (NUL-separated; NUL
+// cannot occur in a component).
+func PackRenameNames(src, dst string) string { return src + "\x00" + dst }
+
+// SplitRenameNames is the inverse of PackRenameNames.
+func SplitRenameNames(packed string) (src, dst string, ok bool) {
+	for i := 0; i < len(packed); i++ {
+		if packed[i] == 0 {
+			return packed[:i], packed[i+1:], true
+		}
+	}
+	return "", "", false
 }
 
 // LayoutClass is a file's stripe-layout policy, recorded per inode at
@@ -197,7 +256,48 @@ var (
 	// observed size epoch behind the server's. The paired reply holds
 	// the authoritative (size, epoch) for revalidation.
 	ErrStaleEpoch = errors.New("rfsrv: stale size epoch")
+	// ErrBusy is StBusy as an error: the directory entry is marked by
+	// an unfinished rename and refuses conflicting mutations.
+	ErrBusy = errors.New("rfsrv: entry busy in rename")
+	// ErrNotOwner is StNotOwner as an error: the mutation reached a
+	// sharded server outside the directory's owner group.
+	ErrNotOwner = errors.New("rfsrv: not the namespace owner")
+	// ErrRenameInDoubt is the sentinel every RenameInDoubtError matches
+	// (errors.Is): a cross-owner rename lost contact with one of its
+	// two owner groups between prepare and finalize, so the client
+	// cannot know which of the two legal outcomes the namespace holds.
+	// Re-driving the same rename once the groups are reachable resolves
+	// it — every phase is idempotent.
+	ErrRenameInDoubt = errors.New("rfsrv: rename in doubt")
 )
+
+// RenameInDoubtError reports a cross-owner rename whose outcome the
+// client could not learn: the prepare succeeded, and then either the
+// commit's fate or the finalize's fate was lost to a fault. The
+// namespace is guaranteed to be in one of exactly two legal states —
+// the entry at its source (rename never committed) or at its
+// destination (committed, source cleanup pending or done) — never
+// both visible, never neither. It unwraps to the underlying fault and
+// matches ErrRenameInDoubt.
+type RenameInDoubtError struct {
+	SrcDir  kernel.InodeID
+	SrcName string
+	DstDir  kernel.InodeID
+	DstName string
+	Err     error // the fault that interrupted the protocol
+}
+
+// Error implements error.
+func (e *RenameInDoubtError) Error() string {
+	return fmt.Sprintf("rfsrv: rename %d/%s -> %d/%s in doubt: %v",
+		e.SrcDir, e.SrcName, e.DstDir, e.DstName, e.Err)
+}
+
+// Unwrap exposes the interrupting fault to errors.Is/As.
+func (e *RenameInDoubtError) Unwrap() error { return e.Err }
+
+// Is matches the ErrRenameInDoubt sentinel.
+func (e *RenameInDoubtError) Is(target error) bool { return target == ErrRenameInDoubt }
 
 // ValidateReq checks a request at the client API boundary: oversized
 // names and negative offsets are protocol violations that must be
@@ -278,6 +378,15 @@ const (
 	// longer valid. The reply carries the authoritative (size, epoch),
 	// so the writer revalidates and retries in one round trip.
 	StStale
+	// StBusy rejects a mutation of a directory entry that is marked by
+	// an in-flight rename prepare: the entry is in transit between two
+	// owner groups and must not be unlinked or re-prepared toward a
+	// different destination until the rename finalizes or aborts.
+	StBusy
+	// StNotOwner rejects a namespace mutation sent to a sharded server
+	// that does not own the directory's slice of the namespace — a
+	// routing bug on the client, never a retryable condition.
+	StNotOwner
 )
 
 // StatusOf maps a filesystem error to a wire status.
@@ -303,6 +412,10 @@ func StatusOf(err error) int32 {
 		return StInval
 	case ErrStaleEpoch:
 		return StStale
+	case ErrBusy:
+		return StBusy
+	case ErrNotOwner:
+		return StNotOwner
 	default:
 		return StIO
 	}
@@ -331,6 +444,10 @@ func ErrOf(st int32) error {
 		return ErrInval
 	case StStale:
 		return ErrStaleEpoch
+	case StBusy:
+		return ErrBusy
+	case StNotOwner:
+		return ErrNotOwner
 	default:
 		return fmt.Errorf("rfsrv: remote I/O error (status %d)", st)
 	}

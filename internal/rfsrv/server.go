@@ -61,6 +61,19 @@ type Server struct {
 	// host, so a plain freelist needs no locking.
 	workFree []*mxWork
 
+	// Sharded-namespace state (see EnableSharding): when shard is set
+	// this server owns only the directories whose routing residue falls
+	// in [shardIdx, shardIdx+shardR) mod shardN and refuses namespace
+	// mutations outside that slice with StNotOwner. sfs is fs narrowed
+	// to the sharded verbs; renames holds the source-side marks of
+	// in-flight two-phase renames (see OpRenamePrepare).
+	shard    bool
+	shardIdx int
+	shardN   int
+	shardR   int
+	sfs      ShardBackingFS
+	renames  map[renameKey]renameMark
+
 	// Requests counts served operations; Batched counts requests that
 	// arrived packed behind another in one message (§3.3-style
 	// combining, client side).
@@ -152,6 +165,13 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 	case OpReaddir:
 		resp.Entries, err = s.fs.Readdir(p, ino)
 	case OpCreate:
+		// Sharded servers interpret Len as the client's routing-residue
+		// hint instead (shard mode forbids layout hints, which is what
+		// frees the field — see Cluster.EnableShardedNamespace).
+		if s.shard {
+			resp.Attr, err = s.shardMakeNode(p, ino, req, kernel.RegularFile)
+			break
+		}
 		// Len carries the creator's layout-class hint (zero — the wire
 		// default — is LayoutStandard, so pre-layout clients are
 		// unchanged). Out-of-range hints are protocol violations.
@@ -164,8 +184,19 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 			s.layouts[resp.Attr.Ino] = LayoutClass(req.Len)
 		}
 	case OpMkdir:
+		if s.shard {
+			resp.Attr, err = s.shardMakeNode(p, ino, req, kernel.Directory)
+			break
+		}
 		resp.Attr, err = s.fs.Mkdir(p, ino, req.Name)
 	case OpUnlink:
+		if s.shard {
+			// The sharded unlink replies with the victim's attributes:
+			// the owner group is the only place the client can learn the
+			// dead inode it must lazily scrub everywhere else.
+			resp.Attr, err = s.shardUnlink(p, ino, req)
+			break
+		}
 		// Resolve the victim first (a free map lookup) so its size-epoch
 		// entry can be pruned with it — unpruned entries would leak for
 		// the server's lifetime, and a backing store that recycled inode
@@ -176,6 +207,16 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 			delete(s.layouts, victim.Ino)
 		}
 	case OpRmdir:
+		if s.shard {
+			if !s.ownsDir(ino) {
+				err = ErrNotOwner
+				break
+			}
+			if s.renameMarked(ino, req.Name) {
+				err = ErrBusy
+				break
+			}
+		}
 		err = s.fs.Rmdir(p, ino, req.Name)
 	case OpTruncate:
 		if req.Off < 0 {
@@ -206,6 +247,20 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		// and let the validated cache invalidate them, exactly like a
 		// truncate (see Server.epochs).
 		s.epochs[ino]++
+	case OpLink:
+		resp.Attr, err = s.handleLink(p, ino, req)
+	case OpMaterialize:
+		resp.Attr, err = s.handleMaterialize(p, ino, req)
+	case OpScrub:
+		err = s.handleScrub(p, ino, req)
+	case OpRenamePrepare:
+		resp.Attr, err = s.handleRenamePrepare(p, ino, req)
+	case OpRenameFinalize:
+		err = s.handleRenameFinalize(p, ino, req)
+	case OpRenameAbort:
+		err = s.handleRenameAbort(p, ino, req)
+	case OpRenameLocal:
+		resp.Attr, err = s.handleRenameLocal(p, ino, req)
 	default:
 		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
 	}
@@ -234,6 +289,10 @@ func (s *Server) handleSetSize(p *sim.Proc, ino kernel.InodeID, req *Req, resp *
 	if req.Off < 0 {
 		return ErrInval // a negative size would corrupt the block map
 	}
+	// A sharded server may first hear of a foreign-owned inode through
+	// a size publish or global truncate: materialize a stub (epoch 0,
+	// matching what every fresh replica would hold) and proceed.
+	s.materializeOnDemand(p, ino, kernel.RegularFile)
 	exact, observed := UnpackSetSize(req.Len)
 	if uint32(s.epochs[ino]&SetSizeEpochMask) != observed {
 		// Stale writer: report, and let the getattr below fill the
@@ -276,6 +335,12 @@ func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
 	}
 	attr, err := s.fs.Getattr(p, req.Ino)
 	if err != nil {
+		if s.shard && err == kernel.ErrNotFound {
+			// Sharded data server that never saw this inode: nothing of
+			// it lives here yet, which reads as EOF, not as an error —
+			// the stripe layout is global but materialization is lazy.
+			return resp, nil
+		}
 		resp.Status = StatusOf(err)
 		return resp, nil
 	}
@@ -318,6 +383,7 @@ func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 		resp.Status = StInval
 		return resp
 	}
+	s.materializeOnDemand(p, req.Ino, kernel.RegularFile)
 	n, err := s.fs.WriteDirect(p, req.Ino, req.Off, src)
 	resp.Status = StatusOf(err)
 	resp.N = uint32(n)

@@ -41,6 +41,7 @@ type Session struct {
 	batchBufs   []*ctlBufs
 	batchHdrs   []fabric.Op
 	batchSeqs   []uint64
+	flight      batchFlight // the session's single outstanding flight
 
 	// Issued/Completed count requests through the window; Batched
 	// counts metadata requests that shared a fabric send (MetaBatch).
@@ -430,91 +431,150 @@ func (s *Session) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vec
 func (s *Session) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 	// Validate everything before acquiring any window slot, so a bad
 	// request cannot abandon slots already holding posted receives.
-	for _, r := range reqs {
-		if r.Op == OpRead || r.Op == OpWrite {
-			return nil, fmt.Errorf("rfsrv: MetaBatch cannot carry %v", r.Op)
-		}
-		if err := ValidateReq(r); err != nil {
-			return nil, err
-		}
+	if err := validateBatch(reqs); err != nil {
+		return nil, err
 	}
 	resps := make([]*Resp, 0, len(reqs))
 	for start := 0; start < len(reqs); {
-		// One flight: up to window requests whose encodings fit the
-		// 4 KB request buffer. Staging slices are session scratch —
-		// everything in them is consumed before the flight returns.
-		bufs := s.batchBufs[:0]
-		hdrs := s.batchHdrs[:0]
-		seqs := s.batchSeqs[:0]
-		packed := s.packScratch[:0]
-		// abort returns every slot of the aborted flight, withdrawing
-		// its posted header receive first (each is tagged with a
-		// sequence number that was never sent, so cancellation cannot
-		// race a delivery).
-		abort := func() {
-			for i, b := range bufs {
-				fabric.Cancel(p, hdrs[i])
-				s.put(b)
-			}
-			s.batchBufs, s.batchHdrs = bufs[:0], hdrs[:0]
-			s.batchSeqs, s.packScratch = seqs[:0], packed[:0]
-		}
-		end := start
-		for end < len(reqs) && end-start < s.window {
-			r := reqs[end]
-			s.c.seq++
-			r.Seq, r.EP = s.c.seq, s.c.myEP
-			pre := len(packed)
-			packed = EncodeReqInto(packed, r)
-			if len(packed) > 4096 && end > start {
-				packed = packed[:pre]
-				s.c.seq-- // undo; goes in the next flight
-				break
-			}
-			b := s.acquire(p)
-			hdrOp, err := s.c.postHdr(p, b, r.Seq)
-			if err != nil {
-				s.put(b)
-				abort()
-				return resps, err
-			}
-			bufs = append(bufs, b)
-			hdrs = append(hdrs, hdrOp)
-			seqs = append(seqs, r.Seq)
-			end++
-		}
-		// The packed message stages through the first slot's request
-		// buffer and is matched by the server like any other request.
-		if err := s.c.sendEnc(p, bufs[0], packed, nil); err != nil {
-			abort()
+		fl, end, err := s.startBatchFlight(p, reqs, start)
+		if err != nil {
 			return resps, err
 		}
-		issued := p.Now()
-		s.Issued.Add(len(seqs))
-		if len(seqs) > 1 {
-			s.Batched.Add(len(seqs) - 1)
-		}
-		var firstErr error
-		for i := range seqs {
-			// Deadlines run from the flight's issue: the replies of a
-			// batch against a dead server must expire together, not
-			// serialize a fresh timeout each.
-			resp, err := s.c.finish(p, bufs[i], hdrs[i], seqs[i], s.c.deadlineFrom(p, issued))
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			resps = append(resps, resp)
-			s.Completed.Add(1)
-			s.put(bufs[i])
-		}
-		s.batchBufs, s.batchHdrs = bufs[:0], hdrs[:0]
-		s.batchSeqs, s.packScratch = seqs[:0], packed[:0]
-		if firstErr != nil {
-			return resps, firstErr
+		resps, err = fl.wait(p, resps)
+		if err != nil {
+			return resps, err
 		}
 		start = end
 	}
 	return resps, nil
+}
+
+// validateBatch is MetaBatch's up-front request check, shared with the
+// cluster's cross-server batching.
+func validateBatch(reqs []*Req) error {
+	for _, r := range reqs {
+		if r.Op == OpRead || r.Op == OpWrite {
+			return fmt.Errorf("rfsrv: MetaBatch cannot carry %v", r.Op)
+		}
+		if err := ValidateReq(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchFlight is one combined metadata send on the wire: the window
+// slots holding its posted reply receives and the issue time its
+// reply deadlines run from. A session has at most ONE flight
+// outstanding (its staging is session scratch); cross-server
+// parallelism comes from flights on different sessions — the cluster
+// starts one per server, then waits them all (see Cluster.FlushSizes
+// and the sharded MetaBatch).
+type batchFlight struct {
+	s      *Session
+	bufs   []*ctlBufs
+	hdrs   []fabric.Op
+	seqs   []uint64
+	issued sim.Time
+}
+
+// startBatchFlight packs reqs[start:] — up to window requests whose
+// encodings fit the 4 KB request buffer — into one combined fabric
+// send, with a reply receive posted per request before the message
+// leaves. It returns the flight and the index of the first request
+// that did not fit (the caller loops). Requests must be pre-validated
+// (validateBatch); each req's Seq/EP is stamped and its bytes fully
+// encoded before return, so callers may reuse the same *Req values in
+// a later flight. The previous flight must be waited first.
+func (s *Session) startBatchFlight(p *sim.Proc, reqs []*Req, start int) (*batchFlight, int, error) {
+	bufs := s.batchBufs[:0]
+	hdrs := s.batchHdrs[:0]
+	seqs := s.batchSeqs[:0]
+	packed := s.packScratch[:0]
+	// abort returns every slot of the aborted flight, withdrawing
+	// its posted header receive first (each is tagged with a
+	// sequence number that was never sent, so cancellation cannot
+	// race a delivery).
+	abort := func() {
+		for i, b := range bufs {
+			fabric.Cancel(p, hdrs[i])
+			s.put(b)
+		}
+		s.batchBufs, s.batchHdrs = bufs[:0], hdrs[:0]
+		s.batchSeqs, s.packScratch = seqs[:0], packed[:0]
+	}
+	end := start
+	for end < len(reqs) && end-start < s.window {
+		r := reqs[end]
+		s.c.seq++
+		r.Seq, r.EP = s.c.seq, s.c.myEP
+		pre := len(packed)
+		packed = EncodeReqInto(packed, r)
+		if len(packed) > 4096 && end > start {
+			packed = packed[:pre]
+			s.c.seq-- // undo; goes in the next flight
+			break
+		}
+		b := s.acquire(p)
+		hdrOp, err := s.c.postHdr(p, b, r.Seq)
+		if err != nil {
+			s.put(b)
+			abort()
+			return nil, start, err
+		}
+		bufs = append(bufs, b)
+		hdrs = append(hdrs, hdrOp)
+		seqs = append(seqs, r.Seq)
+		end++
+	}
+	// The packed message stages through the first slot's request
+	// buffer and is matched by the server like any other request.
+	if err := s.c.sendEnc(p, bufs[0], packed, nil); err != nil {
+		abort()
+		return nil, start, err
+	}
+	s.Issued.Add(len(seqs))
+	if len(seqs) > 1 {
+		s.Batched.Add(len(seqs) - 1)
+	}
+	// Hand the (grown) scratch to the flight; wait resets it.
+	s.batchBufs, s.batchHdrs, s.batchSeqs, s.packScratch = bufs, hdrs, seqs, packed
+	s.flight = batchFlight{s: s, bufs: bufs, hdrs: hdrs, seqs: seqs, issued: p.Now()}
+	return &s.flight, end, nil
+}
+
+// wait retires every request of the flight in order, appending the
+// replies to out (the first error is returned after ALL slots are
+// quiesced and returned to the window — a faulted batch must not leak
+// posted receives).
+func (fl *batchFlight) wait(p *sim.Proc, out []*Resp) ([]*Resp, error) {
+	s := fl.s
+	var firstErr error
+	for i := range fl.seqs {
+		// Deadlines run from the flight's issue: the replies of a
+		// batch against a dead server must expire together, not
+		// serialize a fresh timeout each.
+		resp, err := s.c.finish(p, fl.bufs[i], fl.hdrs[i], fl.seqs[i], s.c.deadlineFrom(p, fl.issued))
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out = append(out, resp)
+		s.Completed.Add(1)
+		s.put(fl.bufs[i])
+	}
+	s.batchBufs, s.batchHdrs = s.batchBufs[:0], s.batchHdrs[:0]
+	s.batchSeqs, s.packScratch = s.batchSeqs[:0], s.packScratch[:0]
+	return out, firstErr
+}
+
+// Rename implements Renamer over one server: a single OpRenameLocal
+// applied by the backing store (both directories are local by
+// definition).
+func (s *Session) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) (*Resp, error) {
+	return s.Meta(p, &Req{
+		Op: OpRenameLocal, Ino: srcDir, Off: int64(dstDir),
+		Name: PackRenameNames(srcName, dstName),
+	})
 }
 
 var _ Client = (*Session)(nil)

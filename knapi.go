@@ -137,6 +137,12 @@ type (
 	FSLayoutClass  = rfsrv.LayoutClass
 	FSLayoutPolicy = rfsrv.LayoutPolicy
 
+	// Rename capability (DESIGN.md §11): every protocol client renames;
+	// on a sharded cluster a cross-owner rename is the multi-phase
+	// protocol whose interrupted runs surface as *FSRenameInDoubtError.
+	FSRenamer            = rfsrv.Renamer
+	FSRenameInDoubtError = rfsrv.RenameInDoubtError
+
 	// Sockets.
 	Conn     = sockets.Conn
 	Listener = sockets.Listener
@@ -314,6 +320,20 @@ var NewFSReplicatedCluster = rfsrv.NewReplicatedCluster
 // or when a truncate/write exhausts its bounded revalidation retries
 // against a pathological storm of foreign size sets.
 var ErrFSStaleEpoch = rfsrv.ErrStaleEpoch
+
+// ErrFSRenameInDoubt reports a sharded cross-owner rename interrupted
+// after its outcome could no longer be rolled back unilaterally: the
+// namespace is in one of exactly two legal states (the rename either
+// fully happened or not at all — never both entries, never neither),
+// and re-driving the same rename resolves which. errors.As to
+// *FSRenameInDoubtError recovers the rename's coordinates.
+var ErrFSRenameInDoubt = rfsrv.ErrRenameInDoubt
+
+// DefaultFSSizePublishBatch is the publish window a sharded cluster
+// installs when none was configured (Cluster.SetSizePublishBatch
+// picks a different one): flush the coalesced grow-only size
+// publishes every 16 enqueues.
+const DefaultFSSizePublishBatch = rfsrv.DefaultSizePublishBatch
 
 // Layout classes a cluster file can carry (DESIGN.md §10): standard
 // round-robin striping (the default, bit-identical to the pre-layout
