@@ -9,7 +9,7 @@
 //	go run ./cmd/figures -only fig6                 # one experiment
 //	go run ./cmd/figures -only smallfile,metadata   # a comma-separated few
 //	go run ./cmd/figures -iters 20                  # more round trips per point
-//	go run ./cmd/figures -json BENCH_PR7.json       # machine-readable snapshot
+//	go run ./cmd/figures -json BENCH_PR8.json       # machine-readable snapshot
 package main
 
 import (
@@ -89,7 +89,7 @@ func (s *snapshot) add(f *figures.Figure) {
 
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only these comma-separated experiment ids (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile, smallfile, metadata)")
+	only := flag.String("only", "", "run only these comma-separated experiment ids (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile, smallfile, metadata, torture)")
 	jsonPath := flag.String("json", "", "also write a machine-readable snapshot (figures + hot-path allocs/op) to this file")
 	flag.Parse()
 
@@ -151,8 +151,9 @@ func main() {
 		"sharedfile":  cfg.SharedFile,
 		"smallfile":   cfg.SmallFile,
 		"metadata":    cfg.Metadata,
+		"torture":     cfg.Torture,
 	}
-	for _, id := range []string{"scalability", "multiserver", "sharedfile", "smallfile", "metadata"} {
+	for _, id := range []string{"scalability", "multiserver", "sharedfile", "smallfile", "metadata", "torture"} {
 		if !want(id) {
 			continue
 		}

@@ -111,7 +111,10 @@ func (c Config) sfcRun(adaptive bool, servers int) (sfcResult, error) {
 				return
 			}
 			if adaptive {
-				cluster.SetLayoutPolicy(rfsrv.LayoutPolicy{Adaptive: true})
+				if err := cluster.SetLayoutPolicy(rfsrv.LayoutPolicy{Adaptive: true}); err != nil {
+					failure = err
+					return
+				}
 			}
 			clusters[i] = cluster
 			for f := 0; f < sfcFilesPerCli; f++ {

@@ -274,6 +274,15 @@ func (fs *FS) Truncate(p *sim.Proc, id kernel.InodeID, size int64) error {
 	if ino.attr.Kind == kernel.Directory {
 		return kernel.ErrIsDir
 	}
+	fs.shrinkTo(ino, size)
+	ino.attr.Size = size
+	ino.attr.Version++
+	return nil
+}
+
+// shrinkTo releases whole pages past the new end and zeroes the tail
+// of the boundary page (no-op when growing — new pages are holes).
+func (fs *FS) shrinkTo(ino *inode, size int64) {
 	lastPage := (size + mem.PageSize - 1) / mem.PageSize
 	for idx, f := range ino.blocks {
 		if idx >= lastPage {
@@ -286,9 +295,6 @@ func (fs *FS) Truncate(p *sim.Proc, id kernel.InodeID, size int64) error {
 			zero(f.Data()[tail:])
 		}
 	}
-	ino.attr.Size = size
-	ino.attr.Version++
-	return nil
 }
 
 func zero(b []byte) {

@@ -1,0 +1,68 @@
+package memfs
+
+// Reference-replay mode: byte-level accessors that let an FS serve as
+// the oracle of a randomized harness (internal/torture). The torture
+// run records its linearized operation log and replays it into a
+// fresh FS through the ordinary namespace verbs plus WriteAt; the
+// cluster's end state is then diffed against ContentOf/Readdir of the
+// replica. Neither helper charges simulated time — the oracle is a
+// checker, not a workload, and must not perturb the timeline it
+// validates.
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// WriteAt stores data at off in the file, extending it as needed —
+// the replay-side image of a cluster write. It bypasses the simulated
+// CPU/disk cost model (see the file comment).
+func (fs *FS) WriteAt(id kernel.InodeID, off int64, data []byte) error {
+	ino, err := fs.get(id)
+	if err != nil {
+		return err
+	}
+	if ino.attr.Kind != kernel.RegularFile {
+		return fmt.Errorf("memfs: WriteAt on non-file inode %d", id)
+	}
+	if off < 0 {
+		return fmt.Errorf("memfs: WriteAt at negative offset %d", off)
+	}
+	fs.writeBytes(ino, off, data)
+	return nil
+}
+
+// ContentOf returns a copy of the file's full contents (holes read as
+// zeros), without charging simulated time.
+func (fs *FS) ContentOf(id kernel.InodeID) ([]byte, error) {
+	ino, err := fs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if ino.attr.Kind != kernel.RegularFile {
+		return nil, fmt.Errorf("memfs: ContentOf on non-file inode %d", id)
+	}
+	return fs.readBytes(ino, 0, int(ino.attr.Size)), nil
+}
+
+// Resize sets the file's size exactly — shrink drops whole pages past
+// the new end and zeroes the tail of the boundary page, grow extends
+// with a hole — without charging simulated time. It is Truncate for
+// the replay side.
+func (fs *FS) Resize(id kernel.InodeID, size int64) error {
+	ino, err := fs.get(id)
+	if err != nil {
+		return err
+	}
+	if ino.attr.Kind != kernel.RegularFile {
+		return fmt.Errorf("memfs: Resize on non-file inode %d", id)
+	}
+	if size < 0 {
+		return fmt.Errorf("memfs: Resize to negative size %d", size)
+	}
+	fs.shrinkTo(ino, size)
+	ino.attr.Size = size
+	ino.attr.Version++
+	return nil
+}

@@ -252,6 +252,15 @@ type Cluster struct {
 	// (Bytes carries the re-read data volume); Excluded counts servers
 	// marked down.
 	Failovers, Excluded sim.Counter
+
+	// Reinstates counts servers readmitted by Reinstate;
+	// ReinstateRefusals counts readmissions refused because the
+	// server's owned slice mutated during its exclusion (the caller
+	// must resync out of band first); RenameInDoubts counts sharded
+	// cross-owner renames that surfaced ErrRenameInDoubt. The torture
+	// harness (internal/torture) consumes all three to cross-check its
+	// fault schedule against what the cluster actually observed.
+	Reinstates, ReinstateRefusals, RenameInDoubts sim.Counter
 }
 
 // NewCluster builds a striped cluster client over one Session per
@@ -337,12 +346,21 @@ func ValidateStripe(stripe int64) error {
 // class degenerates to the same single run on server 0, and keeping
 // the machinery off preserves the bit-identity-with-a-plain-Session
 // guarantee under every policy.
-func (cl *Cluster) SetLayoutPolicy(pol LayoutPolicy) {
+//
+// Mutually exclusive with the sharded namespace: a cluster running
+// EnableShardedNamespace returns ErrShardLayoutConflict (sharding
+// reuses the create request's Len field, which is where layout hints
+// travel — see DESIGN.md §11 and the ROADMAP composition follow-up).
+func (cl *Cluster) SetLayoutPolicy(pol LayoutPolicy) error {
+	if cl.sharded {
+		return fmt.Errorf("%w: EnableShardedNamespace is already on", ErrShardLayoutConflict)
+	}
 	cl.policy = pol
 	cl.policyOn = len(cl.sessions) > 1
 	if cl.policyOn && cl.layouts == nil {
 		cl.layouts = make(map[kernel.InodeID]LayoutClass)
 	}
+	return nil
 }
 
 // LayoutPolicy returns the active policy and whether the layout
@@ -390,8 +408,15 @@ func (cl *Cluster) entry(size int64, epoch uint64) sizeEntry {
 // the epoch it carries either confirms the cached entry for the inode
 // it resolves, or proves a foreign exact size set ran — in which case
 // the cached size floor is reset to zero (forcing the next overwrite
-// to re-reconcile) under the freshly observed epoch. Replies that
-// resolve no inode are ignored.
+// to re-reconcile) under the freshly observed epoch. Adoption is
+// strictly newest-wins: epochs only ever advance (exact sets bump,
+// inodes are never reused), so an OLDER reply epoch proves the
+// replying server — not the cache — is stale: it was excluded in some
+// client's view while that client ran an exact set. Adopting its
+// epoch would corrupt the cache backward and make every size-fan
+// retry loop ping-pong between the divergent members' epochs forever;
+// instead the fans detect the lagging member with epochBehind and
+// exclude it. Replies that resolve no inode are ignored.
 func (cl *Cluster) observeResp(resp *Resp) {
 	if resp == nil || resp.Attr.Ino == 0 {
 		return
@@ -401,7 +426,7 @@ func (cl *Cluster) observeResp(resp *Resp) {
 	}
 	ino := resp.Attr.Ino
 	e, ok := cl.sizes[ino]
-	if !ok || e.epoch != resp.Epoch {
+	if !ok || resp.Epoch > e.epoch {
 		cl.sizes[ino] = cl.entry(0, resp.Epoch)
 	}
 	if cl.policyOn {
@@ -410,6 +435,24 @@ func (cl *Cluster) observeResp(resp *Resp) {
 		// empty (no per-reply map cost on the default path).
 		cl.layouts[ino] = resp.Layout
 	}
+}
+
+// epochBehind reports whether a reply proves the replying server
+// missed an exact size set this client already observed: its epoch
+// for the resolved inode is strictly behind the cached one. Such a
+// server's size state is incoherent (it was down, in the truncating
+// client's view, when the epoch advanced — and grow publishes are
+// epoch-checked precisely so it cannot silently resurrect the
+// pre-truncate size). No single observed epoch satisfies a group
+// whose members disagree, so retrying a refused fan against it can
+// never converge: the caller must exclude the lagging member and let
+// the coherent survivors carry the group.
+func (cl *Cluster) epochBehind(resp *Resp) bool {
+	if resp == nil || resp.Attr.Ino == 0 {
+		return false
+	}
+	e, ok := cl.sizes[resp.Attr.Ino]
+	return ok && resp.Epoch < e.epoch
 }
 
 // NumServers returns the number of servers data is striped across.
@@ -465,9 +508,11 @@ func (cl *Cluster) Reinstate(i int) error {
 		return nil
 	}
 	if cl.downNs[i] != cl.nsEpochs[i] {
+		cl.ReinstateRefusals.Add(1)
 		return fmt.Errorf("rfsrv: reinstate server %d: %d namespace/size mutation(s) ran against its slice during its exclusion; resync its backing store out of band first",
 			i, cl.nsEpochs[i]-cl.downNs[i])
 	}
+	cl.Reinstates.Add(1)
 	cl.down[i] = false
 	for ino, e := range cl.sizes {
 		if e.downAt&(1<<i) != 0 {
@@ -1308,6 +1353,13 @@ func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch 
 		}
 		cl.observeResp(resp)
 		if errors.Is(err, ErrStaleEpoch) {
+			if cl.epochBehind(resp) {
+				// A member lagging the cached epoch missed an exact set
+				// outright (see epochBehind) — exclude it instead of
+				// burning the retry budget on a fan it can never accept.
+				cl.markDown(targets[k])
+				continue
+			}
 			stale = true
 			continue
 		}
@@ -1918,6 +1970,14 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 		}
 		cl.observeResp(r)
 		if errors.Is(err, ErrStaleEpoch) {
+			if cl.epochBehind(r) {
+				// The refuser's epoch is BEHIND the cache: it missed an
+				// exact set while dead in another client's view, and no
+				// retry epoch can satisfy it and the coherent members
+				// at once. Exclude it like a fault (see epochBehind).
+				cl.markDown(targets[k])
+				continue
+			}
 			stale = true
 			continue
 		}

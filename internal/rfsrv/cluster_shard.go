@@ -61,7 +61,7 @@ const DefaultSizePublishBatch = 16
 // residue, which is the field layout hints travel in.
 func (cl *Cluster) EnableShardedNamespace() error {
 	if cl.policyOn {
-		return fmt.Errorf("rfsrv: sharded namespace and per-file layout policy are mutually exclusive")
+		return fmt.Errorf("%w: SetLayoutPolicy is already on", ErrShardLayoutConflict)
 	}
 	cl.sharded = true
 	if cl.pubBatch == 0 {
@@ -92,7 +92,7 @@ func (cl *Cluster) SetSizePublishBatch(k int) error {
 		return fmt.Errorf("rfsrv: size publish batch %d is not positive", k)
 	}
 	if cl.policyOn {
-		return fmt.Errorf("rfsrv: batched size publishes and per-file layout policy are mutually exclusive")
+		return fmt.Errorf("%w: batched size publishes require a policy-free cluster", ErrShardLayoutConflict)
 	}
 	cl.pubBatch = k
 	if cl.pendPub == nil {
@@ -253,8 +253,14 @@ func (cl *Cluster) flushFan(p *sim.Proc, reqs []*Req, npub int) (stale bool, err
 		}
 		for k, fl := range flights {
 			resps, werr := fl.wait(p, cl.flushResps[:0])
+			behind := false
 			for _, r := range resps {
 				cl.observeResp(r)
+			}
+			for _, r := range resps {
+				if r != nil && r.Status == StStale && cl.epochBehind(r) {
+					behind = true
+				}
 			}
 			cl.flushResps = resps[:0]
 			i := targets[k]
@@ -265,6 +271,17 @@ func (cl *Cluster) flushFan(p *sim.Proc, reqs []*Req, npub int) (stale bool, err
 					starts[i] = len(reqs)
 					continue
 				case errors.Is(werr, ErrStaleEpoch):
+					if behind {
+						// The server refused under an epoch BEHIND the
+						// cache: it missed an exact set while dead in
+						// another client's view, and no retry epoch can
+						// satisfy it and the coherent members at once
+						// (see epochBehind). Exclude it; the publish
+						// stands on the survivors.
+						cl.markDown(i)
+						starts[i] = len(reqs)
+						continue
+					}
 					stale = true
 				case firstErr == nil:
 					firstErr = werr
@@ -340,6 +357,15 @@ func (cl *Cluster) groupRead(p *sim.Proc, owner int, req *Req) (*Resp, error) {
 			continue
 		}
 		cl.observeResp(resp)
+		if cl.epochBehind(resp) {
+			// The member answered under an epoch behind the cache: it
+			// missed an exact set and its sizes are pre-truncate stale
+			// (see epochBehind). Serving this reply would hand the
+			// caller a resurrected size — exclude and fail over.
+			cl.markDown(idx)
+			cl.Failovers.Add(0)
+			continue
+		}
 		return resp, err
 	}
 }
@@ -696,6 +722,7 @@ func (cl *Cluster) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, ds
 		// cleanly into that state. If the abort ALSO fails, the source
 		// entry stays marked and the outcome is in doubt.
 		if _, aerr := cl.groupFan(p, so, &Req{Op: OpRenameAbort, Ino: srcDir, Name: srcName}); aerr != nil {
+			cl.RenameInDoubts.Add(1)
 			return cresp, &RenameInDoubtError{SrcDir: srcDir, SrcName: srcName, DstDir: dstDir, DstName: dstName, Err: err}
 		}
 		return cresp, err
@@ -715,6 +742,7 @@ func (cl *Cluster) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, ds
 		// above, its exclusion snapshot postdates the bumps — bump the
 		// group again so it is refused Reinstate until resynced.
 		cl.bumpGroupNs(so)
+		cl.RenameInDoubts.Add(1)
 		return cresp, &RenameInDoubtError{SrcDir: srcDir, SrcName: srcName, DstDir: dstDir, DstName: dstName, Err: ferr}
 	}
 	return cresp, nil

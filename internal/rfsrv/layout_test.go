@@ -69,7 +69,9 @@ func TestClusterWholePromotedMidWrite(t *testing.T) {
 	r := newClusterRig(t, 3)
 	r.run(t, func(p *sim.Proc) {
 		cl := r.cluster(t, p, 4, testStripe)
-		cl.SetLayoutPolicy(rfsrv.LayoutPolicy{Adaptive: true})
+		if err := cl.SetLayoutPolicy(rfsrv.LayoutPolicy{Adaptive: true}); err != nil {
+			t.Fatal(err)
+		}
 
 		const head = 200 * 1024 // below PromoteThreshold (256 KiB)
 		const tail = 100 * 1024 // pushes EOF to 300 KiB, past it
@@ -146,7 +148,9 @@ func TestClusterWideEOFAtStripeBoundary(t *testing.T) {
 		cl := r.cluster(t, p, 4, testStripe)
 		// Non-adaptive policy: unhinted files keep standard striping, but
 		// explicit create hints are honored.
-		cl.SetLayoutPolicy(rfsrv.LayoutPolicy{})
+		if err := cl.SetLayoutPolicy(rfsrv.LayoutPolicy{}); err != nil {
+			t.Fatal(err)
+		}
 
 		wide := int(rfsrv.WideStripeSize)
 		for i, size := range []int{wide - 1, wide, wide + 1} {
@@ -205,7 +209,9 @@ func TestClusterWholeReplicatedFailover(t *testing.T) {
 	r := newClusterRig(t, 3)
 	r.run(t, func(p *sim.Proc) {
 		cl := r.clusterRep(t, p, 4, testStripe, 2)
-		cl.SetLayoutPolicy(rfsrv.LayoutPolicy{Adaptive: true})
+		if err := cl.SetLayoutPolicy(rfsrv.LayoutPolicy{Adaptive: true}); err != nil {
+			t.Fatal(err)
+		}
 
 		const size = 16 * 1024
 		data := pattern(size)
@@ -259,7 +265,9 @@ func TestClusterOneServerPolicyInert(t *testing.T) {
 		r.run(t, func(p *sim.Proc) {
 			cl := r.cluster(t, p, 4, 0)
 			if set {
-				cl.SetLayoutPolicy(pol)
+				if err := cl.SetLayoutPolicy(pol); err != nil {
+					t.Fatal(err)
+				}
 			}
 			end, sum = oneServerWorkload(t, p, r.client.Kernel, cl)
 		})

@@ -269,6 +269,14 @@ var (
 	// Re-driving the same rename once the groups are reachable resolves
 	// it — every phase is idempotent.
 	ErrRenameInDoubt = errors.New("rfsrv: rename in doubt")
+	// ErrShardLayoutConflict rejects combining the sharded namespace
+	// (EnableShardedNamespace, DESIGN.md §11) with the per-file layout
+	// policy (SetLayoutPolicy, §10) in either order: sharding routes
+	// the create request's Len field as a residue, which is the field
+	// layout hints travel in. Composing the two is a ROADMAP follow-up;
+	// until it lands the conflict is a typed refusal, not silent
+	// misbehavior. errors.Is(err, ErrShardLayoutConflict) matches.
+	ErrShardLayoutConflict = errors.New("rfsrv: sharded namespace and per-file layout policy are mutually exclusive")
 )
 
 // RenameInDoubtError reports a cross-owner rename whose outcome the

@@ -1,0 +1,161 @@
+package torture
+
+// The linearized operation log. Every SUCCESSFUL operation is
+// appended at its completion time — in a cooperatively-scheduled
+// deterministic simulation, completion order is a legal linearization
+// for this workload (each file has one writer and each directory one
+// mutating client; cross-object operations commute). The log is what
+// the reference memfs replays at the end of the run, and what the
+// shrinker projects a failure onto.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// OpKind names a logged operation.
+type OpKind uint8
+
+// The logged operation kinds.
+const (
+	// OpMkdir records a setup-time directory creation.
+	OpMkdir OpKind = iota
+	// OpCreate records a file creation.
+	OpCreate
+	// OpWrite records a data write (FillTag regenerates the bytes).
+	OpWrite
+	// OpTruncate records an exact size set.
+	OpTruncate
+	// OpUnlink records an entry removal.
+	OpUnlink
+	// OpRename records a rename, including one that resolved an
+	// in-doubt outcome to its committed state.
+	OpRename
+	// OpFault records a fault-schedule event, for trace context (it
+	// is not replayed).
+	OpFault
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpMkdir:
+		return "mkdir"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpTruncate:
+		return "truncate"
+	case OpUnlink:
+		return "unlink"
+	case OpRename:
+		return "rename"
+	case OpFault:
+		return "fault"
+	}
+	return "?"
+}
+
+// OpRecord is one entry of the linearized log. Objects are named by
+// harness handles (stable small integers assigned at creation), not
+// inode numbers: the reference filesystem mints its own inodes during
+// replay, and handles survive renames.
+type OpRecord struct {
+	// Seq is the completion order (log index).
+	Seq int
+	// Client is the acting client (-1 for schedule events).
+	Client int
+	// At is the simulated completion time.
+	At sim.Time
+	// Kind is the operation.
+	Kind OpKind
+	// Dir and Name locate the entry (Dir is a directory handle;
+	// OpMkdir's Dir is the PARENT, its File the new directory's
+	// handle).
+	Dir  int
+	Name string
+	// Dir2 and Name2 are the rename destination.
+	Dir2  int
+	Name2 string
+	// File is the file (or new directory) handle the op acts on.
+	File int
+	// Off, Len and FillTag describe a write; Size a truncate.
+	Off     int64
+	Len     int
+	FillTag uint64
+	Size    int64
+	// Note carries fault-event detail ("kill 2", "stall 0 12ms", …).
+	Note string
+}
+
+// String renders one record for a minimized trace.
+func (r OpRecord) String() string {
+	switch r.Kind {
+	case OpWrite:
+		return fmt.Sprintf("#%-4d t=%-12v c%d write  f%d [%d,+%d) tag=%#x", r.Seq, r.At, r.Client, r.File, r.Off, r.Len, r.FillTag)
+	case OpTruncate:
+		return fmt.Sprintf("#%-4d t=%-12v c%d trunc  f%d size=%d", r.Seq, r.At, r.Client, r.File, r.Size)
+	case OpRename:
+		return fmt.Sprintf("#%-4d t=%-12v c%d rename d%d/%s -> d%d/%s (f%d)", r.Seq, r.At, r.Client, r.Dir, r.Name, r.Dir2, r.Name2, r.File)
+	case OpFault:
+		return fmt.Sprintf("#%-4d t=%-12v schedule %s", r.Seq, r.At, r.Note)
+	default:
+		return fmt.Sprintf("#%-4d t=%-12v c%d %-6s d%d/%s (f%d)", r.Seq, r.At, r.Client, r.Kind, r.Dir, r.Name, r.File)
+	}
+}
+
+// record appends a completed operation to the linearized log.
+func (st *runState) record(r OpRecord) {
+	r.Seq = len(st.log)
+	r.At = st.now()
+	st.log = append(st.log, r)
+}
+
+// minimize projects the log onto one object: the records touching the
+// given file handle or (dir, name) coordinates, plus every schedule
+// event (fault context is always relevant), capped to the most recent
+// shrinkCap entries. This is projection shrinking: with one writer
+// per object, the projected history is a complete explanation of the
+// object's state, and unlike delta-debugging re-runs it costs nothing
+// and cannot diverge from the failing execution.
+func (st *runState) minimize(file int, dir int, name string) []OpRecord {
+	const shrinkCap = 40
+	var out []OpRecord
+	for _, r := range st.log {
+		hit := r.Kind == OpFault
+		if file >= 0 && r.File == file {
+			hit = true
+		}
+		if name != "" && (r.Dir == dir && r.Name == name || r.Dir2 == dir && r.Name2 == name) {
+			hit = true
+		}
+		if hit {
+			out = append(out, r)
+		}
+	}
+	if len(out) > shrinkCap {
+		out = out[len(out)-shrinkCap:]
+	}
+	return out
+}
+
+// fill writes the deterministic byte pattern of one logged write:
+// position-sensitive (a misplaced stripe cannot alias) and
+// regenerable from (FillTag, Off) alone.
+func fill(dst []byte, tag uint64, off int64) {
+	for i := range dst {
+		x := tag + uint64(off+int64(i))*0x9E3779B97F4A7C15
+		x ^= x >> 29
+		dst[i] = byte((x * 0xBF58476D1CE4E5B9) >> 56)
+	}
+}
+
+// fillTag derives a write's pattern tag from its coordinates.
+func fillTag(seed int64, client, opIdx int) uint64 {
+	h := uint64(seed) ^ uint64(client+1)*0xD6E8FEB86659FD93
+	h ^= uint64(opIdx+1) * 0xA5A5A5A5A5A5A5A5
+	h ^= h >> 33
+	return h*0xFF51AFD7ED558CCD + 1
+}

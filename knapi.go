@@ -329,6 +329,12 @@ var ErrFSStaleEpoch = rfsrv.ErrStaleEpoch
 // *FSRenameInDoubtError recovers the rename's coordinates.
 var ErrFSRenameInDoubt = rfsrv.ErrRenameInDoubt
 
+// ErrFSShardLayoutConflict rejects combining the sharded namespace
+// with the per-file layout policy in either order (DESIGN.md §10/§11):
+// the composition is a ROADMAP follow-up, so until it lands the
+// conflict is a typed refusal instead of silent misbehavior.
+var ErrFSShardLayoutConflict = rfsrv.ErrShardLayoutConflict
+
 // DefaultFSSizePublishBatch is the publish window a sharded cluster
 // installs when none was configured (Cluster.SetSizePublishBatch
 // picks a different one): flush the coalesced grow-only size
