@@ -44,11 +44,30 @@ type jsonFigure struct {
 	Series []jsonSeries `json:"series"`
 }
 
+// jsonElastic is the elastic-membership lifecycle section of the
+// snapshot: per-phase throughput (kill -> heal -> replayed
+// re-admission -> live Join) plus the recovery/migration accounting.
+type jsonElastic struct {
+	PreMBps       float64 `json:"pre_mbps"`
+	DegradedMBps  float64 `json:"degraded_mbps"`
+	PostMBps      float64 `json:"post_expansion_mbps"`
+	Reinstates    int64   `json:"reinstates"`
+	Refusals      int64   `json:"reinstate_refusals"`
+	Spills        int64   `json:"resync_spills"`
+	ResyncOps     int64   `json:"resync_ops"`
+	ResyncBytes   int64   `json:"resync_bytes"`
+	MigratedBytes int64   `json:"migrated_bytes"`
+	Epoch         uint64  `json:"epoch"`
+	Members       []int   `json:"members"`
+}
+
 // snapshot is the BENCH_PR6.json layout: every figure that ran, plus
-// the allocation profile of the per-request hot path.
+// the allocation profile of the per-request hot path and (since PR 9)
+// the elastic-membership lifecycle numbers.
 type snapshot struct {
 	Iters   int          `json:"iters"`
 	Figures []jsonFigure `json:"figures"`
+	Elastic *jsonElastic `json:"elastic,omitempty"`
 	Allocs  struct {
 		// RequestPathPerOp is the measured heap allocations per
 		// client-observed cluster operation (see
@@ -89,7 +108,7 @@ func (s *snapshot) add(f *figures.Figure) {
 
 func main() {
 	iters := flag.Int("iters", 10, "ping-pong iterations per message size")
-	only := flag.String("only", "", "run only these comma-separated experiment ids (fig1b…fig8b, table1, scalability, multiserver, degraded, sharedfile, smallfile, metadata, torture)")
+	only := flag.String("only", "", "run only these comma-separated experiment ids (fig1b…fig8b, table1, scalability, multiserver, degraded, elastic, sharedfile, smallfile, metadata, torture)")
 	jsonPath := flag.String("json", "", "also write a machine-readable snapshot (figures + hot-path allocs/op) to this file")
 	flag.Parse()
 
@@ -175,6 +194,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(tbl.Render())
+	}
+	if want("elastic") {
+		ran = true
+		tbls, stats, err := cfg.Elastic()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elastic: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tbl := range tbls {
+			fmt.Println(tbl.Render())
+		}
+		snap.Elastic = &jsonElastic{
+			PreMBps: stats.PreMBps, DegradedMBps: stats.DegradedMBps, PostMBps: stats.PostMBps,
+			Reinstates: stats.Reinstates, Refusals: stats.Refusals, Spills: stats.Spills,
+			ResyncOps: stats.ResyncOps, ResyncBytes: stats.ResyncBytes,
+			MigratedBytes: stats.MigratedBytes, Epoch: stats.Epoch, Members: stats.Members,
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)

@@ -32,6 +32,7 @@ func main() {
 	duration := flag.Duration("torture.duration", 10*time.Minute, "wall-clock soak budget")
 	startSeed := flag.Int64("torture.seed", 0, "first seed (0: derive from the wall clock, printed for replay)")
 	mode := flag.String("torture.mode", "both", "mode(s) to soak: data, ns or both")
+	elastic := flag.Bool("torture.elastic", false, "add membership bounces (stop-world retire+rejoin) to every run's schedule")
 	outDir := flag.String("torture.out", "torture-failures", "directory for per-failure repro files")
 	flag.Parse()
 
@@ -51,13 +52,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "torture: bad -torture.mode %q (data, ns or both)\n", *mode)
 		os.Exit(2)
 	}
-	fmt.Printf("torture soak: start seed %d, modes %v, budget %v\n", seed, modes, *duration)
+	fmt.Printf("torture soak: start seed %d, modes %v, elastic %v, budget %v\n", seed, modes, *elastic, *duration)
 
 	deadline := time.Now().Add(*duration)
 	runs, failures := 0, 0
 	for time.Now().Before(deadline) {
 		for _, m := range modes {
-			cfg := torture.Config{Seed: seed, Mode: m}
+			cfg := torture.Config{Seed: seed, Mode: m, Elastic: *elastic}
 			res, err := torture.Run(cfg)
 			runs++
 			if err != nil {
@@ -68,8 +69,8 @@ func main() {
 				}
 				continue
 			}
-			fmt.Printf("ok   %s seed %d: %d ops, %d kills %d stalls %d strikes, %d in-doubt, %.0f ops/s, recovery mean %v max %v\n",
-				m, seed, res.Ops, res.Kills, res.Stalls, res.Strikes,
+			fmt.Printf("ok   %s seed %d: %d ops, %d kills %d stalls %d strikes %d bounces, %d in-doubt, %.0f ops/s, recovery mean %v max %v\n",
+				m, seed, res.Ops, res.Kills, res.Stalls, res.Strikes, res.Bounces,
 				res.RenameInDoubts, res.OpsPerSec, res.RecoveryMean, res.RecoveryMax)
 		}
 		seed++

@@ -254,13 +254,69 @@ type Cluster struct {
 	Failovers, Excluded sim.Counter
 
 	// Reinstates counts servers readmitted by Reinstate;
-	// ReinstateRefusals counts readmissions refused because the
-	// server's owned slice mutated during its exclusion (the caller
-	// must resync out of band first); RenameInDoubts counts sharded
-	// cross-owner renames that surfaced ErrRenameInDoubt. The torture
-	// harness (internal/torture) consumes all three to cross-check its
-	// fault schedule against what the cluster actually observed.
+	// ReinstateRefusals counts readmissions that could not replay the
+	// resync journal and fell back to a full-slice resync (or, with no
+	// resync peers wired, were refused outright); RenameInDoubts
+	// counts sharded cross-owner renames that surfaced
+	// ErrRenameInDoubt. The torture harness (internal/torture)
+	// consumes all three to cross-check its fault schedule against
+	// what the cluster actually observed.
 	Reinstates, ReinstateRefusals, RenameInDoubts sim.Counter
+
+	// Elastic membership (DESIGN.md §13). members maps placement
+	// position → session slot: every placement function ((ino−2) mod N
+	// owner groups, k mod N..+R−1 stripe replica sets, metadata
+	// homing) indexes this slice, so membership changes re-place data
+	// and metadata without touching the construction-time sessions
+	// array. down/nsEpochs/downNs/journals stay slot-indexed — a
+	// server's fault state is independent of where placement puts it.
+	members []int
+
+	// view is the shared membership view this cluster follows (nil for
+	// a construction-time-fixed cluster); viewEpoch is the epoch of
+	// the members slice currently adopted. staleMember latches when a
+	// reply's membership epoch proves a viewless cluster's fixed
+	// membership is outdated — every subsequent operation fails with
+	// ErrStaleMembership.
+	view        *MemberView
+	viewEpoch   uint64
+	staleMember bool
+
+	// Operation-gate state (see enterOp): gateDepth tracks nested
+	// cluster entry points (Rename inside Meta), so only the outermost
+	// one fences and counts; gateMut/gateCounted remember what the
+	// outermost entry registered with the view.
+	gateDepth   int
+	gateMut     bool
+	gateCounted bool
+
+	// journals holds one resync journal per excluded server slot (nil
+	// while a server is up, reset at exclusion), recording the
+	// mutations and data-stripe writes the server misses so Reinstate
+	// can replay them. journalOpCap/journalByteCap bound journal
+	// growth (0 selects the defaults); past either bound the journal
+	// spills and Reinstate falls back to a full-slice resync through
+	// peers (SetResyncPeers).
+	journals       []*resyncJournal
+	journalOpCap   int
+	journalByteCap int64
+	peers          []*Server
+
+	// renameDoubt parks unresolved in-doubt renames, keyed by each
+	// directory involved, so the next lookup/getattr/readdir walking
+	// either directory re-drives the rename before reading
+	// (resolveRenameDoubt).
+	renameDoubt map[kernel.InodeID]inDoubtRename
+
+	// ResyncOps counts journaled mutations replayed by Reinstate;
+	// ResyncBytes counts data bytes re-copied to a returning server
+	// (journal replay and full-slice resync both); ResyncSpills counts
+	// journals that overflowed their bounds and fell back to
+	// full-slice resync; Migrated counts data bytes re-placed by
+	// membership changes (Join/Retire/Bounce); RenameAutoResolves
+	// counts in-doubt renames resolved by a later walk over the marked
+	// entry rather than an explicit re-drive.
+	ResyncOps, ResyncBytes, ResyncSpills, Migrated, RenameAutoResolves sim.Counter
 }
 
 // NewCluster builds a striped cluster client over one Session per
@@ -310,6 +366,10 @@ func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int
 		}
 		eps[ep] = true
 	}
+	members := make([]int, len(sessions))
+	for i := range members {
+		members[i] = i
+	}
 	return &Cluster{
 		sessions: sessions,
 		stripe:   int64(stripe),
@@ -319,6 +379,7 @@ func NewReplicatedCluster(p *sim.Proc, sessions []*Session, stripe, replicas int
 		nsEpochs: make([]uint64, len(sessions)),
 		downNs:   make([]uint64, len(sessions)),
 		sizes:    make(map[kernel.InodeID]sizeEntry),
+		members:  members,
 	}, nil
 }
 
@@ -418,7 +479,17 @@ func (cl *Cluster) entry(size int64, epoch uint64) sizeEntry {
 // instead the fans detect the lagging member with epochBehind and
 // exclude it. Replies that resolve no inode are ignored.
 func (cl *Cluster) observeResp(resp *Resp) {
-	if resp == nil || resp.Attr.Ino == 0 {
+	if resp == nil {
+		return
+	}
+	if resp.MemberEpoch > cl.viewEpoch && cl.view == nil {
+		// The reply is stamped with a membership epoch this cluster has
+		// never seen and — with no attached view — can never adopt. It
+		// poisons itself (ErrStaleMembership from the next entry gate)
+		// rather than keep routing by a retired geometry.
+		cl.staleMember = true
+	}
+	if resp.Attr.Ino == 0 {
 		return
 	}
 	if resp.Status != StOK && resp.Status != StStale {
@@ -455,8 +526,9 @@ func (cl *Cluster) epochBehind(resp *Resp) bool {
 	return ok && resp.Epoch < e.epoch
 }
 
-// NumServers returns the number of servers data is striped across.
-func (cl *Cluster) NumServers() int { return len(cl.sessions) }
+// NumServers returns the number of servers data is striped across —
+// the current member count, which membership changes move.
+func (cl *Cluster) NumServers() int { return len(cl.members) }
 
 // Replicas returns the replication factor R.
 func (cl *Cluster) Replicas() int { return cl.replicas }
@@ -479,65 +551,31 @@ func (cl *Cluster) DownServers() []int {
 	return out
 }
 
-// Reinstate clears server i's exclusion after out-of-band recovery
-// (e.g. its NIC was revived). The reinstated server missed every
-// grow-only reconciliation fanned out while it was excluded, so
-// Reinstate drops the size-cache entries established during its
-// exclusion — and only those: an entry's reconciliation fan either
-// included i (established while i was alive: i's local size still
-// covers it, the entry stays) or skipped i (established while i was
-// down: dropped, so the next write to that file replays OpSetSize
-// everywhere, which is safe precisely because the grow mode is
-// idempotent).
-//
-// Namespace mutations and exact size sets are NOT replayable the same
-// way: a server that missed creates, unlinks or truncates answers
-// homed lookups and getattrs with stale results — and a missed epoch
-// bump would desynchronize it from the coherence protocol for good.
-// Reinstate therefore refuses, with an error, to re-admit a server
-// when any such mutation was directed at it during its exclusion: the
-// caller must resynchronize the server's backing store out of band
-// (rebuild it from a live replica's state) and retry, or rebuild the
-// cluster client. The server stays excluded after a refusal. The
-// check is per server: on a sharded cluster, mutations bump only the
-// mutated directory's owner group, so a server whose owned slice saw
-// no mutations reinstates cleanly no matter how much foreign slices
-// churned while it was out.
-func (cl *Cluster) Reinstate(i int) error {
-	if !cl.down[i] {
-		return nil
-	}
-	if cl.downNs[i] != cl.nsEpochs[i] {
-		cl.ReinstateRefusals.Add(1)
-		return fmt.Errorf("rfsrv: reinstate server %d: %d namespace/size mutation(s) ran against its slice during its exclusion; resync its backing store out of band first",
-			i, cl.nsEpochs[i]-cl.downNs[i])
-	}
-	cl.Reinstates.Add(1)
-	cl.down[i] = false
-	for ino, e := range cl.sizes {
-		if e.downAt&(1<<i) != 0 {
-			delete(cl.sizes, ino)
-		}
-	}
-	return nil
-}
+// Reinstate lives in elastic.go (DESIGN.md §13): it replays the
+// resync journal recorded during the exclusion — or rebuilds the
+// server's slice in full when the journal spilled — before clearing
+// the exclusion and dropping the size-cache entries established
+// while the server was out.
 
 // markDown records a server as excluded after an observed fault,
-// snapshotting the mutation epoch so Reinstate can tell whether the
-// server's replicated state diverged while it was out.
+// snapshotting the mutation epoch and resetting the slot's resync
+// journal: everything the server misses from here on is recorded for
+// Reinstate to replay.
 func (cl *Cluster) markDown(i int) {
 	if !cl.down[i] {
 		cl.down[i] = true
 		cl.downNs[i] = cl.nsEpochs[i]
+		cl.resetJournal(i)
 		cl.Excluded.Add(0)
 	}
 }
 
-// aliveCount returns the number of servers not excluded.
+// aliveCount returns the number of members not excluded (standby
+// slots are never addressed, so they do not count).
 func (cl *Cluster) aliveCount() int {
 	n := 0
-	for _, d := range cl.down {
-		if !d {
+	for _, i := range cl.members {
+		if !cl.down[i] {
 			n++
 		}
 	}
@@ -594,7 +632,7 @@ func (cl *Cluster) CanStart(ino kernel.InodeID, off int64, n int) bool {
 	}
 	for _, r := range cl.runs(cl.layoutCached(ino), ino, off, n) {
 		for j := 0; j < cl.replicas; j++ {
-			if idx := (r.owner + j) % len(cl.sessions); !cl.down[idx] {
+			if idx := cl.members[(r.owner+j)%len(cl.members)]; !cl.down[idx] {
 				need[idx]++
 			}
 		}
@@ -626,11 +664,13 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// ownerIdx returns the server index owning the standard-layout stripe
-// containing off (the primary — replicas follow on the next R-1
-// servers, wrapping).
+// ownerIdx returns the placement POSITION owning the standard-layout
+// stripe containing off (the primary — replicas follow on the next
+// R-1 positions, wrapping). Positions index cl.members; session slots
+// come out of that map, so membership changes re-place stripes by
+// editing members alone.
 func (cl *Cluster) ownerIdx(off int64) int {
-	return int((off / cl.stripe) % int64(len(cl.sessions)))
+	return int((off / cl.stripe) % int64(len(cl.members)))
 }
 
 // wholeHome returns the fixed data owner of a whole-on-home file: the
@@ -639,7 +679,7 @@ func (cl *Cluster) ownerIdx(off int64) int {
 // class. Unlike homeIdx it does not walk past excluded servers
 // (placement is fixed; reads fail over across the replica set instead).
 func (cl *Cluster) wholeHome(ino kernel.InodeID) int {
-	return int(mix(uint64(ino)) % uint64(len(cl.sessions)))
+	return int(mix(uint64(ino)) % uint64(len(cl.members)))
 }
 
 // ownerAt returns the primary data server for byte off of an inode
@@ -650,20 +690,20 @@ func (cl *Cluster) ownerAt(lay LayoutClass, ino kernel.InodeID, off int64) int {
 	case LayoutWhole:
 		return cl.wholeHome(ino)
 	case LayoutWide:
-		return int((off / WideStripeSize) % int64(len(cl.sessions)))
+		return int((off / WideStripeSize) % int64(len(cl.members)))
 	default:
 		return cl.ownerIdx(off)
 	}
 }
 
 // readIdx returns the preferred read target for byte off of an inode
-// under its layout: the primary when alive, else the first alive
-// replica, else -1.
+// under its layout, as a session slot: the primary when alive, else
+// the first alive replica, else -1.
 func (cl *Cluster) readIdx(lay LayoutClass, ino kernel.InodeID, off int64) int {
 	owner := cl.ownerAt(lay, ino, off)
-	n := len(cl.sessions)
+	n := len(cl.members)
 	for j := 0; j < cl.replicas; j++ {
-		if k := (owner + j) % n; !cl.down[k] {
+		if k := cl.members[(owner+j)%n]; !cl.down[k] {
 			return k
 		}
 	}
@@ -699,12 +739,13 @@ func (cl *Cluster) layoutFor(p *sim.Proc, ino kernel.InodeID) (LayoutClass, erro
 	return resp.Layout, nil
 }
 
-// aliveFrom returns the first non-excluded server at or cyclically
-// after i, or -1 when every server is excluded.
+// aliveFrom returns the session slot of the first non-excluded member
+// at or cyclically after position i, or -1 when every member is
+// excluded.
 func (cl *Cluster) aliveFrom(i int) int {
-	n := len(cl.sessions)
+	n := len(cl.members)
 	for j := 0; j < n; j++ {
-		if k := (i + j) % n; !cl.down[k] {
+		if k := cl.members[(i+j)%n]; !cl.down[k] {
 			return k
 		}
 	}
@@ -714,7 +755,7 @@ func (cl *Cluster) aliveFrom(i int) int {
 // homeIdx returns the metadata home of an inode: the hashed server, or
 // the next alive one when the hashed home is excluded.
 func (cl *Cluster) homeIdx(ino kernel.InodeID) int {
-	return cl.aliveFrom(int(mix(uint64(ino)) % uint64(len(cl.sessions))))
+	return cl.aliveFrom(int(mix(uint64(ino)) % uint64(len(cl.members))))
 }
 
 // pathHomeIdx returns the metadata home of a path component: the hash
@@ -726,7 +767,7 @@ func (cl *Cluster) pathHomeIdx(dir kernel.InodeID, name string) int {
 	for i := 0; i < len(name); i++ {
 		h = (h ^ uint64(name[i])) * 1099511628211
 	}
-	return cl.aliveFrom(int(h % uint64(len(cl.sessions))))
+	return cl.aliveFrom(int(h % uint64(len(cl.members))))
 }
 
 // allReplicasDown is the error for a stripe whose every replica is
@@ -976,6 +1017,10 @@ func (cl *Cluster) failoverReads(p *sim.Proc, lay LayoutClass, ino kernel.InodeI
 // faults is re-read from the stripe's next alive replica; only a run
 // with no replicas left fails the read.
 func (cl *Cluster) Read(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (*Resp, error) {
+	if err := cl.enterOp(p, false); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	defer cl.exitOp()
 	if off < 0 {
 		return &Resp{Status: StInval}, ErrInval
 	}
@@ -1059,6 +1104,10 @@ func drainParts(p *sim.Proc, parts []*part) {
 // reconciliation). A replica that faults mid-write is excluded; the
 // write succeeds as long as every run kept at least one clean replica.
 func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (*Resp, error) {
+	if err := cl.enterOp(p, false); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	defer cl.exitOp()
 	if off < 0 {
 		return &Resp{Status: StInval}, ErrInval
 	}
@@ -1092,7 +1141,7 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 		live := 0
 		tail := ri == len(runs)-1
 		for j := 0; j < cl.replicas; j++ {
-			idx := (r.owner + j) % len(cl.sessions)
+			idx := cl.members[(r.owner+j)%len(cl.members)]
 			if cl.down[idx] {
 				continue
 			}
@@ -1137,9 +1186,12 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 	for _, pt := range parts {
 		pt.retire(p)
 	}
-	resp, err := cl.finishWriteParts(runs, parts, total)
+	resp, err := cl.finishWriteParts(ino, runs, parts, total)
 	if err != nil {
 		return resp, err
+	}
+	if v := cl.view; v != nil && v.migrating {
+		v.logWrite(ino, off, total)
 	}
 	// Feed the data replies' size epochs into the validated cache
 	// BEFORE deciding whether to reconcile: a foreign truncate since
@@ -1149,7 +1201,7 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 	for _, pt := range parts {
 		cl.observeResp(pt.resp)
 	}
-	if cl.pubBatch > 0 && lay != LayoutWhole && len(cl.sessions) > 1 {
+	if cl.pubBatch > 0 && lay != LayoutWhole && len(cl.members) > 1 {
 		// Batched publish mode: enqueue the new end instead of fanning
 		// an OpSetSize now; the coalesced batch flushes at the publish
 		// window or the next metadata operation. Every part retired
@@ -1173,7 +1225,7 @@ func (cl *Cluster) Write(p *sim.Proc, ino kernel.InodeID, off int64, src core.Ve
 // run coverage instead); otherwise every run must retain one replica
 // all of whose chunks are clean. On success the merged response covers
 // all `total` logical bytes.
-func (cl *Cluster) finishWriteParts(runs []run, parts []*part, total int) (*Resp, error) {
+func (cl *Cluster) finishWriteParts(ino kernel.InodeID, runs []run, parts []*part, total int) (*Resp, error) {
 	for _, pt := range parts {
 		if pt.err != nil && fabric.IsFault(pt.err) {
 			cl.markDown(pt.target)
@@ -1190,6 +1242,12 @@ func (cl *Cluster) finishWriteParts(runs []run, parts []*part, total int) (*Resp
 	}
 	if err := cl.checkRunCoverage(runs, parts); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
+	}
+	// The write succeeded; record its byte ranges in the resync journal
+	// of every excluded replica (skipped at issue or faulted above), so
+	// Reinstate can re-copy them.
+	if cl.anyDown() {
+		cl.journalRunDirty(ino, runs)
 	}
 	return &Resp{Status: StOK, Attr: mergeAttr(parts), Epoch: mergeEpoch(parts), N: uint32(total)}, nil
 }
@@ -1327,7 +1385,8 @@ func (cl *Cluster) setSizeFan(p *sim.Proc, ino kernel.InodeID, end int64, epoch 
 		cl.targetScratch = targets[:0]
 	}()
 	var firstErr error
-	for i, s := range cl.sessions {
+	for _, i := range cl.members {
+		s := cl.sessions[i]
 		if cl.down[i] || skipsServer(skip, i) {
 			continue
 		}
@@ -1393,7 +1452,7 @@ func (cl *Cluster) SetFileSize(p *sim.Proc, ino kernel.InodeID, size int64) erro
 	if lay, err = cl.maybePromote(p, ino, lay, size); err != nil {
 		return err
 	}
-	if cl.pubBatch > 0 && lay != LayoutWhole && len(cl.sessions) > 1 {
+	if cl.pubBatch > 0 && lay != LayoutWhole && len(cl.members) > 1 {
 		// A size publish IS a barrier: enqueue, then flush everything
 		// pending, so the caller's EOF is on every alive server when
 		// this returns (what ORFS write-behind's sync point needs).
@@ -1460,7 +1519,7 @@ func (cl *Cluster) stagingVec(n int) (core.Vector, error) {
 // bytes at their global offsets, which is exactly where standard
 // striping expects them.
 func (cl *Cluster) promote(p *sim.Proc, ino kernel.InodeID) error {
-	src := cl.wholeHome(ino)
+	src := cl.members[cl.wholeHome(ino)]
 	resp, err := cl.homedMeta(p, &Req{Op: OpGetattr, Ino: ino}, func() int { return cl.homeIdx(ino) })
 	if err != nil {
 		return err
@@ -1497,8 +1556,9 @@ func (cl *Cluster) promote(p *sim.Proc, ino kernel.InodeID) error {
 			owner := cl.ownerIdx(off)
 			okReplicas := 0
 			for j := 0; j < cl.replicas; j++ {
-				idx := (owner + j) % len(cl.sessions)
+				idx := cl.members[(owner+j)%len(cl.members)]
 				if cl.down[idx] {
+					cl.journalDirty(idx, ino, off, frag)
 					continue
 				}
 				if idx == src {
@@ -1509,6 +1569,7 @@ func (cl *Cluster) promote(p *sim.Proc, ino kernel.InodeID) error {
 				if werr != nil {
 					if fabric.IsFault(werr) {
 						cl.markDown(idx)
+						cl.journalDirty(idx, ino, off, frag)
 						continue
 					}
 					return werr
@@ -1548,6 +1609,8 @@ type clusterPending struct {
 	done bool
 	resp *Resp
 	err  error
+
+	gated bool // counted in the view's pending until Wait
 }
 
 // seal records the issue time once every part is out (the first part's
@@ -1586,11 +1649,12 @@ func (cp *clusterPending) Wait(p *sim.Proc) (*Resp, error) {
 			cp.resp = mergeRead(cp.parts)
 		}
 	} else {
-		cp.resp, cp.err = cp.cl.finishWriteParts(cp.runs, cp.parts, cp.want)
+		cp.resp, cp.err = cp.cl.finishWriteParts(cp.ino, cp.runs, cp.parts, cp.want)
 		for _, pt := range cp.parts {
 			cp.cl.observeResp(pt.resp)
 		}
 	}
+	cp.cl.notePendingDone(cp)
 	cp.cl.putParts(cp.parts)
 	cp.parts = nil
 	return cp.resp, cp.err
@@ -1610,6 +1674,10 @@ func (cp *clusterPending) Issued() sim.Time {
 // the Async contract) — the per-server issues here block on their own
 // windows.
 func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst core.Vector) (PendingOp, error) {
+	if err := cl.enterOp(p, false); err != nil {
+		return nil, err
+	}
+	defer cl.exitOp()
 	if off < 0 {
 		return nil, ErrInval
 	}
@@ -1638,6 +1706,7 @@ func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst cor
 		}
 		cp.parts = append(cp.parts, pt)
 		cp.seal()
+		cl.notePendingStart(cp)
 		return cp, nil
 	}
 	for _, r := range cl.runs(lay, ino, off, total) {
@@ -1654,6 +1723,7 @@ func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst cor
 		cp.parts = append(cp.parts, pt)
 	}
 	cp.seal()
+	cl.notePendingStart(cp)
 	return cp, nil
 }
 
@@ -1667,6 +1737,10 @@ func (cl *Cluster) StartRead(p *sim.Proc, ino kernel.InodeID, off int64, dst cor
 // miss, so adaptive promotion waits for the SetFileSize at the
 // writer's sync barrier.
 func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src core.Vector) (PendingOp, error) {
+	if err := cl.enterOp(p, false); err != nil {
+		return nil, err
+	}
+	defer cl.exitOp()
 	if off < 0 {
 		return nil, ErrInval
 	}
@@ -1701,6 +1775,7 @@ func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src co
 		}
 		cp.parts = append(cp.parts, pt)
 		cp.seal()
+		cl.notePendingStart(cp)
 		return cp, nil
 	}
 	// The pending outlives this call, so it gets its own copy of the
@@ -1709,7 +1784,7 @@ func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src co
 	for ri, r := range cp.runs {
 		issued := 0
 		for j := 0; j < cl.replicas; j++ {
-			idx := (r.owner + j) % len(cl.sessions)
+			idx := cl.members[(r.owner+j)%len(cl.members)]
 			if cl.down[idx] {
 				continue
 			}
@@ -1739,6 +1814,10 @@ func (cl *Cluster) StartWrite(p *sim.Proc, ino kernel.InodeID, off int64, src co
 		}
 	}
 	cp.seal()
+	cl.notePendingStart(cp)
+	if v := cl.view; v != nil && v.migrating {
+		v.logWrite(ino, off, total)
+	}
 	// The size cache is deliberately NOT updated here: sizes[ino]
 	// records "every server reconciled to this size", and an async
 	// write extends only the servers its runs touch. The next
@@ -1823,6 +1902,15 @@ func (cl *Cluster) Meta(p *sim.Proc, req *Req) (*Resp, error) {
 	if req.Op == OpRead || req.Op == OpWrite {
 		return &Resp{Status: StInval}, ErrInval
 	}
+	mut := true
+	switch req.Op {
+	case OpLookup, OpGetattr, OpReaddir:
+		mut = false
+	}
+	if err := cl.enterOp(p, mut); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	defer cl.exitOp()
 	// Pending size publishes flush before any metadata operation, so a
 	// getattr after a batched write observes the written size and a
 	// namespace mutation never reorders ahead of the publishes that
@@ -1923,8 +2011,8 @@ func (cl *Cluster) homedMeta(p *sim.Proc, req *Req, home func() int) (*Resp, err
 // is recorded as excluded — its missing answer is a degraded-mode
 // fact, not namespace divergence; it must re-sync before Reinstate.
 func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
-	if len(cl.sessions) == 1 {
-		resp, err := cl.syncMeta(p, 0, req)
+	if len(cl.members) == 1 {
+		resp, err := cl.syncMeta(p, cl.members[0], req)
 		cl.observeResp(resp)
 		cl.noteMutation(req, resp, err)
 		return resp, err
@@ -1936,7 +2024,8 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 		cl.targetScratch = targets[:0]
 	}()
 	var firstErr error
-	for i, s := range cl.sessions {
+	for _, i := range cl.members {
+		s := cl.sessions[i]
 		if cl.down[i] {
 			continue
 		}
@@ -2022,7 +2111,7 @@ func (cl *Cluster) fanout(p *sim.Proc, req *Req) (*Resp, error) {
 // fan-out and by the global operations that still fan under sharding
 // (exact size sets, truncate, layout flips).
 func (cl *Cluster) bumpAllNs() {
-	for i := range cl.nsEpochs {
+	for _, i := range cl.members {
 		cl.nsEpochs[i]++
 	}
 }
@@ -2032,9 +2121,9 @@ func (cl *Cluster) bumpAllNs() {
 // excluded members (they missed it and must resync before Reinstate);
 // everyone else's slice is untouched and their counts stay put.
 func (cl *Cluster) bumpGroupNs(owner int) {
-	n := len(cl.sessions)
+	n := len(cl.members)
 	for j := 0; j < cl.replicas; j++ {
-		cl.nsEpochs[(owner+j)%n]++
+		cl.nsEpochs[cl.members[(owner+j)%n]]++
 	}
 }
 
@@ -2052,25 +2141,34 @@ func (cl *Cluster) noteMutation(req *Req, resp *Resp, err error) {
 	case OpCreate:
 		cl.bumpAllNs()
 		cl.sizes[resp.Attr.Ino] = cl.entry(resp.Attr.Size, resp.Epoch)
+		cl.journalMutationAll(req, resp.Attr.Ino, resp.Epoch)
 	case OpMkdir, OpUnlink, OpRmdir, OpRenameLocal:
 		cl.bumpAllNs()
+		cl.journalMutationAll(req, resp.Attr.Ino, resp.Epoch)
 	case OpSetLayout:
 		// A layout flip bumps the size epoch on every server (that is
 		// what revalidates other clients' placement); a server that
 		// missed it is desynchronized like any missed exact size set.
 		cl.bumpAllNs()
+		cl.journalMutationAll(req, req.Ino, resp.Epoch)
 	case OpTruncate:
 		// Defensive: Meta translates truncates to exact OpSetSize, but a
 		// raw fan-out (MetaBatch carrying one) records the same facts.
 		cl.bumpAllNs()
 		cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
+		cl.journalMutationAll(&Req{Op: OpSetSize, Ino: req.Ino, Off: req.Off, Len: PackSetSize(true, 0)}, req.Ino, resp.Epoch)
 	case OpSetSize:
 		if exact, _ := UnpackSetSize(req.Len); exact {
 			cl.bumpAllNs()
 			cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
+			cl.journalMutationAll(req, req.Ino, resp.Epoch)
 		} else if e, ok := cl.sizes[req.Ino]; !ok || e.epoch == resp.Epoch && req.Off > e.size {
 			cl.sizes[req.Ino] = cl.entry(req.Off, resp.Epoch)
 		}
+		// Grow-mode publishes are deliberately NOT journaled: they are
+		// idempotent lower-bound facts the replayed data re-establishes,
+		// and journaling every publish would spill constantly under
+		// streaming writes.
 	}
 }
 
@@ -2088,6 +2186,10 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 	if err := validateBatch(reqs); err != nil {
 		return nil, err
 	}
+	if err := cl.enterOp(p, true); err != nil {
+		return nil, err
+	}
+	defer cl.exitOp()
 	if err := cl.flushDueSizes(p); err != nil {
 		return nil, err
 	}
@@ -2097,8 +2199,8 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 	if cl.sharded {
 		return cl.shardMetaBatch(p, reqs)
 	}
-	if len(cl.sessions) == 1 {
-		return cl.sessions[0].MetaBatch(p, reqs)
+	if len(cl.members) == 1 {
+		return cl.sessions[cl.members[0]].MetaBatch(p, reqs)
 	}
 	type share struct {
 		idx  []int // original positions
@@ -2147,7 +2249,7 @@ func (cl *Cluster) MetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			mutation[i] = true
 			track[i] = w
 			first := true
-			for s := range cl.sessions {
+			for _, s := range cl.members {
 				if cl.down[s] {
 					continue
 				}

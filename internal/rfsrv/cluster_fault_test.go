@@ -11,7 +11,6 @@ package rfsrv_test
 import (
 	"bytes"
 	"fmt"
-	"strings"
 	"testing"
 	"time"
 
@@ -314,7 +313,7 @@ func TestClusterSetSizeRetryAfterTransientFault(t *testing.T) {
 		// Let the stall clear (and its late deliveries drain), then
 		// reinstate and re-run the same write: setSizeTo must replay.
 		p.Sleep(20 * faultTimeout)
-		if err := cl.Reinstate(1); err != nil {
+		if err := cl.Reinstate(p, 1); err != nil {
 			t.Fatalf("reinstate after mutation-free exclusion: %v", err)
 		}
 		resp, err = cl.Write(p, ino, 0, vec)
@@ -576,7 +575,7 @@ func TestClusterSetSizeToExcludedHomeFansToReplicas(t *testing.T) {
 		// the replay must converge the reinstated server's local size.
 		r.servers[2].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		if err := cl.Reinstate(2); err != nil {
+		if err := cl.Reinstate(p, 2); err != nil {
 			t.Fatalf("reinstate after mutation-free exclusion: %v", err)
 		}
 		if _, err := cl.Write(p, ino, 0, vec); err != nil {
@@ -599,12 +598,12 @@ func TestClusterSetSizeToExcludedHomeFansToReplicas(t *testing.T) {
 	})
 }
 
-// TestClusterReinstateRefusesAfterMutation is the namespace-footgun
-// fix: a server that missed a fanned-out namespace mutation while
-// excluded must NOT be silently re-admitted — Reinstate returns an
-// error and keeps it excluded until the operator resyncs its backing
-// store out of band.
-func TestClusterReinstateRefusesAfterMutation(t *testing.T) {
+// TestClusterReinstateReplaysMissedMutation is the journaled-resync
+// upgrade of the namespace footgun: a server that missed a fanned-out
+// namespace mutation while excluded is no longer refused — the client
+// journaled the mutation and Reinstate replays it, so readmission
+// hands back a server whose replicated state already converged.
+func TestClusterReinstateReplaysMissedMutation(t *testing.T) {
 	r := newClusterRig(t, 2)
 	r.run(t, func(p *sim.Proc) {
 		cl := r.clusterRep(t, p, 2, testStripe, 2)
@@ -634,19 +633,24 @@ func TestClusterReinstateRefusesAfterMutation(t *testing.T) {
 
 		r.servers[1].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		err := cl.Reinstate(1)
-		if err == nil {
-			t.Fatal("Reinstate re-admitted a server that missed a namespace mutation")
+		if err := cl.Reinstate(p, 1); err != nil {
+			t.Fatalf("reinstate with a journaled mkdir: %v", err)
 		}
-		if !strings.Contains(err.Error(), "resync") {
-			t.Fatalf("refusal %q does not point at the out-of-band resync contract", err)
+		if cl.ResyncOps.N == 0 {
+			t.Fatal("reinstate replayed nothing; the missed mkdir should be journaled")
 		}
-		if down := cl.DownServers(); len(down) != 1 || down[0] != 1 {
-			t.Fatalf("down servers = %v after refused reinstate, want [1]", down)
+		if cl.ReinstateRefusals.N != 0 {
+			t.Fatalf("ReinstateRefusals = %d, want 0 (journaled replay, not refusal)", cl.ReinstateRefusals.N)
 		}
-		// The cluster keeps operating degraded.
+		if down := cl.DownServers(); len(down) != 0 {
+			t.Fatalf("down servers = %v after replayed reinstate, want none", down)
+		}
+		// The replay converged server 1: it holds the directory it missed.
+		if a, err := r.serverFS[1].Lookup(p, r.serverFS[1].Root(), "d"); err != nil || a.Kind != kernel.Directory {
+			t.Fatalf("reinstated server's replayed mkdir = %+v, %v; want a directory", a, err)
+		}
 		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: ino}); err != nil {
-			t.Fatalf("getattr after refused reinstate: %v", err)
+			t.Fatalf("getattr after replayed reinstate: %v", err)
 		}
 		assertWindowsIdle(t, cl)
 		r.checkNoLeaks(t)
@@ -715,7 +719,7 @@ func TestClusterReinstateTargetedInvalidation(t *testing.T) {
 
 		r.servers[2].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		if err := cl.Reinstate(2); err != nil {
+		if err := cl.Reinstate(p, 2); err != nil {
 			t.Fatalf("reinstate: %v", err)
 		}
 

@@ -218,10 +218,19 @@ func (cl *Cluster) flushFan(p *sim.Proc, reqs []*Req, npub int) (stale bool, err
 	}
 	starts := cl.flushStarts[:n]
 	for i := range starts {
-		starts[i] = 0
+		starts[i] = len(reqs) // non-members never receive flushes
+	}
+	for _, i := range cl.members {
 		if cl.down[i] {
-			starts[i] = len(reqs)
+			// The excluded member misses the scrubs in this flush (the
+			// grow publishes are replayable and are not journaled); record
+			// them so Reinstate reclaims the dead inodes there too.
+			for _, r := range reqs[npub:] {
+				cl.journalMut(i, r, r.Ino, 0)
+			}
+			continue
 		}
+		starts[i] = 0
 	}
 	var firstErr error
 	for {
@@ -300,15 +309,15 @@ func (cl *Cluster) flushFan(p *sim.Proc, reqs []*Req, npub int) (stale bool, err
 
 // ---- sharded routing ----
 
-// shardOwner returns the residue (= primary server index) owning an
-// inode's namespace slice: (ino-2) mod N, with the root (and the
-// pre-root 0 alias) on residue 0 — the mirror of memfs.SetInodePartition
-// minting and Server.shardResidue.
+// shardOwner returns the residue (= primary placement POSITION, an
+// index into cl.members) owning an inode's namespace slice: (ino-2)
+// mod N, with the root (and the pre-root 0 alias) on residue 0 — the
+// mirror of memfs.SetInodePartition minting and Server.shardResidue.
 func (cl *Cluster) shardOwner(ino kernel.InodeID) int {
 	if ino <= 1 {
 		return 0
 	}
-	return int((uint64(ino) - 2) % uint64(len(cl.sessions)))
+	return int((uint64(ino) - 2) % uint64(len(cl.members)))
 }
 
 // spreadResidue picks a fresh directory's residue by hashing its
@@ -319,15 +328,15 @@ func (cl *Cluster) spreadResidue(dir kernel.InodeID, name string) int {
 	for i := 0; i < len(name); i++ {
 		h = (h ^ uint64(name[i])) * 1099511628211
 	}
-	return int(h % uint64(len(cl.sessions)))
+	return int(h % uint64(len(cl.members)))
 }
 
 // groupPrimary returns the first alive member of a residue's owner
 // group, or -1 when the whole group is excluded.
 func (cl *Cluster) groupPrimary(owner int) int {
-	n := len(cl.sessions)
+	n := len(cl.members)
 	for j := 0; j < cl.replicas; j++ {
-		if k := (owner + j) % n; !cl.down[k] {
+		if k := cl.members[(owner+j)%n]; !cl.down[k] {
 			return k
 		}
 	}
@@ -375,7 +384,7 @@ func (cl *Cluster) groupRead(p *sim.Proc, owner int, req *Req) (*Resp, error) {
 // verifies the answers agree. A faulting member is excluded, never
 // counted as divergent; an entirely excluded group is an error.
 func (cl *Cluster) groupFan(p *sim.Proc, owner int, req *Req) (*Resp, error) {
-	n := len(cl.sessions)
+	n := len(cl.members)
 	flights := cl.flightScratch[:0]
 	targets := cl.targetScratch[:0]
 	defer func() {
@@ -384,7 +393,7 @@ func (cl *Cluster) groupFan(p *sim.Proc, owner int, req *Req) (*Resp, error) {
 	}()
 	var firstErr error
 	for j := 0; j < cl.replicas; j++ {
-		i := (owner + j) % n
+		i := cl.members[(owner+j)%n]
 		if cl.down[i] {
 			continue
 		}
@@ -421,6 +430,15 @@ func (cl *Cluster) groupFan(p *sim.Proc, owner int, req *Req) (*Resp, error) {
 		if base == nil {
 			base = r
 		} else if r.Status != base.Status || r.Attr.Ino != base.Attr.Ino {
+			if r.Status == StBusy || base.Status == StBusy {
+				// A rename-tainted entry mid-resolution: members still
+				// holding the prepare mark refuse with StBusy while
+				// members that already saw the abort or finalize answer
+				// from the settled state. That is the in-doubt window
+				// showing through — report busy (the caller re-drives
+				// the rename), never divergence.
+				return &Resp{Status: StBusy}, ErrBusy
+			}
 			derr := fmt.Errorf("rfsrv: owner group %d diverged on %v %q (status %d/ino %d vs %d/%d)",
 				owner, req.Op, req.Name, base.Status, base.Attr.Ino, r.Status, r.Attr.Ino)
 			return &Resp{Status: StIO}, derr
@@ -440,7 +458,7 @@ func (cl *Cluster) groupFan(p *sim.Proc, owner int, req *Req) (*Resp, error) {
 // dentry-replication round of sharded creates. Faulting members are
 // excluded; application errors win.
 func (cl *Cluster) groupFanFrom(p *sim.Proc, owner, except int, req *Req) error {
-	n := len(cl.sessions)
+	n := len(cl.members)
 	flights := cl.flightScratch[:0]
 	targets := cl.targetScratch[:0]
 	defer func() {
@@ -449,7 +467,7 @@ func (cl *Cluster) groupFanFrom(p *sim.Proc, owner, except int, req *Req) error 
 	}()
 	var firstErr error
 	for j := 0; j < cl.replicas; j++ {
-		i := (owner + j) % n
+		i := cl.members[(owner+j)%n]
 		if i == except || cl.down[i] {
 			continue
 		}
@@ -522,7 +540,12 @@ func (cl *Cluster) shardMeta(p *sim.Proc, req *Req) (*Resp, error) {
 		// A lookup's Ino is the directory and a getattr/readdir's the
 		// object itself; both route by the inode's own residue (files
 		// inherit the parent's, so the dentry's owner group answers all
-		// three).
+		// three). A directory with an in-doubt rename parked on it gets
+		// the rename re-driven first, so walks observe a settled
+		// namespace instead of StBusy marks.
+		if len(cl.renameDoubt) > 0 {
+			cl.resolveRenameDoubt(p, req.Ino)
+		}
 		return cl.groupRead(p, cl.shardOwner(req.Ino), req)
 	case OpCreate:
 		return cl.shardCreate(p, req.Ino, req.Name)
@@ -563,6 +586,12 @@ func (cl *Cluster) shardCreate(p *sim.Proc, dir kernel.InodeID, name string) (*R
 	}
 	cl.bumpGroupNs(owner)
 	cl.sizes[resp.Attr.Ino] = cl.entry(resp.Attr.Size, resp.Epoch)
+	if cl.anyDown() {
+		// Excluded group members missed the dentry: journal the
+		// idempotent replication verb (OpLink), not the minting create.
+		cl.journalGroup(owner, &Req{Op: OpLink, Ino: dir, Name: name,
+			Off: int64(resp.Attr.Ino), Len: uint32(resp.Attr.Kind)}, resp.Attr.Ino, resp.Epoch)
+	}
 	return resp, nil
 }
 
@@ -581,10 +610,17 @@ func (cl *Cluster) shardMkdir(p *sim.Proc, dir kernel.InodeID, name string) (*Re
 		return resp, err
 	}
 	cl.bumpGroupNs(owner)
+	if cl.anyDown() {
+		cl.journalGroup(owner, &Req{Op: OpLink, Ino: dir, Name: name,
+			Off: int64(resp.Attr.Ino), Len: uint32(kernel.Directory)}, resp.Attr.Ino, resp.Epoch)
+	}
 	if _, err := cl.groupFan(p, res, &Req{Op: OpMaterialize, Ino: resp.Attr.Ino, Len: uint32(kernel.Directory)}); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
 	cl.bumpGroupNs(res)
+	if cl.anyDown() {
+		cl.journalGroup(res, &Req{Op: OpMaterialize, Ino: resp.Attr.Ino, Len: uint32(kernel.Directory)}, resp.Attr.Ino, 0)
+	}
 	return resp, nil
 }
 
@@ -600,6 +636,9 @@ func (cl *Cluster) shardUnlink(p *sim.Proc, dir kernel.InodeID, name string) (*R
 		return resp, err
 	}
 	cl.bumpGroupNs(owner)
+	if cl.anyDown() {
+		cl.journalGroup(owner, &Req{Op: OpUnlink, Ino: dir, Name: name}, resp.Attr.Ino, 0)
+	}
 	if err := cl.noteUnlinkVictim(p, resp.Attr.Ino, resp.Attr.Size); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
@@ -662,11 +701,17 @@ func (cl *Cluster) shardRmdir(p *sim.Proc, dir kernel.InodeID, name string) (*Re
 		return sresp, err
 	}
 	cl.bumpGroupNs(cres)
+	if cl.anyDown() {
+		cl.journalGroup(cres, &Req{Op: OpScrub, Ino: child, Len: ScrubRequireEmptyDir}, child, 0)
+	}
 	resp, err := cl.groupFan(p, owner, &Req{Op: OpRmdir, Ino: dir, Name: name})
 	if err != nil {
 		return resp, err
 	}
 	cl.bumpGroupNs(owner)
+	if cl.anyDown() {
+		cl.journalGroup(owner, &Req{Op: OpRmdir, Ino: dir, Name: name}, child, 0)
+	}
 	delete(cl.sizes, child)
 	return resp, nil
 }
@@ -685,6 +730,10 @@ func (cl *Cluster) shardRmdir(p *sim.Proc, dir kernel.InodeID, name string) (*Re
 // namespace is in one of exactly two legal states, and re-driving the
 // same rename resolves it.
 func (cl *Cluster) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) (*Resp, error) {
+	if err := cl.enterOp(p, true); err != nil {
+		return &Resp{Status: StatusOf(err)}, err
+	}
+	defer cl.exitOp()
 	if err := cl.flushDueSizes(p); err != nil {
 		return &Resp{Status: StatusOf(err)}, err
 	}
@@ -700,6 +749,9 @@ func (cl *Cluster) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, ds
 		resp, err := cl.groupFan(p, so, local)
 		if err == nil {
 			cl.bumpGroupNs(so)
+			if cl.anyDown() {
+				cl.journalGroup(so, local, resp.Attr.Ino, 0)
+			}
 		}
 		return resp, err
 	}
@@ -723,8 +775,17 @@ func (cl *Cluster) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, ds
 		// entry stays marked and the outcome is in doubt.
 		if _, aerr := cl.groupFan(p, so, &Req{Op: OpRenameAbort, Ino: srcDir, Name: srcName}); aerr != nil {
 			cl.RenameInDoubts.Add(1)
+			cl.noteRenameDoubt(srcDir, srcName, dstDir, dstName)
 			return cresp, &RenameInDoubtError{SrcDir: srcDir, SrcName: srcName, DstDir: dstDir, DstName: dstName, Err: err}
 		}
+		// The abort only reached alive members; one excluded mid-rename
+		// may hold the prepare mark with nobody left to clear it. Journal
+		// the abort so replay lifts the mark (idempotently a no-op on
+		// members that never saw the prepare).
+		if cl.anyDown() {
+			cl.journalGroup(so, &Req{Op: OpRenameAbort, Ino: srcDir, Name: srcName}, 0, 0)
+		}
+		cl.clearRenameDoubt(srcDir, srcName, dstDir, dstName)
 		return cresp, err
 	}
 	// The rename is committed. Record the mutation on BOTH groups
@@ -734,18 +795,93 @@ func (cl *Cluster) Rename(p *sim.Proc, srcDir kernel.InodeID, srcName string, ds
 	// though the finalize below never reached it.
 	cl.bumpGroupNs(do)
 	cl.bumpGroupNs(so)
+	if cl.anyDown() {
+		cl.journalGroup(do, &Req{Op: OpLink, Ino: dstDir, Off: int64(child.Ino), Len: uint32(child.Kind), Name: dstName}, child.Ino, cresp.Epoch)
+	}
 	// Phase 3 — finalize at the source group: detach the old entry and
 	// clear the mark.
 	if _, ferr := cl.groupFan(p, so, &Req{Op: OpRenameFinalize, Ino: srcDir, Off: int64(child.Ino), Name: srcName}); ferr != nil {
 		// A member that missed the finalize still holds the orphaned
 		// marked entry. If its death was only discovered by the fan
 		// above, its exclusion snapshot postdates the bumps — bump the
-		// group again so it is refused Reinstate until resynced.
+		// group again so it is refused Reinstate until resynced, and
+		// journal the finalize it missed (the journal hook below runs
+		// after the fan precisely so newly-excluded members are seen).
 		cl.bumpGroupNs(so)
+		cl.journalGroup(so, &Req{Op: OpRenameFinalize, Ino: srcDir, Off: int64(child.Ino), Name: srcName}, child.Ino, 0)
 		cl.RenameInDoubts.Add(1)
+		cl.noteRenameDoubt(srcDir, srcName, dstDir, dstName)
 		return cresp, &RenameInDoubtError{SrcDir: srcDir, SrcName: srcName, DstDir: dstDir, DstName: dstName, Err: ferr}
 	}
+	if cl.anyDown() {
+		cl.journalGroup(so, &Req{Op: OpRenameFinalize, Ino: srcDir, Off: int64(child.Ino), Name: srcName}, child.Ino, 0)
+	}
+	cl.clearRenameDoubt(srcDir, srcName, dstDir, dstName)
 	return cresp, nil
+}
+
+// ---- in-doubt rename auto-resolution ----
+
+// inDoubtRename is one parked in-doubt rename: the exact arguments of
+// the Rename whose fate a fault hid, enough to re-drive it verbatim.
+type inDoubtRename struct {
+	srcDir  kernel.InodeID
+	srcName string
+	dstDir  kernel.InodeID
+	dstName string
+}
+
+// noteRenameDoubt parks an in-doubt rename on both directories it
+// involves, so the next walk touching either re-drives it (see
+// resolveRenameDoubt). One record per directory: renames serialize per
+// entry through the prepare marks, and a second in-doubt rename on the
+// same directory simply overwrites — the first is re-discovered by its
+// OTHER directory's key, or by the caller's own re-drive.
+func (cl *Cluster) noteRenameDoubt(srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) {
+	if cl.renameDoubt == nil {
+		cl.renameDoubt = make(map[kernel.InodeID]inDoubtRename)
+	}
+	r := inDoubtRename{srcDir: srcDir, srcName: srcName, dstDir: dstDir, dstName: dstName}
+	cl.renameDoubt[srcDir] = r
+	cl.renameDoubt[dstDir] = r
+}
+
+// clearRenameDoubt drops the parked records matching a rename that
+// reached a definitive outcome (committed and finalized, or cleanly
+// aborted).
+func (cl *Cluster) clearRenameDoubt(srcDir kernel.InodeID, srcName string, dstDir kernel.InodeID, dstName string) {
+	if len(cl.renameDoubt) == 0 {
+		return
+	}
+	r := inDoubtRename{srcDir: srcDir, srcName: srcName, dstDir: dstDir, dstName: dstName}
+	if cl.renameDoubt[srcDir] == r {
+		delete(cl.renameDoubt, srcDir)
+	}
+	if cl.renameDoubt[dstDir] == r {
+		delete(cl.renameDoubt, dstDir)
+	}
+}
+
+// resolveRenameDoubt re-drives the in-doubt rename parked on dir, if
+// any. Every rename phase is idempotent, so the re-drive lands the
+// namespace in one of its two legal settled states: success means the
+// rename went (or finally goes) forward; ErrNotFound at the re-prepare
+// means it already settled (forward, with the source entry detached —
+// or undone by a racing abort). Either way the doubt is resolved and
+// the walk proceeds against a quiet namespace. A re-drive that fails
+// any other way (the faults have not healed) keeps the record for the
+// next walk and the walk proceeds — resolution is an optimization of
+// WHEN the namespace settles, never a correctness gate for reads.
+func (cl *Cluster) resolveRenameDoubt(p *sim.Proc, dir kernel.InodeID) {
+	r, ok := cl.renameDoubt[dir]
+	if !ok {
+		return
+	}
+	_, err := cl.Rename(p, r.srcDir, r.srcName, r.dstDir, r.dstName)
+	if err == nil || errors.Is(err, kernel.ErrNotFound) {
+		cl.clearRenameDoubt(r.srcDir, r.srcName, r.dstDir, r.dstName)
+		cl.RenameAutoResolves.Add(0)
+	}
 }
 
 // ---- sharded batching ----
@@ -766,7 +902,7 @@ func (cl *Cluster) shardMetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			return cl.metaBatchSequential(p, reqs)
 		}
 	}
-	n := len(cl.sessions)
+	n := len(cl.members)
 	type share struct {
 		idx  []int
 		reqs []*Req
@@ -774,7 +910,7 @@ func (cl *Cluster) shardMetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 		fl   *batchFlight
 		end  int
 	}
-	shares := make([]share, n)
+	shares := make([]share, len(cl.sessions))
 	// track remembers, per original position, the mutation's owner
 	// residue (-1 for reads) and primary, for the post-batch rounds.
 	type mut struct {
@@ -816,7 +952,7 @@ func (cl *Cluster) shardMetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 			// share carries the same *Req (batches start sequentially
 			// and every start fully encodes — see startBatchFlight).
 			for j := 0; j < cl.replicas; j++ {
-				k := (owner + j) % n
+				k := cl.members[(owner+j)%n]
 				if cl.down[k] {
 					continue
 				}
@@ -896,17 +1032,23 @@ func (cl *Cluster) shardMetaBatch(p *sim.Proc, reqs []*Req) ([]*Resp, error) {
 		}
 		switch r.Op {
 		case OpCreate:
+			link := Req{Op: OpLink, Ino: r.Ino, Name: r.Name,
+				Off: int64(out[i].Attr.Ino), Len: uint32(out[i].Attr.Kind)}
 			if cl.replicas > 1 {
-				link := Req{Op: OpLink, Ino: r.Ino, Name: r.Name,
-					Off: int64(out[i].Attr.Ino), Len: uint32(out[i].Attr.Kind)}
 				if err := cl.groupFanFrom(p, m.owner, m.primary, &link); err != nil {
 					return out, err
 				}
 			}
 			cl.bumpGroupNs(m.owner)
+			if cl.anyDown() {
+				cl.journalGroup(m.owner, &link, out[i].Attr.Ino, out[i].Epoch)
+			}
 			cl.sizes[out[i].Attr.Ino] = cl.entry(out[i].Attr.Size, out[i].Epoch)
 		case OpUnlink:
 			cl.bumpGroupNs(m.owner)
+			if cl.anyDown() {
+				cl.journalGroup(m.owner, r, out[i].Attr.Ino, 0)
+			}
 			if err := cl.noteUnlinkVictim(p, out[i].Attr.Ino, out[i].Attr.Size); err != nil {
 				return out, err
 			}

@@ -33,6 +33,7 @@ type clusterRig struct {
 	clientMX *mx.MX
 	servers  []*hw.Node
 	serverFS []*memfs.FS
+	rsrv     []*rfsrv.Server // handles for SetResyncPeers
 }
 
 func newClusterRig(t *testing.T, nServers int) *clusterRig {
@@ -50,6 +51,7 @@ func newClusterRig(t *testing.T, nServers int) *clusterRig {
 		}
 		r.servers = append(r.servers, n)
 		r.serverFS = append(r.serverFS, fs)
+		r.rsrv = append(r.rsrv, srv)
 	}
 	return r
 }

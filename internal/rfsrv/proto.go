@@ -106,6 +106,19 @@ const (
 	// share an owner group, and by unsharded replicated clusters and
 	// single-server sessions, where every server can apply it locally.
 	OpRenameLocal
+	// OpMember commits a new membership view on a server (DESIGN.md
+	// §13): Off carries the new membership epoch, Len the server's
+	// placement position/count/replication packed by PackMember, and —
+	// in sharded mode — Ino carries the mint floor every server must
+	// raise its inode cursor past so inodes minted under the new
+	// geometry can never collide with ones minted under the old.
+	OpMember
+	// OpSyncEpoch is the resync-only epoch alignment op: it sets the
+	// server's size epoch for Ino to Off so a journal replay can land an
+	// epoch-bumping mutation (exact OpSetSize, OpTruncate, OpSetLayout)
+	// at exactly the epoch the rest of the cluster recorded for it.
+	// Only Reinstate's replay engine issues it.
+	OpSyncEpoch
 )
 
 var opNames = map[Op]string{
@@ -116,6 +129,25 @@ var opNames = map[Op]string{
 	OpLink: "link", OpMaterialize: "materialize", OpScrub: "scrub",
 	OpRenamePrepare: "renameprepare", OpRenameFinalize: "renamefinalize",
 	OpRenameAbort: "renameabort", OpRenameLocal: "renamelocal",
+	OpMember: "member", OpSyncEpoch: "syncepoch",
+}
+
+// PackMember builds the Len field of an OpMember request: the server's
+// position in the new placement order (7 bits), the new member count
+// (7 bits), the replication factor (7 bits), and a sharded-geometry
+// flag telling the server to swap its §11 ownership map and minting
+// partition along with the epoch.
+func PackMember(pos, n, r int, sharded bool) uint32 {
+	l := uint32(pos&0x7f) | uint32(n&0x7f)<<7 | uint32(r&0x7f)<<14
+	if sharded {
+		l |= 1 << 21
+	}
+	return l
+}
+
+// UnpackMember is the inverse of PackMember.
+func UnpackMember(l uint32) (pos, n, r int, sharded bool) {
+	return int(l & 0x7f), int(l >> 7 & 0x7f), int(l >> 14 & 0x7f), l&(1<<21) != 0
 }
 
 // ScrubRequireEmptyDir is the OpScrub Len bit that turns the scrub
@@ -220,6 +252,14 @@ const setSizeExactBit = 1 << 31
 // staleness check by equality, valid over any realistic epoch window.
 const SetSizeEpochMask = 1<<31 - 1
 
+// MemberEpochShift positions the membership-view epoch inside the
+// 64-bit reply epoch slot: the top 16 bits carry the member epoch, the
+// low 48 the inode's size epoch (Resp.MemberEpoch).
+const MemberEpochShift = 48
+
+// SizeEpochMask selects the size-epoch bits of the reply epoch slot.
+const SizeEpochMask = 1<<MemberEpochShift - 1
+
 // PackSetSize builds the Len field of an OpSetSize request from the
 // mode and the writer's observed size epoch. The epoch rides in the
 // request so the server can refuse to act on a stale view of the file
@@ -277,6 +317,12 @@ var (
 	// until it lands the conflict is a typed refusal, not silent
 	// misbehavior. errors.Is(err, ErrShardLayoutConflict) matches.
 	ErrShardLayoutConflict = errors.New("rfsrv: sharded namespace and per-file layout policy are mutually exclusive")
+	// ErrStaleMembership reports that a reply carried a membership-view
+	// epoch newer than the client's and the client has no shared
+	// MemberView to adopt the new placement from: its routing is wrong
+	// for the cluster's current geometry and every further operation is
+	// refused until it attaches a current view (DESIGN.md §13).
+	ErrStaleMembership = errors.New("rfsrv: membership view is stale")
 )
 
 // RenameInDoubtError reports a cross-owner rename whose outcome the
@@ -475,6 +521,13 @@ type Resp struct {
 	// changed no message length and no fault-free timing; a decoded
 	// Attr.Version is therefore always zero.
 	Epoch uint64
+	// MemberEpoch is the server's membership-view epoch (DESIGN.md
+	// §13). On the wire it rides in the top MemberEpochBits of the
+	// 64-bit epoch slot — size epochs stay far below 2^48 over any
+	// realistic run — so, like Epoch and Layout before it, carrying it
+	// changed no message length, and a static-membership cluster
+	// (member epoch 0) stays bit-identical on the wire.
+	MemberEpoch uint64
 	// Layout is the stripe-layout class of the inode Attr describes
 	// (DESIGN.md §10). On the wire it rides in the high nibble of the
 	// kind byte — file kinds never exceeded the low nibble — so, like
@@ -521,7 +574,7 @@ func EncodeRespInto(dst []byte, r *Resp) ([]byte, error) {
 	binary.LittleEndian.PutUint64(out[12:], uint64(r.Attr.Ino))
 	out[20] = byte(r.Attr.Kind) | byte(r.Layout)<<4
 	binary.LittleEndian.PutUint64(out[21:], uint64(r.Attr.Size))
-	binary.LittleEndian.PutUint64(out[29:], r.Epoch)
+	binary.LittleEndian.PutUint64(out[29:], r.Epoch&SizeEpochMask|r.MemberEpoch<<MemberEpochShift)
 	binary.LittleEndian.PutUint32(out[37:], r.N)
 	binary.LittleEndian.PutUint16(out[41:], uint16(len(r.Entries)))
 	at := respFixed
@@ -548,9 +601,10 @@ func DecodeResp(b []byte) (*Resp, error) {
 			Kind: kernel.FileKind(b[20] & 0xf),
 			Size: int64(binary.LittleEndian.Uint64(b[21:])),
 		},
-		Epoch:  binary.LittleEndian.Uint64(b[29:]),
-		Layout: LayoutClass(b[20] >> 4),
-		N:      binary.LittleEndian.Uint32(b[37:]),
+		Epoch:       binary.LittleEndian.Uint64(b[29:]) & SizeEpochMask,
+		MemberEpoch: binary.LittleEndian.Uint64(b[29:]) >> MemberEpochShift,
+		Layout:      LayoutClass(b[20] >> 4),
+		N:           binary.LittleEndian.Uint32(b[37:]),
 	}
 	count := int(binary.LittleEndian.Uint16(b[41:]))
 	pos := respFixed

@@ -74,6 +74,13 @@ type Server struct {
 	sfs      ShardBackingFS
 	renames  map[renameKey]renameMark
 
+	// member is the membership-view epoch this server last committed
+	// (OpMember, DESIGN.md §13), stamped into every reply's epoch slot
+	// so clients routing under an older view find out on their next
+	// round trip. Zero for the fixed-membership clusters every
+	// pre-elastic test and figure builds.
+	member uint64
+
 	// Requests counts served operations; Batched counts requests that
 	// arrived packed behind another in one message (§3.3-style
 	// combining, client side).
@@ -261,6 +268,23 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		err = s.handleRenameAbort(p, ino, req)
 	case OpRenameLocal:
 		resp.Attr, err = s.handleRenameLocal(p, ino, req)
+	case OpMember:
+		err = s.handleMember(p, req)
+	case OpSyncEpoch:
+		// Resync-only epoch alignment (see the opcode): set the inode's
+		// size epoch so the replayed mutation that follows lands at the
+		// epoch the rest of the cluster recorded.
+		if req.Off < 0 {
+			err = ErrInval
+			break
+		}
+		s.materializeOnDemand(p, ino, kernel.RegularFile)
+		if req.Off == 0 {
+			delete(s.epochs, ino)
+		} else {
+			s.epochs[ino] = uint64(req.Off)
+		}
+		resp.Attr, err = s.fs.Getattr(p, ino)
 	default:
 		err = fmt.Errorf("rfsrv: bad op %v", req.Op)
 	}
@@ -276,7 +300,36 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		resp.Epoch = s.epochs[ino]
 		resp.Layout = s.layouts[ino]
 	}
+	resp.MemberEpoch = s.member
 	return resp
+}
+
+// handleMember commits a new membership view on this server
+// (DESIGN.md §13): it adopts the epoch for reply stamping and, in
+// sharded mode, swaps the §11 ownership geometry and re-bases the
+// backing store's minting partition past the mint floor so inodes
+// minted under the new geometry route by (ino−2) mod N and never
+// collide with old ones.
+func (s *Server) handleMember(p *sim.Proc, req *Req) error {
+	pos, n, r, sharded := UnpackMember(req.Len)
+	if req.Off < 0 || n <= 0 || r <= 0 || r > n || pos >= n {
+		return ErrInval
+	}
+	s.member = uint64(req.Off)
+	if !sharded {
+		return nil
+	}
+	if s.sfs == nil {
+		return ErrInval // sharded commit needs a shard-capable backing store
+	}
+	s.shard = true
+	s.shardIdx, s.shardN, s.shardR = pos, n, r
+	if pf, ok := s.fs.(interface {
+		SetInodePartitionFloor(index, count int, floor kernel.InodeID)
+	}); ok {
+		pf.SetInodePartitionFloor(pos, n, req.Ino)
+	}
+	return nil
 }
 
 // handleSetSize executes the size-coherence operation: a grow-only
@@ -372,6 +425,7 @@ func (s *Server) readExtents(p *sim.Proc, req *Req) (*Resp, []mem.Extent) {
 	resp.Attr = attr
 	resp.Epoch = s.epochs[req.Ino]
 	resp.Layout = s.layouts[req.Ino]
+	resp.MemberEpoch = s.member
 	return resp, mem.MergeExtents(xs)
 }
 
@@ -397,6 +451,7 @@ func (s *Server) handleWrite(p *sim.Proc, req *Req, src core.Vector) *Resp {
 	// and the layout class along with it.
 	resp.Epoch = s.epochs[req.Ino]
 	resp.Layout = s.layouts[req.Ino]
+	resp.MemberEpoch = s.member
 	return resp
 }
 

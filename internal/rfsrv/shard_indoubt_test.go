@@ -1,19 +1,18 @@
 package rfsrv_test
 
 // In-doubt rename resolution under replicated ownership (DESIGN.md
-// §11, §12): both kill points of the three-phase rename driven to
+// §11–§13): both kill points of the three-phase rename driven to
 // ErrRenameInDoubt with R=2 owner groups, asserting the namespace
-// lands in exactly one of the two legal states and that re-driving
-// the SAME rename — from the same client after readmission, or from a
-// fresh observer with no exclusion history — collapses it. Plus the
-// §11 walk transient (one inode visible under both names while the
-// source cleanup lags, with the marked entry refusing mutation), and
-// the sharding/layout-policy composition pin (ErrShardLayoutConflict
-// in both orders, through the knapi alias too).
+// lands in exactly one of the two legal states and that it collapses
+// — by re-driving the SAME rename, or by Reinstate replaying the
+// journaled finalize the lagging members missed. Plus the §11 walk
+// transient (one inode visible under both names while the source
+// cleanup lags, with the marked entry refusing mutation), and the
+// sharding/layout-policy composition pin (ErrShardLayoutConflict in
+// both orders, through the knapi alias too).
 
 import (
 	"errors"
-	"strings"
 	"testing"
 	"time"
 
@@ -123,7 +122,7 @@ func TestShardRenameInDoubtAbortFaultStateA(t *testing.T) {
 		}
 		p.Sleep(2 * faultTimeout)
 		for i := range r.servers {
-			if err := cl.Reinstate(i); err != nil {
+			if err := cl.Reinstate(p, i); err != nil {
 				t.Fatalf("reinstate server %d after state-A in-doubt: %v", i, err)
 			}
 		}
@@ -155,10 +154,10 @@ func TestShardRenameInDoubtAbortFaultStateA(t *testing.T) {
 // TestShardRenameInDoubtFinalizeFaultStateB drives the SECOND in-doubt
 // kill point under R=2: the commit applies at the destination group
 // but the whole source group dies before the finalize — state B with
-// the source cleanup lagging on BOTH members. The issuing client must
-// refuse to readmit either source member (their slice mutated behind
-// them), and a fresh observer client re-driving the same rename rides
-// the idempotent commit to collapse the namespace.
+// the source cleanup lagging on BOTH members. The issuing client
+// journaled the missed finalize for each, so Reinstate replays it and
+// both members readmit with their lagging entries detached; a fresh
+// observer then sees only the settled committed state.
 func TestShardRenameInDoubtFinalizeFaultStateB(t *testing.T) {
 	r := newShardRig(t, 4, 2)
 	r.run(t, func(p *sim.Proc) {
@@ -197,33 +196,37 @@ func TestShardRenameInDoubtFinalizeFaultStateB(t *testing.T) {
 			}
 		}
 
-		// Both source members missed the finalize of a committed
-		// rename: the issuing client must demand a resync for each.
+		// Both source members missed the finalize of a committed rename,
+		// and the issuing client journaled it for each: readmission
+		// replays the cleanup instead of refusing.
 		r.servers[1].NIC.Revive()
 		r.servers[2].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
 		for _, i := range []int{1, 2} {
-			err := cl.Reinstate(i)
-			if err == nil || !strings.Contains(err.Error(), "resync") {
-				t.Fatalf("reinstate lagging source member %d = %v, want resync refusal", i, err)
+			if err := cl.Reinstate(p, i); err != nil {
+				t.Fatalf("reinstate lagging source member %d (journaled finalize): %v", i, err)
 			}
 		}
-		if cl.ReinstateRefusals.N != 2 {
-			t.Fatalf("ReinstateRefusals = %d, want 2", cl.ReinstateRefusals.N)
+		if cl.ReinstateRefusals.N != 0 {
+			t.Fatalf("ReinstateRefusals = %d, want 0 (journaled replay, not refusal)", cl.ReinstateRefusals.N)
 		}
-
-		// A fresh observer (no exclusion history) re-drives the same
-		// rename: prepare answers idempotently from the marks, the
-		// commit is an idempotent no-op on the already-linked entry,
-		// the finalize detaches and unmarks — the doubt collapses.
-		obs := r.shardObserver(t, p, 2)
-		if _, err := obs.Rename(p, src, "f", dst, "g"); err != nil {
-			t.Fatalf("observer re-drive: %v", err)
+		if cl.ResyncOps.N != 2 {
+			t.Fatalf("ResyncOps = %d, want 2 (one finalize per lagging member)", cl.ResyncOps.N)
 		}
 		for _, i := range []int{1, 2} {
 			if _, err := r.serverFS[i].Lookup(p, src, "f"); !errors.Is(err, kernel.ErrNotFound) {
-				t.Fatalf("source member %d kept the entry after the observer re-drive (err=%v)", i, err)
+				t.Fatalf("source member %d kept the entry after the replayed finalize (err=%v)", i, err)
 			}
+		}
+
+		// A fresh observer (no exclusion history, no doubt record) walks
+		// a settled namespace: only the committed state is visible.
+		obs := r.shardObserver(t, p, 2)
+		if a, err := obs.Meta(p, &rfsrv.Req{Op: rfsrv.OpLookup, Ino: dst, Name: "g"}); err != nil || a.Attr.Ino != fino {
+			t.Fatalf("observer lookup of the committed name = %+v, %v; want ino %d", a, err, fino)
+		}
+		if _, err := obs.Meta(p, &rfsrv.Req{Op: rfsrv.OpLookup, Ino: src, Name: "f"}); !errors.Is(err, kernel.ErrNotFound) {
+			t.Fatalf("observer still sees the old name (err=%v), want ErrNotFound", err)
 		}
 		assertWindowsIdle(t, obs)
 		r.checkNoLeaks(t)

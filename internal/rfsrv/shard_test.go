@@ -1,18 +1,18 @@
 package rfsrv_test
 
-// Fault-injected tests for the sharded namespace (DESIGN.md §11): the
-// three-phase cross-owner rename killed on either side of its commit
-// point (asserting the namespace lands in exactly one of the two legal
-// states, and that Reinstate admits or refuses the victim correctly),
-// owner-group failover to a replica member, the ownership-scoped
-// Reinstate contract (a foreign slice churning does not block a clean
-// readmission), and the batched size-publish flush across a kill —
-// all with window-idle and pool-leak assertions on the new paths.
+// Fault-injected tests for the sharded namespace (DESIGN.md §11, §13):
+// the three-phase cross-owner rename killed on either side of its
+// commit point (asserting the namespace lands in exactly one of the
+// two legal states, and that Reinstate replays what the victim missed
+// before re-admitting it), owner-group failover to a replica member,
+// the ownership-scoped Reinstate contract (a foreign slice churning
+// journals nothing; an owned slice churning replays), and the batched
+// size-publish flush across a kill — all with window-idle and
+// pool-leak assertions on the new paths.
 
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"testing"
 	"time"
 
@@ -46,6 +46,7 @@ func newShardRig(t *testing.T, nServers, replicas int) *clusterRig {
 		}
 		r.servers = append(r.servers, n)
 		r.serverFS = append(r.serverFS, fs)
+		r.rsrv = append(r.rsrv, srv)
 	}
 	return r
 }
@@ -125,7 +126,7 @@ func TestShardRenameDestKillPreCommit(t *testing.T) {
 		// cleanly — and the re-driven rename completes.
 		r.servers[2].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		if err := cl.Reinstate(2); err != nil {
+		if err := cl.Reinstate(p, 2); err != nil {
 			t.Fatalf("reinstate unmutated destination owner: %v", err)
 		}
 		if _, err := cl.Rename(p, src, "f", dst, "g"); err != nil {
@@ -148,8 +149,9 @@ func TestShardRenameDestKillPreCommit(t *testing.T) {
 // finalize faults, so the client must surface *RenameInDoubtError with
 // the rename's coordinates, the namespace must be in the committed
 // state (destination linked, source cleanup lagging), and the dead
-// source — holding an orphaned marked entry — must be REFUSED
-// Reinstate until resynced.
+// source — holding an orphaned marked entry — journals the missed
+// finalize, so Reinstate REPLAYS it: readmission detaches the lagging
+// entry instead of refusing.
 func TestShardRenameSourceKillInDoubt(t *testing.T) {
 	r := newShardRig(t, 4, 1)
 	r.run(t, func(p *sim.Proc) {
@@ -194,13 +196,30 @@ func TestShardRenameSourceKillInDoubt(t *testing.T) {
 			t.Fatalf("state B: dead source lost its lagging entry: %v", srcErr)
 		}
 
-		// The source missed the finalize: its slice is behind the
-		// committed rename, so readmission must demand a resync.
+		// The source missed the finalize, but the client journaled it:
+		// readmission replays the cleanup instead of refusing, and the
+		// lagging entry detaches.
 		r.servers[1].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		err = cl.Reinstate(1)
-		if err == nil || !strings.Contains(err.Error(), "resync") {
-			t.Fatalf("reinstate of the lagging source = %v, want resync refusal", err)
+		if err := cl.Reinstate(p, 1); err != nil {
+			t.Fatalf("reinstate of the lagging source (journaled finalize): %v", err)
+		}
+		if cl.ResyncOps.N == 0 {
+			t.Fatal("reinstate replayed nothing; the missed finalize should be journaled")
+		}
+		if _, err := r.serverFS[1].Lookup(p, src, "f"); !errors.Is(err, kernel.ErrNotFound) {
+			t.Fatalf("source entry survived the replayed finalize (err=%v)", err)
+		}
+		if len(cl.DownServers()) != 0 {
+			t.Fatalf("down servers = %v after replayed reinstate, want none", cl.DownServers())
+		}
+		// The parked doubt auto-resolves on the next walk: the re-driven
+		// rename finds the source already settled.
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpReaddir, Ino: src}); err != nil {
+			t.Fatalf("readdir after reinstate: %v", err)
+		}
+		if cl.RenameAutoResolves.N != 1 {
+			t.Fatalf("RenameAutoResolves = %d, want 1", cl.RenameAutoResolves.N)
 		}
 		assertWindowsIdle(t, cl)
 		r.checkNoLeaks(t)
@@ -272,8 +291,10 @@ func TestShardOwnerFailoverToReplica(t *testing.T) {
 // TestShardReinstateScopedToOwnedSlice is the ownership-scoped half of
 // the Reinstate contract: with R=2 over 3 servers, server 1 belongs to
 // the residue-0 and residue-1 owner groups but not residue 2. Churning
-// a residue-2 directory while server 1 is excluded must NOT block its
-// readmission; churning a residue-1 directory must.
+// a residue-2 directory while server 1 is excluded journals nothing
+// for it (readmission replays zero operations); churning a residue-1
+// directory journals every missed mutation, and readmission replays
+// them all before re-admitting.
 func TestShardReinstateScopedToOwnedSlice(t *testing.T) {
 	r := newShardRig(t, 3, 2)
 	r.run(t, func(p *sim.Proc) {
@@ -305,13 +326,16 @@ func TestShardReinstateScopedToOwnedSlice(t *testing.T) {
 		churn(foreign, "x")
 		r.servers[1].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		if err := cl.Reinstate(1); err != nil {
+		if err := cl.Reinstate(p, 1); err != nil {
 			t.Fatalf("reinstate after foreign-slice churn: %v", err)
+		}
+		if cl.ResyncOps.N != 0 {
+			t.Fatalf("foreign-slice churn journaled %d op(s) for server 1; its journal should be empty", cl.ResyncOps.N)
 		}
 
 		// Round 2: same exclusion, but the churn lands on a directory
 		// server 1 co-owns — its slice mutated behind its back, so the
-		// readmission must demand a resync.
+		// readmission replays the journaled churn before re-admitting.
 		r.servers[1].NIC.Kill()
 		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpGetattr, Ino: owned}); err != nil {
 			t.Fatalf("getattr observing the second kill: %v", err)
@@ -319,9 +343,18 @@ func TestShardReinstateScopedToOwnedSlice(t *testing.T) {
 		churn(owned, "y")
 		r.servers[1].NIC.Revive()
 		p.Sleep(2 * faultTimeout)
-		err := cl.Reinstate(1)
-		if err == nil || !strings.Contains(err.Error(), "resync") {
-			t.Fatalf("reinstate after owned-slice churn = %v, want resync refusal", err)
+		if err := cl.Reinstate(p, 1); err != nil {
+			t.Fatalf("reinstate after owned-slice churn (journaled): %v", err)
+		}
+		if cl.ResyncOps.N != 6 {
+			t.Fatalf("ResyncOps = %d after owned-slice churn replay, want 6 (3 creates + 3 unlinks)", cl.ResyncOps.N)
+		}
+		// The replay converged server 1's slice: the churn's entries came
+		// and went, so nothing y-named survives anywhere.
+		for k := 0; k < 3; k++ {
+			if _, err := r.serverFS[1].Lookup(p, owned, fmt.Sprintf("y%d", k)); !errors.Is(err, kernel.ErrNotFound) {
+				t.Fatalf("replayed churn left y%d on server 1 (err=%v)", k, err)
+			}
 		}
 		assertWindowsIdle(t, cl)
 		r.checkNoLeaks(t)

@@ -43,10 +43,6 @@ type tClient struct {
 	files   []*fileModel
 	inDoubt []*inDoubtRename
 
-	// sharedStale[k] marks servers this client's region of shared file
-	// k may be stale on (written to while the server was excluded).
-	sharedStale []uint64
-
 	// downSeen mirrors which exclusions were already accounted;
 	// exclMut[s] is the client's mutation count just before the
 	// operation that discovered s's fault — a Reinstate refusal is only
@@ -56,7 +52,7 @@ type tClient struct {
 	mutCount int
 
 	ops, reads, writes, creates, unlinks, renames, readdirs, truncates, getattrs, seeks int
-	maybeEntries, staleSkips                                                            int
+	maybeEntries, staleSkips, busyRefusals                                              int
 }
 
 // run is the client proc: setup, barrier, op storm, barrier, end
@@ -118,11 +114,29 @@ func (c *tClient) buildCluster(p *sim.Proc, epBase int) (*rfsrv.Cluster, error) 
 	if err := cl.EnableShardedNamespace(); err != nil {
 		return nil, err
 	}
+	// Peers let a spilled resync journal fall back to full-slice resync
+	// instead of refusing the reinstate outright.
+	if err := cl.SetResyncPeers(c.st.servers); err != nil {
+		return nil, err
+	}
+	// Under Config.Elastic every view (including the end-of-run
+	// observer's) follows the operator's membership epochs; a viewless
+	// cluster would refuse operations the moment a reply stamped an
+	// epoch a bounce advanced.
+	if c.st.memberView != nil {
+		cl.AttachView(c.st.memberView)
+	}
 	return cl, nil
 }
 
 func (c *tClient) setup(p *sim.Proc) bool {
 	st, cfg := c.st, c.st.cfg
+	for cfg.Elastic && st.memberView == nil && !st.failed() {
+		p.Sleep(tick) // the operator publishes the shared view first
+	}
+	if st.failed() {
+		return false
+	}
 	var err error
 	if c.cl, err = c.buildCluster(p, 10); err != nil {
 		st.failf(-1, -1, "", "c%d: cluster setup: %v", c.idx, err)
@@ -145,7 +159,6 @@ func (c *tClient) setup(p *sim.Proc) bool {
 	c.scratch = make([]byte, c.bufCap)
 	c.downSeen = make([]bool, cfg.Servers)
 	c.exclMut = make(map[int]int)
-	c.sharedStale = make([]uint64, len(st.shared))
 
 	for k := 0; k < dirsPerClient; k++ {
 		name := fmt.Sprintf("c%dd%d", c.idx, k)
@@ -276,94 +289,46 @@ func (c *tClient) noteExclusions(preMut int) {
 }
 
 // tryReinstates offers every excluded server whose NIC is healthy back
-// to the cluster. An admission triggers data repair (ModeData); a
-// refusal is only legal if this client mutated something since the
-// exclusion snapshot — that is the Reinstate contract under test.
+// to the cluster. An admission means the resync journal replayed (or a
+// spilled journal full-resynced through the peers) and the server is
+// exact again, so the model drops every stale-member allowance it held
+// for the slot. A refusal is only legal when there was something to
+// resync — a model mutation since the exclusion snapshot, or a
+// non-empty journal (replay aborts on concurrent transport faults and
+// is retried later): refusing a clean re-admission is a bug.
 func (c *tClient) tryReinstates(p *sim.Proc) {
 	for _, s := range c.cl.DownServers() {
 		if c.st.nicDown[s] {
 			continue
 		}
-		if err := c.cl.Reinstate(s); err != nil {
-			if c.mutCount == c.exclMut[s] {
-				c.st.failf(-1, -1, "", "c%d: reinstate of %d refused (%v) with no mutation since its exclusion", c.idx, s, err)
+		if err := c.cl.Reinstate(p, s); err != nil {
+			if c.mutCount == c.exclMut[s] && c.cl.JournalOps(s) == 0 &&
+				c.cl.JournalBytes(s) == 0 && !c.cl.JournalSpilled(s) {
+				c.st.failf(-1, -1, "", "c%d: reinstate of %d refused (%v) with nothing to resync", c.idx, s, err)
 				return
 			}
 			continue
 		}
 		c.downSeen[s] = false
 		delete(c.exclMut, s)
-		if c.st.cfg.Mode == ModeData {
-			c.repairAfterAdmit(p, s)
-		}
-		if c.st.failed() {
-			return
-		}
+		c.admitExact(s)
 	}
 }
 
-// repairAfterAdmit rewrites (from the shadow) every file whose data
-// the readmitted server may have missed: Reinstate only repairs size
-// knowledge, the documented operator contract for data is re-driving
-// the writes — which is exactly what this does.
-func (c *tClient) repairAfterAdmit(p *sim.Proc, s int) {
+// admitExact drops every stale-member allowance the model held for a
+// readmitted slot: Reinstate's journal replay re-applied the namespace
+// mutations and re-copied the dirty data stripes the server missed, so
+// from here on the member must answer exactly — lagged transitions
+// clear. This is the harness's end-to-end assertion that replay
+// actually converged the server: any byte or entry it still gets wrong
+// is caught by the very next check that routes to it.
+func (c *tClient) admitExact(s int) {
 	bit := uint64(1) << uint(s)
-	for _, f := range c.files {
-		if f.staleOn&bit == 0 {
-			continue
+	for _, d := range c.dirs {
+		for _, name := range d.names {
+			d.entries[name].lag &^= bit
 		}
-		f.staleOn &^= bit
-		if f.size() == 0 {
-			continue
-		}
-		n := int(f.size())
-		if !c.writeThrough(p, f.ino, 0, f.data, f.handle, "repair") {
-			return
-		}
-		_ = n
-		f.staleOn |= c.downBits()
 	}
-	stripe := int64(c.st.cfg.Stripe)
-	for k, sf := range c.st.shared {
-		if c.sharedStale[k]&bit == 0 {
-			continue
-		}
-		c.sharedStale[k] &^= bit
-		for sf.eraLock && !c.st.failed() {
-			p.Sleep(tick) // an in-flight truncation resets the region anyway
-		}
-		if c.st.failed() {
-			return
-		}
-		sf.busy++
-		if own := sf.ownEnd[c.idx]; own > 0 {
-			base := sf.base(c.idx, stripe)
-			if !c.writeThrough(p, sf.ino, base, sf.regions[c.idx][:own], sf.handle, "shared repair") {
-				sf.busy--
-				return
-			}
-			c.sharedStale[k] |= c.downBits()
-		}
-		sf.busy--
-	}
-}
-
-// writeThrough issues one cluster write that must fully succeed
-// (ModeData invariant); the bytes are NOT logged — callers either log
-// them separately or are replaying content the oracle already has.
-func (c *tClient) writeThrough(p *sim.Proc, ino kernel.InodeID, off int64, data []byte, handle int, what string) bool {
-	n := len(data)
-	copy(c.scratch[:n], data)
-	if err := c.node.Kernel.WriteBytes(c.wva, c.scratch[:n]); err != nil {
-		c.st.failf(handle, -1, "", "c%d: %s buffer: %v", c.idx, what, err)
-		return false
-	}
-	resp, err := c.cl.Write(p, ino, off, c.vec(c.wva, n))
-	if err != nil || int(resp.N) != n {
-		c.st.failf(handle, -1, "", "c%d: %s write [%d,+%d) on f%d: n=%d err=%v", c.idx, what, off, n, handle, resp.N, err)
-		return false
-	}
-	return true
 }
 
 // ---------------------------------------------------------------- ModeData
@@ -449,7 +414,6 @@ func (c *tClient) opWrite(p *sim.Proc, opIdx int) {
 	}
 	copy(f.data[off:], c.scratch[:n])
 	f.pos = off + int64(n)
-	f.staleOn |= c.downBits()
 	c.st.record(OpRecord{Client: c.idx, Kind: OpWrite, File: f.handle, Off: off, Len: n, FillTag: tag})
 }
 
@@ -793,7 +757,6 @@ func (c *tClient) opSharedWrite(p *sim.Proc, opIdx int) {
 	if end := off - base + int64(n); end > sf.ownEnd[c.idx] {
 		sf.ownEnd[c.idx] = end
 	}
-	c.sharedStale[k] |= c.downBits()
 	c.st.record(OpRecord{Client: c.idx, Kind: OpWrite, File: sf.handle, Off: off, Len: n, FillTag: tag})
 }
 
@@ -922,7 +885,7 @@ func (c *tClient) nsCreate(p *sim.Proc) {
 
 func (c *tClient) nsUnlink(p *sim.Proc) {
 	st := c.st
-	d, e := c.pickNSEntry(func(e *entryModel) bool { return e.state == stPresent && !e.tainted && e.kind == kernel.RegularFile })
+	d, e := c.pickNSEntry(func(e *entryModel) bool { return e.state == stPresent && e.kind == kernel.RegularFile })
 	if d == nil {
 		return
 	}
@@ -934,8 +897,18 @@ func (c *tClient) nsUnlink(p *sim.Proc) {
 	switch {
 	case err == nil:
 		e.state = stAbsent
+		e.tainted = false // definitively gone: any stray marks went with it
 		e.lag |= c.downBits() & c.groupMask(d.res)
 		st.record(OpRecord{Client: c.idx, Kind: OpUnlink, Dir: d.handle, Name: e.name, File: e.handle})
+	case errors.Is(err, rfsrv.ErrBusy):
+		// Stray prepare marks from this entry's faulted rename answered
+		// StBusy on part of the owner group — the in-doubt window
+		// showing through, not divergence. Nothing changed.
+		if !e.tainted {
+			st.failf(e.handle, d.handle, e.name, "c%d: unlink %s/%s refused busy but no rename ever tainted it", c.idx, d.name, e.name)
+			return
+		}
+		c.busyRefusals++
 	case fabric.IsFault(err):
 		if preDead {
 			st.deadGroupNoops++
@@ -950,7 +923,7 @@ func (c *tClient) nsUnlink(p *sim.Proc) {
 
 func (c *tClient) nsRename(p *sim.Proc) {
 	st := c.st
-	src, e := c.pickNSEntry(func(e *entryModel) bool { return e.state == stPresent && !e.tainted })
+	src, e := c.pickNSEntry(func(e *entryModel) bool { return e.state == stPresent })
 	if src == nil {
 		return
 	}
@@ -965,11 +938,25 @@ func (c *tClient) nsRename(p *sim.Proc) {
 	switch {
 	case err == nil:
 		e.state = stAbsent
+		e.tainted = false // detached everywhere alive: the marks are history
 		e.lag |= c.downBits() & c.groupMask(src.res)
 		dst.put(&entryModel{name: newName, handle: e.handle, ino: e.ino, kind: e.kind,
 			state: stPresent, lag: c.downBits() & c.groupMask(dst.res)})
 		st.record(OpRecord{Client: c.idx, Kind: OpRename, Dir: src.handle, Name: e.name,
 			Dir2: dst.handle, Name2: newName, File: e.handle})
+	case errors.Is(err, rfsrv.ErrBusy):
+		// A marked member refused the prepare (its mark aims at the
+		// earlier faulted rename's destination) while clean members
+		// answered — the StBusy split. The entry is untouched; the new
+		// prepare marks the clean members toward this rename's
+		// destination, which a later re-drive or the end-of-run
+		// classification tolerates member-by-member.
+		if !e.tainted {
+			st.failf(e.handle, src.handle, e.name, "c%d: rename %s/%s -> %s/%s refused busy but no rename ever tainted it",
+				c.idx, src.name, e.name, dst.name, newName)
+			return
+		}
+		c.busyRefusals++
 	case errors.Is(err, rfsrv.ErrRenameInDoubt):
 		// §11: exactly one of two legal states — collapsed by the
 		// end-of-run re-drive. Until then both coordinates are

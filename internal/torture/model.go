@@ -30,11 +30,6 @@ type fileModel struct {
 	data   []byte // exact shadow
 	pos    int64  // file position (open/seek/sequential ops)
 	floor  int64  // size every still-usable server is known to cover
-	// staleOn marks servers that were excluded (in this client's
-	// view) during a write: their copy of the file's data may lag, so
-	// a readmission must repair the file (full rewrite from the
-	// shadow) before the client reads through them again.
-	staleOn uint64
 }
 
 func (f *fileModel) size() int64 { return int64(len(f.data)) }
@@ -59,11 +54,13 @@ type entryModel struct {
 	// the fan's per-member application unknown. End checks skip
 	// lagged members.
 	lag uint64
-	// tainted refuses further generated mutations: a faulted rename
-	// may have left stray prepare marks on lagging members, and a
-	// later mutation would split the owner group between StBusy and
-	// success — a protocol-level divergence the generator avoids
-	// rather than models.
+	// tainted marks an entry a faulted rename may have left carrying
+	// stray prepare marks on some members. A later mutation can split
+	// the owner group between StBusy and success — the cluster
+	// classifies that split as the in-doubt window showing through and
+	// answers ErrBusy, which the generator models (mutations of tainted
+	// entries may be refused busy with no state change) rather than
+	// avoids.
 	tainted bool
 }
 

@@ -45,6 +45,7 @@ type runState struct {
 
 	serverNodes []*hw.Node
 	serverFS    []*memfs.FS
+	servers     []*rfsrv.Server
 	clientNodes []*hw.Node
 	oracleNode  *hw.Node
 	oracle      *memfs.FS
@@ -74,6 +75,18 @@ type runState struct {
 	// nicDown mirrors each server NIC's dead-or-stalled state for the
 	// clients' reinstate decisions (hw exposes Dead() but not stalls).
 	nicDown []bool
+
+	// Membership machinery (Config.Elastic): the operator cluster and
+	// the shared view every client attaches before traffic. memberBusy
+	// excludes fault injection while a bounce runs; lastFaultClear is
+	// when the schedule last finished an injection window, so the
+	// membership proc only strikes after residual timeouts drained.
+	opNode         *hw.Node
+	operator       *rfsrv.Cluster
+	memberView     *rfsrv.MemberView
+	memberBusy     bool
+	lastFaultClear sim.Time
+	bounces        int
 
 	faults                                []*faultEvent
 	recSamples                            []sim.Time
@@ -116,6 +129,10 @@ func newRunState(cfg Config) (*runState, error) {
 		}
 		st.serverNodes = append(st.serverNodes, n)
 		st.serverFS = append(st.serverFS, fs)
+		st.servers = append(st.servers, srv)
+	}
+	if cfg.Elastic {
+		st.opNode = c.AddNode("operator")
 	}
 	st.oracleNode = c.AddNode("oracle")
 	st.oracle = memfs.New("oracle", st.oracleNode, 0)
@@ -209,6 +226,9 @@ func (st *runState) run() (*Result, error) {
 // wait for the end checks, then replay the oracle and diff.
 func (st *runState) master(p *sim.Proc) error {
 	st.stormLive = len(st.clients)
+	if st.cfg.Elastic {
+		st.env.Spawn("torture-membership", st.membership)
+	}
 	for _, c := range st.clients {
 		c := c
 		st.env.Spawn(fmt.Sprintf("torture-c%d", c.idx), c.run)
@@ -263,9 +283,18 @@ func (st *runState) result() *Result {
 		r.Seeks += c.seeks
 		r.MaybeEntries += c.maybeEntries
 		r.StaleSkips += c.staleSkips
+		r.BusyRefusals += c.busyRefusals
 		r.Reinstates += int(c.cl.Reinstates.N)
 		r.ReinstateRefusals += int(c.cl.ReinstateRefusals.N)
 		r.RenameInDoubts += int(c.cl.RenameInDoubts.N)
+		r.ResyncOps += int(c.cl.ResyncOps.N)
+		r.ResyncBytes += c.cl.ResyncBytes.Bytes
+		r.ResyncSpills += int(c.cl.ResyncSpills.N)
+		r.RenameAutoResolves += int(c.cl.RenameAutoResolves.N)
+	}
+	r.Bounces = st.bounces
+	if st.operator != nil {
+		r.MigratedBytes = st.operator.Migrated.Bytes
 	}
 	r.Kills, r.Stalls, r.Strikes, r.SkippedFaults = st.kills, st.stalls, st.strikes, st.skippedFaults
 	r.Elapsed = st.stormEnd - st.stormStart

@@ -24,6 +24,9 @@ func (st *runState) schedule(p *sim.Proc) {
 		if st.stormLive == 0 || st.failed() {
 			break
 		}
+		if st.memberBusy {
+			continue // a membership bounce owns the cluster right now
+		}
 		if st.cfg.Mode == ModeNS && rng.Intn(100) < 40 {
 			st.injectStrike(p, rng)
 			continue
@@ -113,6 +116,7 @@ func (st *runState) injectKill(p *sim.Proc, rng *rand.Rand, v int) {
 	p.Sleep(dwell)
 	st.serverNodes[v].NIC.Revive()
 	st.nicDown[v] = false
+	st.lastFaultClear = st.now()
 }
 
 func (st *runState) injectStall(p *sim.Proc, rng *rand.Rand, v int) {
@@ -126,6 +130,7 @@ func (st *runState) injectStall(p *sim.Proc, rng *rand.Rand, v int) {
 	st.noteFault("stall", []int{v}, fmt.Sprintf("stall %d for %v", v, d))
 	p.Sleep(d)
 	st.nicDown[v] = false
+	st.lastFaultClear = st.now()
 }
 
 // injectStrike downs a whole owner group at once (ModeNS): operations
@@ -156,5 +161,6 @@ func (st *runState) injectStrike(p *sim.Proc, rng *rand.Rand) {
 		st.serverNodes[m].NIC.Revive()
 		st.nicDown[m] = false
 	}
+	st.lastFaultClear = st.now()
 	p.Sleep(st.cfg.Timeout + 300*time.Microsecond)
 }

@@ -78,6 +78,14 @@ type Config struct {
 	Timeout sim.Time
 	// Quiet disables the fault schedule (pure randomized workload).
 	Quiet bool
+	// Elastic adds membership changes to the schedule: an operator
+	// cluster shares a membership view with every client and, in quiet
+	// windows (no dark NICs, no client-side exclusions), bounces a
+	// random server through the stop-world retire+rejoin path while the
+	// op storm runs. Membership events and fault injections are
+	// mutually exclusive; the model expects bounces to preserve every
+	// byte and entry exactly.
+	Elastic bool
 	// Logf, when set, receives progress and diagnostic lines
 	// (testing.T.Logf shaped).
 	Logf func(format string, args ...any)
@@ -129,6 +137,21 @@ type Result struct {
 	// Reinstates, ReinstateRefusals and RenameInDoubts aggregate the
 	// clusters' observability counters across clients.
 	Reinstates, ReinstateRefusals, RenameInDoubts int
+	// ResyncOps and ResyncBytes aggregate what Reinstate's journal
+	// replay re-drove across clients (mutations replayed; data bytes
+	// re-copied); ResyncSpills counts journals that outgrew their
+	// bounds and fell back to full-slice resync; RenameAutoResolves
+	// counts in-doubt renames the clusters settled on a later walk.
+	ResyncOps, ResyncSpills, RenameAutoResolves int
+	ResyncBytes                                 int64
+	// BusyRefusals counts generated mutations of rename-tainted
+	// entries the cluster refused ErrBusy (the StBusy split: stray
+	// prepare marks showing through, not divergence).
+	BusyRefusals int
+	// Bounces counts stop-world membership bounces (Config.Elastic);
+	// MigratedBytes is the data the bounces re-placed.
+	Bounces       int
+	MigratedBytes int64
 	// MaybeEntries counts ModeNS entries whose outcome a fault left
 	// two-valued (collapsed and verified at the end); StaleSkips
 	// counts checks skipped because an owner group was unreachable in
@@ -178,8 +201,12 @@ func (f *Failure) Error() string {
 
 // Repro is the one-line command that replays this run exactly.
 func (f *Failure) Repro() string {
-	return fmt.Sprintf("go test ./internal/torture -run 'TestTortureSeed$' -torture.seed=%d -torture.schedule=%d -torture.mode=%s -torture.servers=%d -torture.replicas=%d -torture.clients=%d -torture.ops=%d",
+	s := fmt.Sprintf("go test ./internal/torture -run 'TestTortureSeed$' -torture.seed=%d -torture.schedule=%d -torture.mode=%s -torture.servers=%d -torture.replicas=%d -torture.clients=%d -torture.ops=%d",
 		f.Cfg.Seed, f.Cfg.ScheduleSeed, f.Cfg.Mode, f.Cfg.Servers, f.Cfg.Replicas, f.Cfg.Clients, f.Cfg.Ops)
+	if f.Cfg.Elastic {
+		s += " -torture.elastic"
+	}
+	return s
 }
 
 // Run executes one torture run to completion (or first failure) and

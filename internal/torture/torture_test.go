@@ -19,6 +19,7 @@ var (
 	flagReplicas = flag.Int("torture.replicas", 0, "replication factor for the replay (0: default)")
 	flagClients  = flag.Int("torture.clients", 0, "client count for the replay (0: default)")
 	flagOps      = flag.Int("torture.ops", 0, "per-client op count for the replay (0: default)")
+	flagElastic  = flag.Bool("torture.elastic", false, "add membership bounces to the replay's schedule")
 )
 
 // shortCorpus is the fixed tier-1 seed set: the same 20 runs every
@@ -33,6 +34,9 @@ var shortCorpus = []Config{
 	{Seed: 16, Mode: ModeNS, Clients: 4}, {Seed: 17, Mode: ModeNS, Servers: 6},
 	{Seed: 18, Mode: ModeNS, Ops: 160}, {Seed: 19, Mode: ModeNS, Servers: 5, Clients: 2},
 	{Seed: 20, Mode: ModeNS, Replicas: 3},
+	{Seed: 21, Elastic: true}, {Seed: 22, Elastic: true, Clients: 2},
+	{Seed: 23, Mode: ModeNS, Elastic: true, Ops: 240},
+	{Seed: 24, Mode: ModeNS, Elastic: true, Servers: 6, Ops: 240},
 }
 
 func TestTortureShort(t *testing.T) {
@@ -45,11 +49,12 @@ func TestTortureShort(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			t.Logf("%d ops (%d r / %d w / %d meta), %d kills %d stalls %d strikes, %d reinstates (%d refused), %d in-doubt, %.0f ops/s, recovery mean %v max %v over %d samples",
+			t.Logf("%d ops (%d r / %d w / %d meta), %d kills %d stalls %d strikes %d bounces, %d reinstates (%d refused, %d replayed ops, %d B replayed), %d in-doubt (%d auto-resolved), %d busy-refused, %.0f ops/s, recovery mean %v max %v over %d samples",
 				res.Ops, res.Reads, res.Writes,
 				res.Creates+res.Unlinks+res.Renames+res.Readdirs+res.Truncates+res.Getattrs,
-				res.Kills, res.Stalls, res.Strikes,
-				res.Reinstates, res.ReinstateRefusals, res.RenameInDoubts,
+				res.Kills, res.Stalls, res.Strikes, res.Bounces,
+				res.Reinstates, res.ReinstateRefusals, res.ResyncOps, res.ResyncBytes,
+				res.RenameInDoubts, res.RenameAutoResolves, res.BusyRefusals,
 				res.OpsPerSec, res.RecoveryMean, res.RecoveryMax, res.RecoverySamples)
 		})
 	}
@@ -64,7 +69,7 @@ func TestTortureSeed(t *testing.T) {
 	cfg := Config{
 		Seed: *flagSeed, ScheduleSeed: *flagSchedule, Mode: Mode(*flagMode),
 		Servers: *flagServers, Replicas: *flagReplicas, Clients: *flagClients,
-		Ops: *flagOps, Logf: t.Logf,
+		Ops: *flagOps, Elastic: *flagElastic, Logf: t.Logf,
 	}
 	res, err := Run(cfg)
 	if err != nil {

@@ -143,6 +143,13 @@ type (
 	FSRenamer            = rfsrv.Renamer
 	FSRenameInDoubtError = rfsrv.RenameInDoubtError
 
+	// Elastic membership (DESIGN.md §13): the shared epoch-stamped
+	// view that fences clusters during a live Join/Retire/Bounce.
+	// Cluster.ShareView publishes one; AttachView subscribes other
+	// clusters, which adopt the new members slice at their next
+	// operation.
+	FSMemberView = rfsrv.MemberView
+
 	// Sockets.
 	Conn     = sockets.Conn
 	Listener = sockets.Listener
@@ -334,6 +341,25 @@ var ErrFSRenameInDoubt = rfsrv.ErrRenameInDoubt
 // the composition is a ROADMAP follow-up, so until it lands the
 // conflict is a typed refusal instead of silent misbehavior.
 var ErrFSShardLayoutConflict = rfsrv.ErrShardLayoutConflict
+
+// ErrFSStaleMembership fails an operation on a cluster whose
+// membership view fell behind: a reply carried a higher member epoch
+// than the view the cluster holds, and the cluster is not attached to
+// a shared FSMemberView it could adopt the new members from. The
+// caller must re-attach (AttachView) or rebuild the cluster against
+// the current membership (DESIGN.md §13).
+var ErrFSStaleMembership = rfsrv.ErrStaleMembership
+
+// Resync-journal bounds a server installs when SetJournalLimits was
+// never called (DESIGN.md §13): while a replica is excluded, its
+// peers journal up to this many namespace/size mutations and this
+// many dirty data bytes for replay at Reinstate; past either bound
+// the journal spills and re-admission falls back to a full-slice
+// resync.
+const (
+	DefaultFSJournalOps   = rfsrv.DefaultJournalOps
+	DefaultFSJournalBytes = rfsrv.DefaultJournalBytes
+)
 
 // DefaultFSSizePublishBatch is the publish window a sharded cluster
 // installs when none was configured (Cluster.SetSizePublishBatch
