@@ -6,6 +6,7 @@ package fabric
 // registration cache.
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/gm"
@@ -301,7 +302,20 @@ func (t *GMTransport) Close(p *sim.Proc) error {
 	if err := t.cache.Flush(p); err != nil {
 		return err
 	}
-	for k, r := range t.regions {
+	// Deregistration issues simulated NIC commands; iterate in a
+	// stable order so seed replay sees the same event schedule.
+	keys := make([]regKey, 0, len(t.regions))
+	for k := range t.regions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].as.ID() != keys[j].as.ID() {
+			return keys[i].as.ID() < keys[j].as.ID()
+		}
+		return keys[i].va < keys[j].va
+	})
+	for _, k := range keys {
+		r := t.regions[k]
 		delete(t.regions, k)
 		if err := t.port.DeregisterMemory(p, r); err != nil {
 			return err

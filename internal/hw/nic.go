@@ -109,13 +109,17 @@ type frag struct {
 }
 
 // getFrag takes a fragment record from the transmit pool.
+//
+// allocfree
 func (n *NIC) getFrag(m *Message, idx, size int) *frag {
 	var f *frag
 	if k := len(n.fragFree); k > 0 {
 		f = n.fragFree[k-1]
 		n.fragFree = n.fragFree[:k-1]
 	} else {
+		//analyze:allow allocfree pool-miss cold path, record recycled forever after
 		f = &frag{src: n}
+		//analyze:allow allocfree built once per record, reused across recycles
 		f.deliver = func() {
 			// Death is checked at delivery time: a frame already on the
 			// wire when the destination dies hits a dead card and
@@ -133,6 +137,8 @@ func (n *NIC) getFrag(m *Message, idx, size int) *frag {
 }
 
 // putFrag recycles a fragment record nobody references anymore.
+//
+// allocfree
 func (n *NIC) putFrag(f *frag) {
 	f.msg, f.dst = nil, nil
 	n.fragFree = append(n.fragFree, f)

@@ -312,11 +312,14 @@ type Cluster struct {
 	// ResyncBytes counts data bytes re-copied to a returning server
 	// (journal replay and full-slice resync both); ResyncSpills counts
 	// journals that overflowed their bounds and fell back to
-	// full-slice resync; Migrated counts data bytes re-placed by
+	// full-slice resync; ResyncFallbacks counts journal replays that
+	// abandoned the batched fast path for the serial one because a
+	// status needed a verification lookup (the server already held a
+	// prefix of the journal); Migrated counts data bytes re-placed by
 	// membership changes (Join/Retire/Bounce); RenameAutoResolves
 	// counts in-doubt renames resolved by a later walk over the marked
 	// entry rather than an explicit re-drive.
-	ResyncOps, ResyncBytes, ResyncSpills, Migrated, RenameAutoResolves sim.Counter
+	ResyncOps, ResyncBytes, ResyncSpills, ResyncFallbacks, Migrated, RenameAutoResolves sim.Counter
 }
 
 // NewCluster builds a striped cluster client over one Session per
@@ -1842,6 +1845,13 @@ type syncMetaFlight struct {
 	hdrOp fabric.Op
 	seq   uint64
 }
+
+// The package's lock order: a window slot (Session.free token) may be
+// held while taking the client control lock, never the reverse —
+// otherwise a consumer holding the control path could park on a full
+// window that only drains through that same control path.
+//
+//analyze:lockorder Session.free < FabricClient.lock
 
 // startSyncMeta issues a metadata request through s's underlying
 // synchronous client — its private control buffers, NOT a window slot.

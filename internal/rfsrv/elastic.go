@@ -334,12 +334,8 @@ func (cl *Cluster) Reinstate(p *sim.Proc, i int) error {
 }
 
 func (cl *Cluster) replayJournal(p *sim.Proc, i int, j *resyncJournal) error {
-	for k := range j.ops {
-		op := &j.ops[k]
-		if err := cl.replayOp(p, i, op); err != nil {
-			return fmt.Errorf("replay op %d/%d (%s): %w", k+1, len(j.ops), opNames[op.req.Op], err)
-		}
-		cl.ResyncOps.Add(0)
+	if err := cl.replayOps(p, i, j); err != nil {
+		return err
 	}
 	for _, ino := range j.order {
 		for _, r := range j.dirty[ino] {
@@ -349,6 +345,168 @@ func (cl *Cluster) replayJournal(p *sim.Proc, i int, j *resyncJournal) error {
 		}
 	}
 	return nil
+}
+
+// replayOps replays the journaled metadata mutations in order. The
+// fast path packs the whole journal — OpSyncEpoch epoch-rewind
+// preludes included — into combined MetaBatch flights, so a long
+// exclusion replays in a handful of wire rounds instead of one
+// serial round trip per op (the server applies a combined flight on
+// one worker, strictly in order, so journal order is preserved).
+// Statuses are interpreted with the serial path's tolerance rules; a
+// status that needs a verification lookup (the server already held a
+// prefix of the journal) abandons the batch and re-runs the whole
+// journal serially — replay is idempotent, so the re-run is safe and
+// the lookups interleave exactly where they are needed.
+func (cl *Cluster) replayOps(p *sim.Proc, i int, j *resyncJournal) error {
+	if len(j.ops) == 0 {
+		return nil
+	}
+	fallback, err := cl.replayOpsBatched(p, i, j)
+	if err != nil {
+		return err
+	}
+	if !fallback {
+		for range j.ops {
+			cl.ResyncOps.Add(0)
+		}
+		return nil
+	}
+	cl.ResyncFallbacks.Add(0)
+	for k := range j.ops {
+		op := &j.ops[k]
+		if err := cl.replayOp(p, i, op); err != nil {
+			return fmt.Errorf("replay op %d/%d (%s): %w", k+1, len(j.ops), opNames[op.req.Op], err)
+		}
+		cl.ResyncOps.Add(0)
+	}
+	return nil
+}
+
+// replayOpsBatched issues the whole journal as combined metadata
+// batches against server i and interprets the per-op statuses. It
+// returns fallback=true (and no error) when some status requires the
+// serial path's verification lookups; transport failures and
+// non-tolerated statuses are errors exactly as on the serial path —
+// the journal stays intact for a Reinstate retry.
+func (cl *Cluster) replayOpsBatched(p *sim.Proc, i int, j *resyncJournal) (fallback bool, err error) {
+	reqs := make([]*Req, 0, len(j.ops)+len(j.ops)/2)
+	idx := make([]int, 0, cap(reqs)) // journal index +1 per request; 0 marks an epoch prelude
+	for k := range j.ops {
+		op := &j.ops[k]
+		req := op.req // copy: the flight stamps Seq/EP into each request
+		switch req.Op {
+		case OpSetSize, OpSetLayout, OpTruncate:
+			// Same epoch-rewind prelude as replayOp, carried in the
+			// batch right before its epoch-bumping op.
+			if op.wantEpoch > 0 {
+				reqs = append(reqs, &Req{Op: OpSyncEpoch, Ino: req.Ino, Off: int64(op.wantEpoch - 1)})
+				idx = append(idx, 0)
+			}
+			if req.Op == OpSetSize {
+				exact, _ := UnpackSetSize(req.Len)
+				var obs uint64
+				if op.wantEpoch > 0 {
+					obs = op.wantEpoch - 1
+				}
+				req.Len = PackSetSize(exact, obs)
+			}
+		}
+		r := req
+		reqs = append(reqs, &r)
+		idx = append(idx, k+1)
+	}
+	// Like replayRT, transport-level failures (fault, timeout, decode)
+	// abort the replay; application statuses ride in the responses for
+	// the verdicts below to interpret.
+	resps, err := cl.sessions[i].MetaBatch(p, reqs)
+	if err != nil {
+		if fabric.IsFault(err) || len(resps) != len(reqs) {
+			return false, err
+		}
+		for _, resp := range resps {
+			if resp == nil {
+				return false, err
+			}
+		}
+	}
+	for n, resp := range resps {
+		k := idx[n]
+		if k == 0 {
+			if resp.Status != StOK {
+				return false, fmt.Errorf("replay epoch sync: %w", ErrOf(resp.Status))
+			}
+			continue
+		}
+		op := &j.ops[k-1]
+		verify, err := batchReplayVerdict(op, resp)
+		if err != nil {
+			return false, fmt.Errorf("replay op %d/%d (%s): %w", k, len(j.ops), opNames[op.req.Op], err)
+		}
+		if verify {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// batchReplayVerdict interprets one batched replay response with the
+// serial path's tolerance rules (see replayOp). verify=true means the
+// status signals an already-applied prefix and needs a verification
+// lookup — the caller falls back to the serial path, which performs
+// it in place.
+func batchReplayVerdict(op *journalOp, resp *Resp) (verify bool, err error) {
+	req := &op.req
+	//analyze:dispatch ops -OpLookup -OpGetattr -OpReaddir -OpRead -OpWrite -OpRenamePrepare -OpSyncEpoch
+	switch req.Op {
+	case OpMember:
+		return false, ErrOf(resp.Status)
+
+	case OpSetSize, OpSetLayout, OpTruncate:
+		if resp.Status == StNotFound {
+			// The inode was unlinked later in the journal.
+			return false, nil
+		}
+		return false, ErrOf(resp.Status)
+
+	case OpCreate, OpMkdir:
+		switch resp.Status {
+		case StOK:
+			if op.wantIno != 0 && resp.Attr.Ino != op.wantIno {
+				return false, fmt.Errorf("replayed create of %q minted inode %d, cluster holds %d: server diverged", req.Name, resp.Attr.Ino, op.wantIno)
+			}
+			return false, nil
+		case StExists:
+			return true, nil
+		}
+		return false, ErrOf(resp.Status)
+
+	case OpLink:
+		switch resp.Status {
+		case StOK:
+			return false, nil
+		case StExists:
+			return true, nil
+		}
+		return false, ErrOf(resp.Status)
+
+	case OpUnlink, OpRmdir, OpScrub, OpMaterialize, OpRenameFinalize, OpRenameAbort:
+		switch resp.Status {
+		case StOK, StNotFound:
+			return false, nil
+		}
+		return false, ErrOf(resp.Status)
+
+	case OpRenameLocal:
+		switch resp.Status {
+		case StOK:
+			return false, nil
+		case StNotFound:
+			return true, nil
+		}
+		return false, ErrOf(resp.Status)
+	}
+	return false, fmt.Errorf("unreplayable op %s", opNames[req.Op])
 }
 
 // replayRT is one replay round trip to server i: transport-level
@@ -365,6 +523,11 @@ func (cl *Cluster) replayRT(p *sim.Proc, i int, req *Req) (*Resp, error) {
 
 func (cl *Cluster) replayOp(p *sim.Proc, i int, op *journalOp) error {
 	req := op.req
+	// Reads and lookups are never journaled; writes resync through
+	// dirty ranges; RenamePrepare is always resolved to Finalize or
+	// Abort before it is journaled; SyncEpoch is what replay itself
+	// emits.
+	//analyze:dispatch ops -OpLookup -OpGetattr -OpReaddir -OpRead -OpWrite -OpRenamePrepare -OpSyncEpoch
 	switch req.Op {
 	case OpMember:
 		resp, err := cl.replayRT(p, i, &req)

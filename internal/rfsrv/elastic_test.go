@@ -120,6 +120,12 @@ func TestElasticReplayRetryIdempotent(t *testing.T) {
 		if down := cl.DownServers(); len(down) != 0 {
 			t.Fatalf("down = %v after retry, want none", down)
 		}
+		// The victim held a prefix (the replayed mkdir), so the retry's
+		// batched fast path must have yielded to the serial one for its
+		// verification lookups.
+		if cl.ResyncFallbacks.N == 0 {
+			t.Error("retry over an applied prefix did not fall back to serial replay")
+		}
 		for _, name := range []string{"d", "x"} {
 			if _, err := r.serverFS[1].Lookup(p, r.serverFS[1].Root(), name); err != nil {
 				t.Errorf("victim missing replayed entry %q: %v", name, err)
@@ -518,4 +524,91 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestElasticReplayBatchedEquivalence builds a journal that exercises
+// every batched-replay verdict class — a mkdir, creates, an
+// idempotent unlink, a local rename, an epoch-bumping truncate (with
+// its OpSyncEpoch prelude in the batch), and dirty data — and
+// requires a clean Reinstate to land it through the combined-batch
+// fast path (no serial fallback), with the victim's resulting state
+// equal to a server that applied the same mutations live.
+func TestElasticReplayBatchedEquivalence(t *testing.T) {
+	r := newClusterRig(t, 3)
+	r.run(t, func(p *sim.Proc) {
+		cl := r.clusterRep(t, p, 4, testStripe, 2)
+		const size = 4 * testStripe
+		ino := clusterCreate(t, p, cl, "f")
+		expect := pattern(size)
+		elasticWrite(t, p, r, cl, ino, 0, expect)
+
+		r.servers[1].NIC.Kill()
+
+		// Missed work covering every replay verdict class.
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpMkdir, Ino: 0, Name: "d"}); err != nil {
+			t.Fatalf("mkdir with server 1 dark: %v", err)
+		}
+		clusterCreate(t, p, cl, "x")
+		clusterCreate(t, p, cl, "gone")
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpUnlink, Ino: 0, Name: "gone"}); err != nil {
+			t.Fatalf("unlink with server 1 dark: %v", err)
+		}
+		if _, err := cl.Rename(p, 0, "x", 0, "y"); err != nil {
+			t.Fatalf("rename with server 1 dark: %v", err)
+		}
+		for i, b := range expect {
+			expect[i] = b ^ 0x3c
+		}
+		elasticWrite(t, p, r, cl, ino, 0, expect)
+		const cut = size - testStripe/2
+		if _, err := cl.Meta(p, &rfsrv.Req{Op: rfsrv.OpTruncate, Ino: ino, Off: cut}); err != nil {
+			t.Fatalf("truncate with server 1 dark: %v", err)
+		}
+		expect = expect[:cut]
+		ops := cl.JournalOps(1)
+		if ops == 0 {
+			t.Fatal("no journaled ops for the dark server")
+		}
+
+		r.servers[1].NIC.Revive()
+		if err := cl.Reinstate(p, 1); err != nil {
+			t.Fatalf("reinstate: %v", err)
+		}
+		if n := cl.ResyncFallbacks.N; n != 0 {
+			t.Errorf("ResyncFallbacks = %d after a clean replay, want 0 (batched fast path)", n)
+		}
+		if cl.ResyncOps.N != int64(ops) {
+			t.Errorf("ResyncOps = %d, want %d (every journaled op replayed once)", cl.ResyncOps.N, ops)
+		}
+
+		// Equivalence oracle: the victim's namespace and attributes
+		// must match server 0, which applied everything live.
+		for _, name := range []string{"f", "d", "y"} {
+			a0, err0 := r.serverFS[0].Lookup(p, r.serverFS[0].Root(), name)
+			a1, err1 := r.serverFS[1].Lookup(p, r.serverFS[1].Root(), name)
+			if err0 != nil || err1 != nil {
+				t.Fatalf("lookup %q: live server err=%v, victim err=%v", name, err0, err1)
+			}
+			if a0.Ino != a1.Ino {
+				t.Errorf("%q resolves to inode %d on the victim, %d on a live server", name, a1.Ino, a0.Ino)
+			}
+		}
+		for _, name := range []string{"gone", "x"} {
+			if _, err := r.serverFS[1].Lookup(p, r.serverFS[1].Root(), name); err == nil {
+				t.Errorf("victim still resolves %q after the replayed unlink/rename", name)
+			}
+		}
+		if a, err := r.serverFS[1].Getattr(p, ino); err != nil || a.Size != cut {
+			t.Errorf("victim size = %d (err=%v), want %d", a.Size, err, cut)
+		}
+
+		// Route reads through the victim: with server 0 dark its
+		// replica stripes serve the replayed bytes.
+		r.servers[0].NIC.Kill()
+		if got := elasticReadBack(t, p, r, cl, ino, cut); !bytes.Equal(got, expect) {
+			t.Error("read through the re-admitted server returned wrong bytes")
+		}
+		assertWindowsIdle(t, cl)
+		r.checkNoLeaks(t)
+	})
 }

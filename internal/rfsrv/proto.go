@@ -121,6 +121,7 @@ const (
 	OpSyncEpoch
 )
 
+//analyze:dispatch ops
 var opNames = map[Op]string{
 	OpLookup: "lookup", OpGetattr: "getattr", OpReaddir: "readdir",
 	OpCreate: "create", OpMkdir: "mkdir", OpUnlink: "unlink",
@@ -375,6 +376,8 @@ func EncodeReq(r *Req) []byte {
 // EncodeReqInto appends the encoding of r to dst and returns the
 // extended slice — the hot data path encodes into per-client scratch
 // buffers instead of allocating per request.
+//
+// allocfree
 func EncodeReqInto(dst []byte, r *Req) []byte {
 	if len(r.Name) > 1<<15 {
 		panic("rfsrv: name too long")
@@ -477,6 +480,7 @@ func StatusOf(err error) int32 {
 
 // ErrOf maps a wire status back to a filesystem error.
 func ErrOf(st int32) error {
+	//analyze:dispatch statuses
 	switch st {
 	case StOK:
 		return nil
@@ -502,7 +506,11 @@ func ErrOf(st int32) error {
 		return ErrBusy
 	case StNotOwner:
 		return ErrNotOwner
+	case StIO:
+		return fmt.Errorf("rfsrv: remote I/O error (status %d)", st)
 	default:
+		// Unknown statuses (a newer peer) degrade to the same remote
+		// I/O error as StIO.
 		return fmt.Errorf("rfsrv: remote I/O error (status %d)", st)
 	}
 }
@@ -554,16 +562,20 @@ func EncodeResp(r *Resp) ([]byte, error) {
 // EncodeRespInto appends the encoding of r to dst and returns the
 // extended slice — server workers encode replies into per-worker
 // scratch buffers instead of allocating per reply.
+//
+// allocfree
 func EncodeRespInto(dst []byte, r *Resp) ([]byte, error) {
 	size := respFixed
 	for _, e := range r.Entries {
 		size += 8 + 1 + 2 + len(e.Name)
 	}
 	if size > HdrBufSize {
+		//analyze:allow allocfree error path, never taken per-request
 		return nil, fmt.Errorf("rfsrv: directory listing (%d bytes) exceeds reply buffer", size)
 	}
 	if r.Attr.Kind < 0 || r.Attr.Kind > 0xf || !ValidLayout(r.Layout) {
 		// Kind and Layout share one wire byte (low/high nibble).
+		//analyze:allow allocfree error path, never taken per-request
 		return nil, fmt.Errorf("rfsrv: kind %d / layout %d overflow the kind byte", r.Attr.Kind, r.Layout)
 	}
 	pos := len(dst)
@@ -654,6 +666,7 @@ const (
 
 const reqTag = kindReq
 
+// allocfree
 func tag(seq uint64, ep uint8, kind uint64) uint64 {
 	return seq<<12 | uint64(ep)<<4 | kind
 }

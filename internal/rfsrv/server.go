@@ -2,6 +2,7 @@ package rfsrv
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -147,12 +148,19 @@ func (s *Server) session(src hw.NodeID, ep uint8) *ClientSession {
 	return cs
 }
 
-// Sessions returns the per-client session records (stats, tests).
+// Sessions returns the per-client session records (stats, tests) in
+// (node, endpoint) order.
 func (s *Server) Sessions() []*ClientSession {
 	out := make([]*ClientSession, 0, len(s.sessions))
 	for _, cs := range s.sessions {
 		out = append(out, cs)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].EP < out[j].EP
+	})
 	return out
 }
 
@@ -164,6 +172,7 @@ func (s *Server) handleMeta(p *sim.Proc, req *Req) *Resp {
 		ino = s.fs.Root()
 	}
 	var err error
+	//analyze:dispatch ops group=serve
 	switch req.Op {
 	case OpLookup:
 		resp.Attr, err = s.fs.Lookup(p, ino, req.Name)
@@ -560,6 +569,7 @@ func (s *Server) mxWorker(p *sim.Proc, ep *mx.Endpoint, queue *sim.Chan[*mxWork]
 	for {
 		w := queue.Recv(p)
 		s.node.CPU.VFS(p) // request dispatch
+		//analyze:dispatch ops group=serve
 		switch w.req.Op {
 		case OpRead:
 			resp, xs := s.readExtents(p, w.req)
@@ -727,6 +737,7 @@ func (s *Server) gmWorker(p *sim.Proc, port *gm.Port) {
 			sess.MaxOutstanding = sess.Outstanding
 		}
 		s.node.CPU.VFS(p)
+		//analyze:dispatch ops group=serve
 		switch req.Op {
 		case OpRead:
 			resp, xs := s.readExtents(p, req)

@@ -42,6 +42,7 @@ type GMStack struct {
 	// through it, adding a context switch to every blocking wait.
 	waiters map[uint64]*sim.Chan[gm.Event]
 
+	ctl   *fabric.Buffer // owned for the stack's lifetime
 	ctlVA vm.VirtAddr
 	ctlXS []mem.Extent
 }
@@ -67,7 +68,7 @@ func NewGMStack(g *gm.GM, portID uint8) (*GMStack, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.ctlVA, s.ctlXS = ctl.VA(), ctl.Extents(256)
+	s.ctl, s.ctlVA, s.ctlXS = ctl, ctl.VA(), ctl.Extents(256)
 	s.node.Cluster.Env.Spawn(s.node.Name+"-sockgm-dispatch", s.dispatcher)
 	s.node.Cluster.Env.Spawn(s.node.Name+"-sockgm-ctl", s.ctlPump)
 	return s, nil

@@ -46,7 +46,8 @@ type MXStack struct {
 	listeners map[Port]*mxListener
 	dials     map[uint32]*mxConn // awaiting SYN-ACK
 
-	ctlVA vm.VirtAddr // control send buffer
+	ctl   *fabric.Buffer // control send buffer, owned for the stack's lifetime
+	ctlVA vm.VirtAddr
 }
 
 // NewMXStack attaches a SOCKETS-MX stack to a node, using MX kernel
@@ -69,7 +70,7 @@ func NewMXStack(m *mx.MX, epID uint8) (*MXStack, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.ctlVA = ctl.VA()
+	s.ctl, s.ctlVA = ctl, ctl.VA()
 	s.node.Cluster.Env.Spawn(s.node.Name+"-sockmx-ctl", s.ctlPump)
 	return s, nil
 }

@@ -1,0 +1,167 @@
+package main
+
+// The loader: parse + type-check one package directory with the
+// standard library only. Module-local imports are resolved by mapping
+// the import path onto the module root; everything else (the standard
+// library) is type-checked from GOROOT source via the "source"
+// importer. Loaded packages are cached per loader, so analyzing the
+// whole tree pays for each dependency once.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checked is one fully loaded module-local package: checking a
+// package once and reusing the result everywhere keeps type identity
+// consistent between analysis targets and their dependents.
+type checked struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader loads and type-checks packages for analysis.
+type loader struct {
+	fset  *token.FileSet
+	mod   string                    // module path (import prefix of local packages)
+	root  string                    // module root directory
+	local map[string]*checked       // module-local packages by import path
+	std   map[string]*types.Package // everything else (the stdlib)
+	src   types.Importer            // GOROOT source importer for the stdlib
+}
+
+// newLoader returns a loader for the module mod rooted at root.
+func newLoader(mod, root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:  fset,
+		mod:   mod,
+		root:  root,
+		local: map[string]*checked{},
+		std:   map[string]*types.Package{},
+		src:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer: module-local packages load from
+// the mapped directory, everything else through the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.mod || strings.HasPrefix(path, l.mod+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.mod), "/")
+		c, err := l.check(path, filepath.Join(l.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return c.pkg, nil
+	}
+	if p, ok := l.std[path]; ok {
+		return p, nil
+	}
+	p, err := l.src.Import(path)
+	if err == nil {
+		l.std[path] = p
+	}
+	return p, err
+}
+
+// load type-checks the package in dir and builds the analysis pass
+// for it.
+func (l *loader) load(dir string) (*Pass, error) {
+	c, err := l.check(l.pathOf(dir), dir)
+	if err != nil {
+		return nil, err
+	}
+	return newPass(l.fset, c.pkg, c.files, c.info), nil
+}
+
+// pathOf maps a directory under the module root to its import path;
+// directories outside the module get a synthetic path.
+func (l *loader) pathOf(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	if rel, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.mod
+		}
+		return l.mod + "/" + filepath.ToSlash(rel)
+	}
+	return dir
+}
+
+// check parses and type-checks the (non-test) package in dir,
+// reusing the cached result when the path was already loaded (as a
+// target or as a dependency).
+func (l *loader) check(path, dir string) (*checked, error) {
+	if c, ok := l.local[path]; ok {
+		return c, nil
+	}
+	pkgs, err := parser.ParseDir(l.fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	// A directory holds at most one non-test package (plus possibly
+	// an ignored main for tool directories); prefer the non-main one
+	// when both exist, matching what an importer of the path gets.
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pick := ""
+	for _, name := range names {
+		if pick == "" || (pick == "main" && name != "main") {
+			pick = name
+		}
+	}
+	if pick == "" {
+		return nil, fmt.Errorf("no Go packages in %s", dir)
+	}
+	fnames := make([]string, 0, len(pkgs[pick].Files))
+	for fname := range pkgs[pick].Files {
+		fnames = append(fnames, fname)
+	}
+	sort.Strings(fnames)
+	for _, fname := range fnames {
+		files = append(files, pkgs[pick].Files[fname])
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &checked{pkg: pkg, files: files, info: info}
+	l.local[path] = c
+	return c, nil
+}

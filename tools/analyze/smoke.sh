@@ -1,0 +1,72 @@
+#!/bin/sh
+# Analyzer regression smoke: prove the gate actually catches the
+# regressions it exists for, not just that it exits zero today.
+# Injects two defects into the working tree — a deleted pool Release
+# (a buffer leak on an error path) and an unwired protocol opcode —
+# and requires the analyzer to fail on each, then restores the tree
+# byte-for-byte from backups (no git operations, safe on a dirty
+# tree).
+set -eu
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$root"
+
+victim=internal/sockets/gmsock.go
+injected=internal/rfsrv/zz_smoke_injected.go
+
+tmp="$(mktemp -d)"
+restore() {
+	cp "$tmp/gmsock.go.bak" "$victim"
+	rm -f "$injected"
+	rm -rf "$tmp"
+}
+trap restore EXIT
+cp "$victim" "$tmp/gmsock.go.bak"
+
+run_analyzer() { go run ./tools/analyze ./... 2>&1; }
+
+echo "smoke: clean tree must pass"
+if ! out="$(run_analyzer)"; then
+	echo "$out"
+	echo "smoke: FAIL — analyzer not clean before injection"
+	exit 1
+fi
+
+echo "smoke: deleted pool Release must fail poolpair"
+sed -i '/^\t\ttx\.Release()$/d' "$victim"
+if cmp -s "$victim" "$tmp/gmsock.go.bak"; then
+	echo "smoke: FAIL — injection did not change $victim (site moved?)"
+	exit 1
+fi
+if out="$(run_analyzer)"; then
+	echo "smoke: FAIL — analyzer passed with a deleted Release"
+	exit 1
+fi
+if ! echo "$out" | grep -q '\[poolpair\]'; then
+	echo "$out"
+	echo "smoke: FAIL — analyzer failed but reported no poolpair finding"
+	exit 1
+fi
+cp "$tmp/gmsock.go.bak" "$victim"
+
+echo "smoke: unwired opcode must fail opexhaustive"
+cat >"$injected" <<'EOF'
+package rfsrv
+
+// OpSmokeInjected is a deliberately unwired opcode injected by the
+// analyzer regression smoke (tools/analyze/smoke.sh); it never lands
+// in the tree.
+const OpSmokeInjected Op = 250
+EOF
+if out="$(run_analyzer)"; then
+	echo "smoke: FAIL — analyzer passed with an unwired opcode"
+	exit 1
+fi
+if ! echo "$out" | grep -q '\[opexhaustive\]'; then
+	echo "$out"
+	echo "smoke: FAIL — analyzer failed but reported no opexhaustive finding"
+	exit 1
+fi
+rm -f "$injected"
+
+echo "smoke: PASS"

@@ -1,0 +1,6 @@
+// Package a holds a baseline comment with no reason: the comment
+// itself must become a finding at load time.
+package a
+
+//analyze:allow allocfree
+func f() {}

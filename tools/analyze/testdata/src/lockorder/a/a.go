@@ -1,0 +1,69 @@
+// Package a exercises the declared lock order, re-entry and
+// send-under-lock checks.
+package a
+
+import "fixture/sim"
+
+type Client struct {
+	lock *sim.Resource
+}
+
+type Session struct {
+	free *sim.Chan
+}
+
+//analyze:lockorder Session.free < Client.lock
+
+func good(p *sim.Proc, s *Session, c *Client) {
+	tok := s.free.Recv(p)
+	c.lock.Acquire(p)
+	c.lock.Release()
+	s.free.Send(tok)
+}
+
+func badOrder(p *sim.Proc, s *Session, c *Client) {
+	c.lock.Acquire(p)
+	tok := s.free.Recv(p) // want "acquiring Session.free while holding Client.lock"
+	s.free.Send(tok)
+	c.lock.Release()
+}
+
+func badOrderDeferred(p *sim.Proc, s *Session, c *Client) {
+	c.lock.Acquire(p)
+	defer c.lock.Release()
+	tok := s.free.Recv(p) // want "acquiring Session.free while holding Client.lock"
+	s.free.Send(tok)
+}
+
+func reenter(p *sim.Proc, c *Client) {
+	c.lock.Acquire(p)
+	c.lock.Acquire(p) // want "re-entrant acquisition of Client.lock"
+	c.lock.Release()
+}
+
+func sendUnderLock(p *sim.Proc, c *Client, ch *sim.Chan) {
+	c.lock.Acquire(p)
+	ch.Send(1) // want "sim.Chan send while holding Client.lock"
+	c.lock.Release()
+}
+
+func rawSendUnderLock(p *sim.Proc, c *Client, ch chan int) {
+	c.lock.Acquire(p)
+	ch <- 1 // want "channel send while holding Client.lock"
+	c.lock.Release()
+}
+
+func takesSlot(p *sim.Proc, s *Session) {
+	tok := s.free.Recv(p)
+	s.free.Send(tok)
+}
+
+func viaCallee(p *sim.Proc, s *Session, c *Client) {
+	c.lock.Acquire(p)
+	takesSlot(p, s) // want "takesSlot acquires Session.free while Client.lock is held here"
+	c.lock.Release()
+}
+
+func calleeWithoutLock(p *sim.Proc, s *Session) {
+	takesSlot(p, s)
+}

@@ -1,0 +1,24 @@
+// Package sim is a stand-in declaring the lock-shaped primitives the
+// lockorder analyzer recognizes.
+package sim
+
+// Proc stands in for the cooperative process handle.
+type Proc struct{}
+
+// Resource stands in for the capacity-1 resource used as a lock.
+type Resource struct{}
+
+// Acquire stands in for the blocking lock acquisition.
+func (r *Resource) Acquire(p *Proc) {}
+
+// Release stands in for the lock release.
+func (r *Resource) Release() {}
+
+// Chan stands in for the cooperative channel / token pool.
+type Chan struct{}
+
+// Send stands in for the cooperative send.
+func (c *Chan) Send(v int) {}
+
+// Recv stands in for the cooperative receive.
+func (c *Chan) Recv(p *Proc) int { return 0 }

@@ -1,0 +1,9 @@
+// Package rfsrv is a fixture: the protocol package must declare its
+// dispatch surfaces, so their absence here is itself a finding.
+package rfsrv // want "declares no //analyze:dispatch ops surface" "declares no //analyze:dispatch statuses surface"
+
+type Op uint8
+
+const (
+	OpRead Op = iota
+)

@@ -1,0 +1,27 @@
+// Package hw is a fixture standing in for the NIC fragment pool,
+// whose release is a put function taking the value, not a method on
+// it.
+package hw
+
+type NIC struct{ fragFree []*frag }
+
+type frag struct{}
+
+type Message struct{}
+
+func (n *NIC) getFrag(m *Message, idx, size int) *frag { return &frag{} }
+
+func (n *NIC) putFrag(f *frag) { n.fragFree = append(n.fragFree, f) }
+
+func balanced(n *NIC, m *Message) {
+	f := n.getFrag(m, 0, 1)
+	n.putFrag(f)
+}
+
+func leak(n *NIC, m *Message, cond bool) {
+	f := n.getFrag(m, 0, 1) // want "NIC.getFrag is not released on every path"
+	if cond {
+		return
+	}
+	n.putFrag(f)
+}

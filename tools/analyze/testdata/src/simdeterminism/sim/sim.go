@@ -1,0 +1,70 @@
+// Package sim is a fixture: its name places it in the deterministic
+// package set, and it declares the Proc/Chan marker types locally.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Proc marks simulated work when passed to a call.
+type Proc struct{}
+
+// Chan stands in for the cooperative channel.
+type Chan struct{}
+
+// Send stands in for the cooperative send.
+func (c *Chan) Send(v int) {}
+
+func work(p *Proc, k int) {}
+
+func clocks() {
+	_ = time.Now()          // want "time.Now reads the host clock"
+	time.Sleep(time.Second) // want "time.Sleep reads the host clock"
+}
+
+func randoms() int {
+	r := rand.New(rand.NewSource(7)) // seeded stream: fine
+	return r.Intn(4) + rand.Intn(4)  // want "global rand.Intn draws from shared non-seeded state"
+}
+
+func mapWork(p *Proc, m map[int]int) {
+	for k := range m {
+		work(p, k) // want "simulated work inside map iteration"
+	}
+}
+
+func mapSend(ch *Chan, m map[int]int) {
+	for k := range m {
+		ch.Send(k) // want "channel send inside map iteration"
+	}
+}
+
+func mapAppendUnsorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append to keys under map iteration without sorting"
+	}
+	return keys
+}
+
+func mapAppendSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func mapDeleteOnly(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func baselined() {
+	//analyze:allow simdeterminism fixture demonstrates the baseline syntax
+	_ = time.Now()
+}

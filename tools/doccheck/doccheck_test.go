@@ -1,0 +1,61 @@
+package main
+
+// Fixture tests for the godoc gate, sharing the expected-diagnostic
+// harness with tools/analyze. Value specs cannot carry `// want`
+// comments (a trailing comment on a spec IS documentation), so the
+// value and package-comment cases are asserted directly.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/tools/internal/fixture"
+)
+
+// runDirFixture checks one testdata package against its want
+// comments.
+func runDirFixture(t *testing.T, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finds, err := checkDir(abs)
+	if err != nil {
+		t.Fatalf("checkDir(%s): %v", dir, err)
+	}
+	var got []fixture.Diag
+	for _, f := range finds {
+		got = append(got, fixture.Diag{File: f.file, Line: f.line, Msg: f.msg})
+	}
+	fixture.Check(t, abs, got)
+}
+
+func TestDocumentedClean(t *testing.T) { runDirFixture(t, "documented") }
+
+func TestUndocumented(t *testing.T) { runDirFixture(t, "undocumented") }
+
+// TestPackageCommentAndValues covers the two finding shapes the
+// fixture comments cannot express: a missing package comment
+// (reported against the directory, no line) and an undocumented
+// exported value (a trailing comment would document it).
+func TestPackageCommentAndValues(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("testdata", "nodoc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finds, err := checkDir(abs)
+	if err != nil {
+		t.Fatalf("checkDir: %v", err)
+	}
+	if len(finds) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(finds), finds)
+	}
+	if finds[0].file != abs || finds[0].line != 0 || !strings.Contains(finds[0].msg, "no package comment") {
+		t.Errorf("finding 0 = %v, want package-comment finding against the directory", finds[0])
+	}
+	if !strings.Contains(finds[1].msg, "exported value Undocumented has no doc comment") {
+		t.Errorf("finding 1 = %v, want undocumented value finding", finds[1])
+	}
+}

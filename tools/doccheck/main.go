@@ -30,12 +30,15 @@ func main() {
 	}
 	bad, broken := 0, false
 	for _, dir := range os.Args[1:] {
-		n, err := checkDir(dir)
+		finds, err := checkDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
 			broken = true
 		}
-		bad += n
+		for _, f := range finds {
+			fmt.Println(f)
+		}
+		bad += len(finds)
 	}
 	if broken {
 		os.Exit(2) // parse/usage failure, not an audit finding
@@ -46,22 +49,37 @@ func main() {
 	}
 }
 
+// finding is one undocumented exported identifier, printable as
+// file:line: message.
+type finding struct {
+	file string
+	line int
+	msg  string
+}
+
+func (f finding) String() string {
+	if f.line == 0 {
+		return fmt.Sprintf("%s: %s", f.file, f.msg)
+	}
+	return fmt.Sprintf("%s:%d: %s", f.file, f.line, f.msg)
+}
+
 // checkDir parses one package directory (tests excluded — their helpers
-// are not API) and reports undocumented exported declarations. A parse
-// failure is returned as an error, distinct from audit findings.
-func checkDir(dir string) (int, error) {
+// are not API) and returns the undocumented exported declarations. A
+// parse failure is returned as an error, distinct from audit findings.
+func checkDir(dir string) ([]finding, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
 	}, parser.ParseComments)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	bad := 0
+	var finds []finding
 	for _, pkg := range pkgs {
 		if !hasPackageComment(pkg) {
-			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
-			bad++
+			finds = append(finds, finding{file: dir,
+				msg: fmt.Sprintf("package %s has no package comment", pkg.Name)})
 		}
 		files := make([]string, 0, len(pkg.Files))
 		for name := range pkg.Files {
@@ -70,10 +88,10 @@ func checkDir(dir string) (int, error) {
 		// Deterministic output order.
 		sort.Strings(files)
 		for _, name := range files {
-			bad += checkFile(fset, pkg.Files[name])
+			finds = append(finds, checkFile(fset, pkg.Files[name])...)
 		}
 	}
-	return bad, nil
+	return finds, nil
 }
 
 // hasPackageComment reports whether any file of the package carries a
@@ -87,16 +105,16 @@ func hasPackageComment(pkg *ast.Package) bool {
 	return false
 }
 
-// checkFile reports undocumented exported top-level declarations of one
+// checkFile collects undocumented exported top-level declarations of one
 // file: funcs, methods (on exported or unexported receivers alike —
 // an exported method is API either way through interfaces), types, and
 // const/var specs.
-func checkFile(fset *token.FileSet, f *ast.File) int {
-	bad := 0
+func checkFile(fset *token.FileSet, f *ast.File) []finding {
+	var finds []finding
 	complain := func(pos token.Pos, what, name string) {
 		p := fset.Position(pos)
-		fmt.Printf("%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, what, name)
-		bad++
+		finds = append(finds, finding{file: p.Filename, line: p.Line,
+			msg: fmt.Sprintf("exported %s %s has no doc comment", what, name)})
 	}
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
@@ -131,7 +149,7 @@ func checkFile(fset *token.FileSet, f *ast.File) int {
 			}
 		}
 	}
-	return bad
+	return finds
 }
 
 // recvName renders a method receiver's type name.

@@ -1,0 +1,23 @@
+// Package documented is fully documented: doccheck must report
+// nothing here.
+package documented
+
+// Exported is documented.
+func Exported() {}
+
+// T is documented.
+type T struct{}
+
+// Method is documented.
+func (t *T) Method() {}
+
+// Grouped constants: the block doc covers every spec.
+const (
+	A = 1
+	B = 2
+)
+
+// V is documented.
+var V = 3
+
+func unexported() {}

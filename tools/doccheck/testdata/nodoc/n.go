@@ -1,0 +1,3 @@
+package nodoc
+
+var Undocumented = 1

@@ -1,0 +1,14 @@
+// Package undocumented has a package comment, but not all of its
+// exported members carry docs.
+package undocumented
+
+// Documented is documented.
+func Documented() {}
+
+func Exported() {} // want "exported function Exported has no doc comment"
+
+type T struct{} // want "exported type T has no doc comment"
+
+func (t *T) Method() {} // want "exported function T.Method has no doc comment"
+
+func unexported() {}

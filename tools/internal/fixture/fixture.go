@@ -1,0 +1,122 @@
+// Package fixture is the expected-diagnostic harness shared by the
+// tools/analyze and tools/doccheck tests. Fixture source files mark
+// the lines where a diagnostic must appear with a trailing comment:
+//
+//	buf := make([]byte, n) // want "make in //allocfree function"
+//
+// Each quoted string is a substring that must occur in the message of
+// a diagnostic reported on that line; several strings demand several
+// diagnostics. Check fails the test for every missing expectation and
+// for every diagnostic no expectation covers.
+package fixture
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Diag is one diagnostic produced by the tool under test.
+type Diag struct {
+	File string // absolute path
+	Line int
+	Msg  string
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file   string
+	line   int
+	substr string
+	met    bool
+}
+
+// Check matches got against the `// want` comments of every .go file
+// under dir (recursively, fixture stand-in packages included — they
+// simply carry no expectations).
+func Check(t testing.TB, dir string, got []Diag) {
+	t.Helper()
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing fixture expectations: %v", err)
+	}
+	for _, d := range got {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.File && w.line == d.Line && strings.Contains(d.Msg, w.substr) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.File, d.Line, d.Msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("missing diagnostic at %s:%d: want message containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// parseWants scans dir for `// want "..." ["..."]...` comments.
+func parseWants(dir string) ([]*want, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, substr := range parseQuoted(rest) {
+				wants = append(wants, &want{file: path, line: i + 1, substr: substr})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// parseQuoted extracts the double-quoted Go string literals from s.
+func parseQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for i := start + 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		if q, err := strconv.Unquote(s[start : end+1]); err == nil {
+			out = append(out, q)
+		}
+		s = s[end+1:]
+	}
+}
